@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Several figures are different views of the same experimental run (e.g.
+Figs 6-9 all come from the Sec 7.2 end-to-end comparison).  Those runs
+are executed once per session and cached here; each figure's benchmark
+then regenerates its own table from the shared result.  The cost of the
+underlying experiment is printed when it is first computed.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.common import FULL_SCALE
+from repro.experiments.downgrade_only import run_downgrade_only
+from repro.experiments.endtoend import run_endtoend
+from repro.experiments.upgrade_only import run_upgrade_only
+
+_CACHE = {}
+
+
+def _cached(key, factory):
+    if key not in _CACHE:
+        start = time.perf_counter()
+        _CACHE[key] = factory()
+        elapsed = time.perf_counter() - start
+        print(f"\n[shared experiment {key!r} computed in {elapsed:.1f}s]")
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def endtoend_fb():
+    return _cached("endtoend-FB", lambda: run_endtoend("FB", FULL_SCALE))
+
+
+@pytest.fixture(scope="session")
+def endtoend_cmu():
+    return _cached("endtoend-CMU", lambda: run_endtoend("CMU", FULL_SCALE))
+
+
+@pytest.fixture(scope="session")
+def downgrade_fb():
+    return _cached("downgrade-FB", lambda: run_downgrade_only("FB", FULL_SCALE))
+
+
+@pytest.fixture(scope="session")
+def upgrade_fb():
+    return _cached("upgrade-FB", lambda: run_upgrade_only("FB", FULL_SCALE))

@@ -1,0 +1,43 @@
+"""Extension: design-choice ablations called out in DESIGN.md."""
+
+from repro.experiments.ablations import (
+    render_ablation,
+    run_budget_sweep,
+    run_candidate_sweep,
+    run_scheduler_awareness,
+    run_threshold_sweep,
+)
+
+
+def test_ablation_downgrade_thresholds(benchmark):
+    result = benchmark.pedantic(run_threshold_sweep, rounds=1, iterations=1)
+    print()
+    print(render_ablation(result, "Ablation: downgrade start/stop thresholds"))
+    assert len(result.rows) == 3
+    for _, (hr, bhr, hours) in result.rows.items():
+        assert 0.0 <= hr <= 1.0 and 0.0 <= bhr <= 1.0
+        assert hours > 0
+
+
+def test_ablation_xgb_candidate_width(benchmark):
+    result = benchmark.pedantic(run_candidate_sweep, rounds=1, iterations=1)
+    print()
+    print(render_ablation(result, "Ablation: XGB candidate-scan width k"))
+    assert len(result.rows) == 4
+
+
+def test_ablation_xgb_upgrade_budget(benchmark):
+    result = benchmark.pedantic(run_budget_sweep, rounds=1, iterations=1)
+    print()
+    print(render_ablation(result, "Ablation: XGB upgrade budget"))
+    assert len(result.rows) == 3
+
+
+def test_ablation_scheduler_tier_awareness(benchmark):
+    result = benchmark.pedantic(run_scheduler_awareness, rounds=1, iterations=1)
+    print()
+    print(render_ablation(result, "Ablation: scheduler tier awareness"))
+    aware = result.rows["tier-aware"]
+    stock = result.rows["tier-unaware (stock)"]
+    # A tier-aware scheduler reads at least as much from memory.
+    assert aware[0] >= stock[0] - 0.02

@@ -1,0 +1,42 @@
+"""Fault-tolerance ablation: worker outages under managed tiering.
+
+Not a paper figure — the paper claims replication-based fault tolerance
+as a design objective (Secs 3, 5.3); this bench verifies the claim holds
+while the tiering policies are actively moving replicas around.
+"""
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.fault_tolerance import (
+    render_fault_tolerance,
+    run_fault_tolerance,
+)
+
+#: Outage runs triple the experiment count; half scale keeps the wall
+#: clock in line with the other benches without changing the story.
+SCALE = ExperimentScale(workload_scale=0.5)
+
+
+def test_fault_tolerance(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fault_tolerance("FB", SCALE), rounds=1, iterations=1
+    )
+    print()
+    print(render_fault_tolerance(result))
+    baseline = result.runs["no failures"]
+    worst = result.runs["3 outages"]
+    # Failures really happened and really destroyed replicas.
+    assert worst.failures == 3 and worst.replicas_lost > 0
+    # The monitor repaired the damage: nothing left under-replicated.
+    assert worst.replicas_repaired > 0
+    assert worst.under_replicated_at_end == 0
+    # With replication 3 and single-node outages, no block lost all
+    # replicas.
+    assert worst.blocks_lost == 0
+    # The workload survived: every job that finished without faults also
+    # finished with them.
+    assert worst.run.jobs_finished == baseline.run.jobs_finished
+    # Slowdown is bounded: task time within 25% of the fault-free run.
+    assert (
+        worst.run.metrics.total_task_seconds()
+        < 1.25 * baseline.run.metrics.total_task_seconds()
+    )

@@ -1,0 +1,19 @@
+"""Fig 2: DFSIO throughput for HDFS / HDFS+Cache / OctopusFS / Octopus++."""
+
+from repro.experiments.fig02_dfsio import render_fig02, run_fig02
+
+
+def test_fig02_dfsio(benchmark):
+    result = benchmark.pedantic(run_fig02, rounds=1, iterations=1)
+    print()
+    print(render_fig02(result))
+    # Shape checks mirroring the paper's Sec 3.1 narrative.
+    octo_read = result.read_curves["OctopusFS"]
+    hdfs_read = result.read_curves["Original HDFS"]
+    assert octo_read[0][1] > 1.5 * hdfs_read[0][1], (
+        "tiered reads should beat all-HDD reads while memory lasts"
+    )
+    cache_read = result.read_curves["HDFS with Cache"]
+    assert cache_read[0][1] > hdfs_read[0][1]
+    # After memory exhaustion the cache stops helping (curve converges).
+    assert cache_read[-1][1] < cache_read[0][1]

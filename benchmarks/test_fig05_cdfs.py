@@ -1,0 +1,15 @@
+"""Fig 5: CDFs of job data size, file size, access frequency."""
+
+from repro.experiments.fig05_cdfs import render_fig05, run_fig05
+
+
+def test_fig05_cdfs(benchmark):
+    result = benchmark.pedantic(run_fig05, rounds=1, iterations=1)
+    print()
+    print(render_fig05(result))
+    for workload in ("FB", "CMU"):
+        values, probs = result.frequencies[workload]
+        assert values[0] >= 1
+        assert probs[-1] == 1.0
+        # Skewed popularity: a heavy head exists.
+        assert values[-1] > 8

@@ -1,0 +1,23 @@
+"""Fig 7: % improvement in cluster efficiency vs HDFS (FB and CMU)."""
+
+from repro.experiments.endtoend import render_fig07
+from repro.workload.bins import BIN_NAMES
+
+
+def test_fig07_efficiency(benchmark, endtoend_fb, endtoend_cmu):
+    def regenerate():
+        return render_fig07(endtoend_fb), render_fig07(endtoend_cmu)
+
+    fb_table, cmu_table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(fb_table)
+    print()
+    print(cmu_table)
+    for result in (endtoend_fb, endtoend_cmu):
+        xgb = result.efficiency_improvement["XGB"]
+        # Larger bins carry more I/O, hence bigger efficiency gains.
+        assert xgb["E"] > xgb["A"]
+        # Every policy pair improves efficiency over plain HDFS overall.
+        for label, values in result.efficiency_improvement.items():
+            total = sum(values[b] for b in BIN_NAMES)
+            assert total > 0, f"{label} should not regress overall"

@@ -1,0 +1,23 @@
+"""Fig 10: completion-time reduction for all seven downgrade policies."""
+
+from repro.experiments.downgrade_only import render_fig10
+from repro.workload.bins import BIN_NAMES
+
+
+def test_fig10_downgrade(benchmark, downgrade_fb):
+    table = benchmark.pedantic(
+        lambda: render_fig10(downgrade_fb), rounds=1, iterations=1
+    )
+    print()
+    print(table)
+    reductions = downgrade_fb.completion_reduction
+    # Every downgrade policy improves on plain HDFS overall.
+    for label, values in reductions.items():
+        assert sum(values[b] for b in BIN_NAMES) > 0, label
+    # XGB ranks at the top on mean reduction.
+    mean = {
+        label: sum(v[b] for b in BIN_NAMES) / len(BIN_NAMES)
+        for label, v in reductions.items()
+    }
+    ranked = sorted(mean, key=mean.get, reverse=True)
+    assert "XGB" in ranked[:2], f"XGB should rank top-2, order: {ranked}"

@@ -1,0 +1,20 @@
+"""Fig 11: HR and BHR for the downgrade policies (FB, memory accesses)."""
+
+from repro.experiments.downgrade_only import render_fig11
+
+
+def test_fig11_downgrade_hr(benchmark, downgrade_fb):
+    table = benchmark.pedantic(
+        lambda: render_fig11(downgrade_fb), rounds=1, iterations=1
+    )
+    print()
+    print(table)
+    runs = downgrade_fb.runs
+    policies = [label for label in runs if label not in ("HDFS", "OctopusFS")]
+    # XGB achieves the highest byte hit ratio (paper: 98% vs ~69-85%).
+    best = max(policies, key=lambda p: runs[p].metrics.byte_hit_ratio())
+    assert best == "XGB", best
+    # All managed policies beat the static OctopusFS placement on BHR.
+    static_bhr = runs["OctopusFS"].metrics.byte_hit_ratio()
+    for policy in policies:
+        assert runs[policy].metrics.byte_hit_ratio() >= static_bhr - 0.10, policy

@@ -1,0 +1,22 @@
+"""Fig 12: completion-time reduction for upgrade policies in isolation."""
+
+from repro.experiments.upgrade_only import render_fig12
+from repro.workload.bins import BIN_NAMES
+
+
+def test_fig12_upgrade(benchmark, upgrade_fb):
+    table = benchmark.pedantic(
+        lambda: render_fig12(upgrade_fb), rounds=1, iterations=1
+    )
+    print()
+    print(table)
+    reductions = upgrade_fb.completion_reduction
+    mean = {
+        label: sum(v[b] for b in BIN_NAMES) / len(BIN_NAMES)
+        for label, v in reductions.items()
+    }
+    # Gains are modest in isolation (paper: under ~9%) and OSA-style
+    # upgrading helps at least somewhat.
+    assert mean["OSA"] > 0
+    for label, value in mean.items():
+        assert value < 25.0, f"{label} gains implausibly large: {value}"

@@ -1,0 +1,21 @@
+"""Fig 13: scale-out from 11 to 88 workers with the XGB policies."""
+
+from repro.experiments.scalability import render_fig13, run_fig13
+from repro.workload.bins import BIN_NAMES
+
+
+def test_fig13_scalability(benchmark):
+    result = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    print()
+    print(render_fig13(result))
+    smallest = min(result.worker_counts)
+    largest = max(result.worker_counts)
+    # Gains persist at scale: XGB keeps improving over HDFS everywhere.
+    for workers in result.worker_counts:
+        total = sum(result.efficiency_improvement[workers][b] for b in BIN_NAMES)
+        assert total > 0, f"no efficiency gain at {workers} workers"
+    # The headline insight: mid-size bins' efficiency gains do not
+    # collapse as the cluster grows.
+    mid_small = result.efficiency_improvement[smallest]["C"]
+    mid_large = result.efficiency_improvement[largest]["C"]
+    assert mid_large > 0.25 * max(mid_small, 1e-9)

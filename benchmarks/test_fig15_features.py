@@ -1,0 +1,18 @@
+"""Fig 15: feature ablations on the FB downgrade model."""
+
+from repro.experiments.model_eval import render_fig15, run_fig15
+
+
+def test_fig15_features(benchmark):
+    result = benchmark.pedantic(run_fig15, rounds=1, iterations=1)
+    print()
+    print(render_fig15(result))
+    by_label = {m.label: m for m in result.models}
+    default = by_label["With 12 Accesses (Def)"]
+    # File size is an individually important predictor: dropping it
+    # hurts (paper Sec 7.6).
+    assert by_label["W/out Filesize"].auc <= default.auc + 0.01
+    # Extending history from 12 to 18 accesses has marginal impact.
+    assert abs(by_label["With 18 Accesses"].auc - default.auc) < 0.05
+    # 6 accesses still give a usable model.
+    assert by_label["With 6 Accesses"].auc > 0.75

@@ -1,0 +1,19 @@
+"""Fig 17: accuracy while alternating the FB and CMU workloads."""
+
+import numpy as np
+
+from repro.experiments.learning_modes import render_fig17, run_fig17
+
+
+def test_fig17_adaptation(benchmark):
+    result = benchmark.pedantic(run_fig17, rounds=1, iterations=1)
+    print()
+    print(render_fig17(result))
+    for label, series in result.accuracy.items():
+        values = [v for v in series if not np.isnan(v)]
+        assert values, label
+        # The model always recovers: the last hours are no worse than
+        # the worst post-switch dip.
+        assert values[-1] >= min(values) - 1e-9
+        # And overall accuracy stays useful throughout.
+        assert float(np.mean(values)) > 60.0, (label, values)

@@ -1,0 +1,34 @@
+"""Sec 4.3: the hyperparameter grid search behind d=20, r=10."""
+
+import numpy as np
+
+from repro.experiments.tuning import render_tuning, run_tuning
+
+#: A reduced grid keeps the bench under a minute while spanning the
+#: shallow-vs-deep and few-vs-many-rounds axes the paper searched.
+DEPTHS = (4, 12, 20)
+ROUNDS = (5, 10)
+
+
+def test_sec43_tuning(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_tuning(depths=DEPTHS, rounds=ROUNDS), rounds=1, iterations=1
+    )
+    print()
+    print(render_tuning(result))
+    mean_auc = result.mean_auc()
+    # Depth is the dominant knob (the paper found the same): very shallow
+    # trees underfit relative to the best cell.
+    best = max(mean_auc.values())
+    shallow = [v for (d, _r), v in mean_auc.items() if d == min(DEPTHS)]
+    assert min(shallow) < best
+    # The selected cell is near-optimal by construction.
+    sel_auc = mean_auc[result.selected]
+    assert sel_auc >= best - 0.005
+    # Every cell trained successfully and produced a sane AUC.
+    assert all(0.5 < cell.auc <= 1.0 for cell in result.cells)
+    # Deeper trees cost more to train (cost model is monotone in depth).
+    cost = result.mean_cost()
+    cheap = np.mean([v for (d, _), v in cost.items() if d == min(DEPTHS)])
+    dear = np.mean([v for (d, _), v in cost.items() if d == max(DEPTHS)])
+    assert cheap <= dear

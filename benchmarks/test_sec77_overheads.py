@@ -1,0 +1,16 @@
+"""Sec 7.7: ML overheads — training/prediction cost, memory footprint."""
+
+from repro.experiments.overheads import render_overheads, run_overheads
+
+
+def test_sec77_overheads(benchmark):
+    result = benchmark.pedantic(run_overheads, rounds=1, iterations=1)
+    print()
+    print(render_overheads(result))
+    # The paper's claims, loosened for a pure-Python implementation:
+    # per-sample training stays in the millisecond range, predictions in
+    # the microsecond range, the model within a few MB.
+    assert result.train_ms_per_sample < 50.0
+    assert result.predict_us_per_sample < 5000.0
+    assert result.model_size_kb < 8192
+    assert result.metadata_bytes_per_file < 1024  # paper: ~956 bytes

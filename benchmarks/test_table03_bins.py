@@ -1,0 +1,15 @@
+"""Table 3: job size distributions for FB and CMU."""
+
+from repro.experiments.table03_bins import render_table03, run_table03
+
+
+def test_table03_bins(benchmark):
+    result = benchmark.pedantic(run_table03, rounds=1, iterations=1)
+    print()
+    print(render_table03(result))
+    fb = result.rows["FB"]
+    # Heavy-tailed shape: bin A dominates job counts but not I/O.
+    assert fb[0].pct_jobs > 60
+    assert fb[0].pct_io < fb[0].pct_jobs
+    large_io = sum(row.pct_io for row in fb[3:])
+    assert large_io > 40, "large jobs (D-F) should dominate I/O"

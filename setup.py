@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build; ``python setup.py develop``
+installs an egg-link instead.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

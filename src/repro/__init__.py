@@ -1,0 +1,25 @@
+"""Octopus++ reproduction: automated tiered storage management.
+
+A from-scratch Python implementation of the system described in
+"Automating Distributed Tiered Storage Management in Cluster Computing"
+(Herodotou & Kakoulli, VLDB 2019): a simulated tiered distributed file
+system (OctopusFS-style), the pluggable downgrade/upgrade policy
+framework, gradient-boosted-tree access prediction, the FB/CMU workload
+synthesizers, and the benchmark harness reproducing every table and
+figure of the paper's evaluation.
+
+Quick start::
+
+    from repro.workload import synthesize_trace, FB_PROFILE
+    from repro.engine import SystemConfig, run_workload
+
+    trace = synthesize_trace(FB_PROFILE, seed=42)
+    result = run_workload(
+        trace,
+        SystemConfig(label="XGB", placement="octopus",
+                     downgrade="xgb", upgrade="xgb"),
+    )
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"

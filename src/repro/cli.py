@@ -1,0 +1,233 @@
+"""Command-line interface: run workloads and regenerate experiments.
+
+Usage::
+
+    python -m repro simulate --workload FB --downgrade xgb --upgrade xgb
+    python -m repro experiment fig06 fig07
+    python -m repro synthesize --workload CMU --out cmu.json
+    python -m repro list-experiments
+
+The ``experiment`` subcommand maps directly onto the per-figure runners
+in :mod:`repro.experiments`, printing the same text tables the benchmark
+harness emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Tuple
+
+from repro.common.units import GB
+from repro.engine.runner import SystemConfig, run_workload
+from repro.workload.profiles import PROFILES, scaled_profile
+from repro.workload.synthesis import synthesize_trace
+
+
+def _experiment_registry() -> Dict[str, Tuple[Callable[[], object], Callable]]:
+    """Lazy imports keep CLI startup fast."""
+    from repro.experiments import ablations as ab
+    from repro.experiments import autocache as ac
+    from repro.experiments import downgrade_only as dg
+    from repro.experiments import endtoend as ee
+    from repro.experiments import extended_policies as ep
+    from repro.experiments import fault_tolerance as ft
+    from repro.experiments import fig02_dfsio as f2
+    from repro.experiments import fig05_cdfs as f5
+    from repro.experiments import learning_modes as lm
+    from repro.experiments import model_eval as me
+    from repro.experiments import overheads as oh
+    from repro.experiments import scalability as sc
+    from repro.experiments import table03_bins as t3
+    from repro.experiments import tuning as tu
+    from repro.experiments import upgrade_only as ug
+
+    endtoend_fb = lambda: ee.run_endtoend("FB")
+    endtoend_cmu = lambda: ee.run_endtoend("CMU")
+    return {
+        "fig02": (f2.run_fig02, f2.render_fig02),
+        "table03": (t3.run_table03, t3.render_table03),
+        "fig05": (f5.run_fig05, f5.render_fig05),
+        "fig06": (endtoend_fb, ee.render_fig06),
+        "fig06-cmu": (endtoend_cmu, ee.render_fig06),
+        "fig07": (endtoend_fb, ee.render_fig07),
+        "fig07-cmu": (endtoend_cmu, ee.render_fig07),
+        "fig08": (endtoend_fb, ee.render_fig08),
+        "fig09": (endtoend_fb, ee.render_fig09),
+        "fig10": (dg.run_downgrade_only, dg.render_fig10),
+        "fig11": (dg.run_downgrade_only, dg.render_fig11),
+        "fig12": (ug.run_upgrade_only, ug.render_fig12),
+        "table04": (ug.run_upgrade_only, ug.render_table04),
+        "fig13": (sc.run_fig13, sc.render_fig13),
+        "fig14": (me.run_fig14, me.render_fig14),
+        "fig15": (me.run_fig15, me.render_fig15),
+        "fig16": (lm.run_fig16, lm.render_fig16),
+        "fig17": (lm.run_fig17, lm.render_fig17),
+        "overheads": (oh.run_overheads, oh.render_overheads),
+        "ablation-thresholds": (
+            ab.run_threshold_sweep,
+            lambda r: ab.render_ablation(r, "Downgrade threshold sweep"),
+        ),
+        "ablation-candidates": (
+            ab.run_candidate_sweep,
+            lambda r: ab.render_ablation(r, "XGB candidate width sweep"),
+        ),
+        "tuning": (tu.run_tuning, tu.render_tuning),
+        "autocache": (ac.run_autocache, ac.render_autocache),
+        "fault-tolerance": (
+            ft.run_fault_tolerance,
+            ft.render_fault_tolerance,
+        ),
+        "extended-policies": (
+            ep.run_extended_policies,
+            ep.render_extended_policies,
+        ),
+    }
+
+
+def cmd_list_experiments(_args: argparse.Namespace) -> int:
+    for name in sorted(_experiment_registry()):
+        print(name)
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    cache: Dict[int, object] = {}
+    for name in args.names:
+        if name not in registry:
+            print(f"unknown experiment {name!r}; try list-experiments", file=sys.stderr)
+            return 2
+        runner, renderer = registry[name]
+        key = id(runner)
+        if key not in cache:
+            cache[key] = runner()
+        print(renderer(cache[key]))
+        print()
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.engine.runner import WorkloadRunner
+
+    profile = scaled_profile(PROFILES[args.workload], args.scale)
+    trace = synthesize_trace(profile, seed=args.seed)
+    conf = {}
+    if args.outages:
+        conf["monitor.health_checks_enabled"] = True
+    config = SystemConfig(
+        label=f"{args.placement}/{args.downgrade}/{args.upgrade}",
+        placement=args.placement,
+        downgrade=args.downgrade,
+        upgrade=args.upgrade,
+        workers=args.workers,
+        cache_mode=args.cache_mode,
+        tier_aware_scheduler=args.tier_aware,
+        conf=conf,
+    )
+    runner = WorkloadRunner(trace, config)
+    if args.outages:
+        from repro.dfs.faults import FaultInjector
+
+        injector = FaultInjector(runner.sim, runner.master, runner.scheduler)
+        injector.schedule_random_outages(
+            count=args.outages,
+            start=0.15 * trace.duration,
+            end=0.75 * trace.duration,
+            downtime=1800.0,
+            seed=args.seed,
+        )
+    result = runner.run()
+    if args.outages:
+        print(
+            f"outages:          {injector.stats.failures} "
+            f"(lost {injector.stats.replicas_lost} replicas, "
+            f"repaired {runner.manager.monitor.replicas_repaired if runner.manager else 0})"
+        )
+    print(f"jobs finished:    {result.jobs_finished}/{len(trace.jobs)}")
+    print(f"hit ratio:        {result.metrics.hit_ratio():.3f}")
+    print(f"byte hit ratio:   {result.metrics.byte_hit_ratio():.3f}")
+    print(f"task hours:       {result.metrics.total_task_seconds() / 3600:.2f}")
+    print(f"upgraded to mem:  {result.bytes_upgraded_memory / GB:.2f} GB")
+    print(f"downgraded:       {result.bytes_downgraded_memory / GB:.2f} GB")
+    for name, bin_metrics in result.metrics.bins.items():
+        if bin_metrics.jobs_completed:
+            print(
+                f"  bin {name}: {bin_metrics.jobs_completed:4d} jobs, "
+                f"mean completion {bin_metrics.mean_completion_time:.1f}s"
+            )
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.workload.serialize import save_trace
+
+    profile = scaled_profile(PROFILES[args.workload], args.scale)
+    trace = synthesize_trace(profile, seed=args.seed)
+    save_trace(trace, args.out)
+    print(
+        f"wrote {args.out}: {len(trace.jobs)} jobs, {trace.file_count} files, "
+        f"{trace.total_bytes / GB:.1f} GB"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Octopus++ reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list-experiments", help="list experiment names")
+    p_list.set_defaults(func=cmd_list_experiments)
+
+    p_exp = sub.add_parser("experiment", help="run experiments by name")
+    p_exp.add_argument("names", nargs="+")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_sim = sub.add_parser("simulate", help="run one workload configuration")
+    p_sim.add_argument("--workload", choices=sorted(PROFILES), default="FB")
+    p_sim.add_argument("--placement", default="octopus")
+    p_sim.add_argument("--downgrade", default=None)
+    p_sim.add_argument("--upgrade", default=None)
+    p_sim.add_argument("--workers", type=int, default=11)
+    p_sim.add_argument("--scale", type=float, default=1.0)
+    p_sim.add_argument("--seed", type=int, default=42)
+    p_sim.add_argument(
+        "--cache-mode",
+        action="store_true",
+        help="AutoCache semantics: upgrades copy, downgrades delete",
+    )
+    p_sim.add_argument(
+        "--tier-aware",
+        action="store_true",
+        help="tier-aware task scheduler (default: stock tier-unaware)",
+    )
+    p_sim.add_argument(
+        "--outages",
+        type=int,
+        default=0,
+        help="inject this many random 30-minute worker outages",
+    )
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_syn = sub.add_parser("synthesize", help="export a synthesized trace")
+    p_syn.add_argument("--workload", choices=sorted(PROFILES), default="FB")
+    p_syn.add_argument("--scale", type=float, default=1.0)
+    p_syn.add_argument("--seed", type=int, default=42)
+    p_syn.add_argument("--out", required=True)
+    p_syn.set_defaults(func=cmd_synthesize)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `| head`): not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Cluster hardware model: storage media, devices, nodes, topology.
+
+The simulated cluster mirrors the paper's testbed (Sec 7): one Master and
+N Workers, each Worker exposing three storage tiers (memory, SSD, HDD)
+with fixed capacities and media-dependent bandwidths.
+"""
+
+from repro.cluster.hardware import (
+    MediaProfile,
+    StorageDevice,
+    StorageTier,
+    DEFAULT_MEDIA_PROFILES,
+)
+from repro.cluster.node import Node, TierSpec
+from repro.cluster.topology import ClusterTopology, Rack
+from repro.cluster.builder import (
+    build_cluster,
+    build_ec2_cluster,
+    build_local_cluster,
+)
+
+__all__ = [
+    "StorageTier",
+    "MediaProfile",
+    "StorageDevice",
+    "DEFAULT_MEDIA_PROFILES",
+    "TierSpec",
+    "Node",
+    "Rack",
+    "ClusterTopology",
+    "build_cluster",
+    "build_local_cluster",
+    "build_ec2_cluster",
+]

@@ -1,0 +1,87 @@
+"""Cluster construction presets matching the paper's two testbeds.
+
+``build_local_cluster`` mirrors the 12-node lab cluster of Sec 7 (1 master
+plus 11 workers; 4GB memory / 64GB SSD / 400GB HDD of file-block space per
+worker).  ``build_ec2_cluster`` mirrors the m4.2xlarge EC2 setup of
+Sec 7.5 used for the scalability study.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cluster.hardware import StorageTier
+from repro.cluster.node import Node, TierSpec
+from repro.cluster.topology import ClusterTopology
+from repro.common.units import GB
+
+#: Workers per rack for generated topologies (HDFS-style two-level network).
+DEFAULT_RACK_SIZE = 16
+
+
+def build_cluster(
+    num_workers: int,
+    tier_specs: Sequence[TierSpec],
+    task_slots: int = 8,
+    rack_size: int = DEFAULT_RACK_SIZE,
+    name_prefix: str = "worker",
+) -> ClusterTopology:
+    """Build a topology of ``num_workers`` identical nodes.
+
+    Nodes are spread across racks of ``rack_size``; each node gets fresh
+    devices from ``tier_specs``.
+    """
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    if rack_size <= 0:
+        raise ValueError("rack_size must be positive")
+    topology = ClusterTopology()
+    for i in range(num_workers):
+        rack = f"rack{i // rack_size}"
+        node = Node(
+            node_id=f"{name_prefix}{i:03d}",
+            rack=rack,
+            tier_specs=tier_specs,
+            task_slots=task_slots,
+        )
+        topology.add_node(node)
+    return topology
+
+
+def build_local_cluster(
+    num_workers: int = 11,
+    memory_per_node: int = 4 * GB,
+    ssd_per_node: int = 64 * GB,
+    hdd_per_node: int = 400 * GB,
+    task_slots: int = 8,
+    rack_size: int = DEFAULT_RACK_SIZE,
+) -> ClusterTopology:
+    """The paper's local testbed: 11 workers, 3 tiers, 3 HDDs per worker.
+
+    The default rack size keeps clusters of up to 16 workers on a single
+    rack, like the paper's lab testbed; pass a smaller ``rack_size`` to
+    exercise rack-aware behaviour.
+    """
+    specs = [
+        TierSpec(StorageTier.MEMORY, memory_per_node, num_devices=1),
+        TierSpec(StorageTier.SSD, ssd_per_node, num_devices=1),
+        TierSpec(StorageTier.HDD, hdd_per_node, num_devices=3),
+    ]
+    return build_cluster(num_workers, specs, task_slots=task_slots, rack_size=rack_size)
+
+
+def build_ec2_cluster(
+    num_workers: int,
+    task_slots: int = 8,
+    memory_per_node: Optional[int] = None,
+) -> ClusterTopology:
+    """The EC2 m4.2xlarge scale-out testbed (Sec 7.5).
+
+    Same per-worker tier sizes as the local cluster so results are
+    comparable; only the worker count changes (11 → 88 in the paper).
+    """
+    return build_local_cluster(
+        num_workers=num_workers,
+        memory_per_node=memory_per_node or 4 * GB,
+        task_slots=task_slots,
+    )

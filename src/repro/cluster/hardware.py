@@ -1,0 +1,181 @@
+"""Storage tiers, media performance profiles, and devices.
+
+Bandwidth numbers are calibrated so the DFSIO experiment (Fig 2) produces
+paper-shaped throughput ratios: an HDD-only pipeline bottlenecks writes
+around ~90 MB/s per node, while serving reads from memory/SSD replicas
+yields the ~2-4x read speedups reported for HDFS-with-cache and OctopusFS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.common.errors import InsufficientSpaceError
+from repro.common.units import MB
+
+
+@enum.unique
+class StorageTier(enum.IntEnum):
+    """Storage tiers ordered from highest (fastest) to lowest.
+
+    Lower integer value = higher tier, so ``min()`` over tiers picks the
+    fastest and comparisons read naturally:
+    ``StorageTier.MEMORY < StorageTier.SSD < StorageTier.HDD``.
+    """
+
+    MEMORY = 0
+    SSD = 1
+    HDD = 2
+
+    @property
+    def is_highest(self) -> bool:
+        return self is StorageTier.MEMORY
+
+    @property
+    def is_lowest(self) -> bool:
+        return self is StorageTier.HDD
+
+    def higher_tiers(self) -> "tuple[StorageTier, ...]":
+        """Tiers strictly faster than this one, fastest first."""
+        return tuple(t for t in StorageTier if t < self)
+
+    def lower_tiers(self) -> "tuple[StorageTier, ...]":
+        """Tiers strictly slower than this one, fastest first."""
+        return tuple(t for t in StorageTier if t > self)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class MediaProfile:
+    """Performance characteristics of one storage medium.
+
+    ``read_bw``/``write_bw`` are sustained sequential bandwidths in
+    bytes/second for a single stream; ``seek_latency`` is the fixed
+    per-request cost in seconds.
+    """
+
+    tier: StorageTier
+    read_bw: float
+    write_bw: float
+    seek_latency: float
+
+    def read_time(self, num_bytes: int) -> float:
+        """Seconds to read ``num_bytes`` sequentially from this medium."""
+        return self.seek_latency + num_bytes / self.read_bw
+
+    def write_time(self, num_bytes: int) -> float:
+        """Seconds to write ``num_bytes`` sequentially to this medium."""
+        return self.seek_latency + num_bytes / self.write_bw
+
+
+#: Default profiles calibrated against the paper's Fig 2 throughputs.
+DEFAULT_MEDIA_PROFILES: Dict[StorageTier, MediaProfile] = {
+    StorageTier.MEMORY: MediaProfile(
+        tier=StorageTier.MEMORY,
+        read_bw=3000 * MB,
+        write_bw=2000 * MB,
+        seek_latency=0.0001,
+    ),
+    StorageTier.SSD: MediaProfile(
+        tier=StorageTier.SSD,
+        read_bw=450 * MB,
+        write_bw=350 * MB,
+        seek_latency=0.0005,
+    ),
+    StorageTier.HDD: MediaProfile(
+        tier=StorageTier.HDD,
+        read_bw=130 * MB,
+        write_bw=110 * MB,
+        seek_latency=0.008,
+    ),
+}
+
+
+class StorageDevice:
+    """One storage device (a memory slice, an SSD, or an HDD).
+
+    Tracks byte-level capacity and the set of replica ids it stores.
+    Capacity accounting is exact: ``allocate`` raises
+    :class:`InsufficientSpaceError` rather than over-committing.
+    """
+
+    def __init__(
+        self,
+        device_id: str,
+        profile: MediaProfile,
+        capacity: int,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.device_id = device_id
+        self.profile = profile
+        self.capacity = int(capacity)
+        self.used = 0
+        self._replicas: Set[int] = set()
+
+    @property
+    def tier(self) -> StorageTier:
+        return self.profile.tier
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity in use, in [0, 1]."""
+        return self.used / self.capacity
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    def has_space(self, num_bytes: int) -> bool:
+        return self.free >= num_bytes
+
+    def allocate(self, replica_id: int, num_bytes: int) -> None:
+        """Reserve space for a replica.  Raises if full or duplicate."""
+        if replica_id in self._replicas:
+            raise ValueError(f"replica {replica_id} already on {self.device_id}")
+        if not self.has_space(num_bytes):
+            raise InsufficientSpaceError(
+                f"{self.device_id}: need {num_bytes}, free {self.free}"
+            )
+        self._replicas.add(replica_id)
+        self.used += int(num_bytes)
+
+    def release(self, replica_id: int, num_bytes: int) -> None:
+        """Free the space held by a replica.  Raises if unknown."""
+        if replica_id not in self._replicas:
+            raise ValueError(f"replica {replica_id} not on {self.device_id}")
+        self._replicas.discard(replica_id)
+        self.used -= int(num_bytes)
+        if self.used < 0:  # defensive: accounting must never go negative
+            raise InsufficientSpaceError(f"{self.device_id}: negative usage")
+
+    def holds(self, replica_id: int) -> bool:
+        return replica_id in self._replicas
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StorageDevice({self.device_id}, {self.tier.name}, "
+            f"{self.used}/{self.capacity})"
+        )
+
+
+def make_device(
+    device_id: str,
+    tier: StorageTier,
+    capacity: int,
+    profile: Optional[MediaProfile] = None,
+) -> StorageDevice:
+    """Convenience constructor using the default profile for ``tier``."""
+    return StorageDevice(
+        device_id=device_id,
+        profile=profile or DEFAULT_MEDIA_PROFILES[tier],
+        capacity=capacity,
+    )

@@ -1,0 +1,129 @@
+"""Cluster nodes: a bundle of storage devices plus task slots.
+
+A :class:`Node` corresponds to a Worker in the paper's architecture
+(Fig 3): it stores block replicas on its locally attached media and runs
+map/reduce tasks in a fixed number of slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cluster.hardware import (
+    DEFAULT_MEDIA_PROFILES,
+    MediaProfile,
+    StorageDevice,
+    StorageTier,
+)
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """How much of one tier a node exposes, and across how many devices.
+
+    The paper's local workers expose 4GB memory, one 64GB SSD, and three
+    HDDs totalling 400GB for file blocks (Sec 7).
+    """
+
+    tier: StorageTier
+    capacity: int
+    num_devices: int = 1
+    profile: Optional[MediaProfile] = None
+
+    def device_capacity(self) -> int:
+        return self.capacity // self.num_devices
+
+
+class Node:
+    """A worker node with storage devices grouped by tier and task slots."""
+
+    def __init__(
+        self,
+        node_id: str,
+        rack: str,
+        tier_specs: Sequence[TierSpec],
+        task_slots: int = 8,
+    ) -> None:
+        self.node_id = node_id
+        self.rack = rack
+        self.task_slots = task_slots
+        #: Cleared by the fault injector while the node is down; dead
+        #: nodes receive no new replicas and no new tasks.
+        self.alive = True
+        self._devices: Dict[StorageTier, List[StorageDevice]] = {
+            tier: [] for tier in StorageTier
+        }
+        for spec in tier_specs:
+            profile = spec.profile or DEFAULT_MEDIA_PROFILES[spec.tier]
+            base = spec.device_capacity()
+            remainder = spec.capacity - base * spec.num_devices
+            for i in range(spec.num_devices):
+                # The first device absorbs the integer-division remainder
+                # so the tier total matches the spec exactly.
+                capacity = base + (remainder if i == 0 else 0)
+                device = StorageDevice(
+                    device_id=f"{node_id}:{spec.tier.name.lower()}{i}",
+                    profile=profile,
+                    capacity=capacity,
+                )
+                self._devices[spec.tier].append(device)
+
+    # -- device access ------------------------------------------------------
+    def devices(self, tier: Optional[StorageTier] = None) -> List[StorageDevice]:
+        """All devices, or only those of ``tier``."""
+        if tier is not None:
+            return list(self._devices[tier])
+        return [d for tier_devs in self._devices.values() for d in tier_devs]
+
+    def tiers(self) -> List[StorageTier]:
+        """Tiers this node actually has devices for, fastest first."""
+        return [t for t in StorageTier if self._devices[t]]
+
+    def has_tier(self, tier: StorageTier) -> bool:
+        return bool(self._devices[tier])
+
+    # -- capacity accounting -------------------------------------------------
+    def tier_capacity(self, tier: StorageTier) -> int:
+        return sum(d.capacity for d in self._devices[tier])
+
+    def tier_used(self, tier: StorageTier) -> int:
+        return sum(d.used for d in self._devices[tier])
+
+    def tier_free(self, tier: StorageTier) -> int:
+        return sum(d.free for d in self._devices[tier])
+
+    def tier_utilization(self, tier: StorageTier) -> float:
+        """Used fraction of the tier; 1.0 for tiers with no capacity."""
+        capacity = self.tier_capacity(tier)
+        if capacity == 0:
+            return 1.0
+        return self.tier_used(tier) / capacity
+
+    def best_device_for(self, tier: StorageTier, num_bytes: int) -> Optional[StorageDevice]:
+        """The emptiest device of ``tier`` that fits ``num_bytes``, if any."""
+        candidates = [d for d in self._devices[tier] if d.has_space(num_bytes)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda d: d.utilization)
+
+    def total_capacity(self) -> int:
+        return sum(d.capacity for d in self.devices())
+
+    def total_used(self) -> int:
+        return sum(d.used for d in self.devices())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{t.name}={self.tier_used(t)}/{self.tier_capacity(t)}"
+            for t in self.tiers()
+        )
+        return f"Node({self.node_id}, {parts})"
+
+
+def iter_tier_devices(
+    nodes: Iterable[Node], tier: StorageTier
+) -> Iterable[StorageDevice]:
+    """Yield every device of ``tier`` across ``nodes``."""
+    for node in nodes:
+        yield from node.devices(tier)

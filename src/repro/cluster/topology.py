@@ -1,0 +1,103 @@
+"""Network topology: racks of nodes with HDFS-style distance semantics.
+
+Distances follow HDFS conventions: 0 for the same node, 2 within a rack,
+4 across racks.  The placement policies use these to trade locality
+against fault tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.cluster.hardware import StorageTier
+from repro.cluster.node import Node
+
+
+class Rack:
+    """A named group of nodes sharing a top-of-rack switch."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: List[Node] = []
+
+    def add(self, node: Node) -> None:
+        self.nodes.append(node)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Rack({self.name}, nodes={len(self.nodes)})"
+
+
+class ClusterTopology:
+    """The set of worker nodes organized into racks."""
+
+    SAME_NODE = 0
+    SAME_RACK = 2
+    OFF_RACK = 4
+
+    def __init__(self) -> None:
+        self._racks: Dict[str, Rack] = {}
+        self._nodes: Dict[str, Node] = {}
+
+    # -- construction --------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+        rack = self._racks.setdefault(node.rack, Rack(node.rack))
+        rack.add(node)
+
+    # -- lookups ---------------------------------------------------------------
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    @property
+    def alive_nodes(self) -> List[Node]:
+        return [n for n in self._nodes.values() if n.alive]
+
+    @property
+    def racks(self) -> List[Rack]:
+        return list(self._racks.values())
+
+    def node(self, node_id: str) -> Node:
+        return self._nodes[node_id]
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def distance(self, a: Node, b: Node) -> int:
+        """HDFS-style network distance between two nodes."""
+        if a.node_id == b.node_id:
+            return self.SAME_NODE
+        if a.rack == b.rack:
+            return self.SAME_RACK
+        return self.OFF_RACK
+
+    # -- aggregate capacity ------------------------------------------------------
+    def tier_capacity(self, tier: StorageTier) -> int:
+        return sum(n.tier_capacity(tier) for n in self.nodes)
+
+    def tier_used(self, tier: StorageTier) -> int:
+        return sum(n.tier_used(tier) for n in self.nodes)
+
+    def tier_free(self, tier: StorageTier) -> int:
+        return sum(n.tier_free(tier) for n in self.nodes)
+
+    def tier_utilization(self, tier: StorageTier) -> float:
+        capacity = self.tier_capacity(tier)
+        if capacity == 0:
+            return 1.0
+        return self.tier_used(tier) / capacity
+
+    def nodes_with_tier(self, tier: StorageTier) -> List[Node]:
+        """Alive nodes exposing ``tier`` (placement candidates)."""
+        return [n for n in self.nodes if n.alive and n.has_tier(tier)]
+
+    def total_task_slots(self) -> int:
+        return sum(n.task_slots for n in self.nodes)

@@ -1,0 +1,51 @@
+"""Shared utilities: units, errors, configuration, deterministic randomness.
+
+These helpers are deliberately dependency-free (except numpy for the RNG
+distributions) so every other subpackage can import them without cycles.
+"""
+
+from repro.common.config import Configuration
+from repro.common.errors import (
+    ConfigurationError,
+    InsufficientSpaceError,
+    InvalidPathError,
+    PolicyError,
+    ReproError,
+    ReplicaNotFoundError,
+    SimulationError,
+)
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    HOURS,
+    MINUTES,
+    SECONDS,
+    format_bytes,
+    format_duration,
+    parse_bytes,
+    parse_duration,
+)
+
+__all__ = [
+    "Configuration",
+    "ReproError",
+    "ConfigurationError",
+    "InvalidPathError",
+    "InsufficientSpaceError",
+    "ReplicaNotFoundError",
+    "PolicyError",
+    "SimulationError",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "SECONDS",
+    "MINUTES",
+    "HOURS",
+    "format_bytes",
+    "format_duration",
+    "parse_bytes",
+    "parse_duration",
+]

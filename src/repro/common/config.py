@@ -1,0 +1,109 @@
+"""Typed key-value configuration, in the spirit of Hadoop's Configuration.
+
+The paper notes (Sec 3.3) that "the policies and their parameters are
+tunable and their values can be set in the file system's configuration
+file".  This class provides that surface: string keys with typed getters,
+defaults, and validation.  Policies and placement components receive a
+:class:`Configuration` and read their parameters from it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import parse_bytes, parse_duration
+
+
+class Configuration:
+    """A mutable mapping of dotted string keys to values with typed access.
+
+    Values may be stored as native types or strings; the typed getters
+    coerce strings (``get_bytes`` accepts ``"128MB"``, ``get_duration``
+    accepts ``"30min"``).
+    """
+
+    def __init__(self, values: Optional[Mapping[str, Any]] = None) -> None:
+        self._values: Dict[str, Any] = dict(values or {})
+
+    # -- mutation ---------------------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        """Set ``key`` to ``value`` (any type)."""
+        self._values[key] = value
+
+    def update(self, values: Mapping[str, Any]) -> None:
+        """Bulk-set multiple keys."""
+        self._values.update(values)
+
+    def copy(self) -> "Configuration":
+        """Return an independent copy of this configuration."""
+        return Configuration(self._values)
+
+    # -- untyped access ---------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return the raw value for ``key`` or ``default``."""
+        return self._values.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __bool__(self) -> bool:
+        # An empty configuration is still a real configuration: callers
+        # share mutable instances, so truthiness must not depend on size.
+        return True
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a shallow copy of the underlying mapping."""
+        return dict(self._values)
+
+    # -- typed access -----------------------------------------------------
+    def get_int(self, key: str, default: Optional[int] = None) -> int:
+        return int(self._require(key, default))
+
+    def get_float(self, key: str, default: Optional[float] = None) -> float:
+        return float(self._require(key, default))
+
+    def get_bool(self, key: str, default: Optional[bool] = None) -> bool:
+        value = self._require(key, default)
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("true", "yes", "1", "on"):
+                return True
+            if lowered in ("false", "no", "0", "off"):
+                return False
+        raise ConfigurationError(f"cannot interpret {value!r} as bool for key {key!r}")
+
+    def get_str(self, key: str, default: Optional[str] = None) -> str:
+        return str(self._require(key, default))
+
+    def get_bytes(self, key: str, default: Optional[int] = None) -> int:
+        """Return a byte count; string values like ``"64GB"`` are parsed."""
+        value = self._require(key, default)
+        if isinstance(value, str):
+            return parse_bytes(value)
+        return int(value)
+
+    def get_duration(self, key: str, default: Optional[float] = None) -> float:
+        """Return seconds; string values like ``"30min"`` are parsed."""
+        value = self._require(key, default)
+        if isinstance(value, str):
+            return parse_duration(value)
+        return float(value)
+
+    def _require(self, key: str, default: Any) -> Any:
+        if key in self._values:
+            return self._values[key]
+        if default is not None:
+            return default
+        raise ConfigurationError(f"missing required configuration key {key!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Configuration({self._values!r})"

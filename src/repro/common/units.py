@@ -1,0 +1,102 @@
+"""Byte-size and duration units used throughout the simulator.
+
+All sizes are plain integers in bytes and all times are floats in seconds.
+The constants below exist so call sites read like the paper
+(``128 * MB`` block size, ``6 * HOURS`` class window) rather than raw
+magic numbers.
+"""
+
+from __future__ import annotations
+
+import re
+
+# --- byte sizes (binary, matching HDFS conventions) ---
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+# --- durations in seconds ---
+SECONDS = 1.0
+MINUTES = 60.0
+HOURS = 3600.0
+DAYS = 24 * HOURS
+
+_BYTE_SUFFIXES = {
+    "b": 1,
+    "k": KB,
+    "kb": KB,
+    "m": MB,
+    "mb": MB,
+    "g": GB,
+    "gb": GB,
+    "t": TB,
+    "tb": TB,
+}
+
+_DURATION_SUFFIXES = {
+    "ms": 0.001,
+    "s": SECONDS,
+    "sec": SECONDS,
+    "m": MINUTES,
+    "min": MINUTES,
+    "h": HOURS,
+    "hr": HOURS,
+    "d": DAYS,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a human-readable size like ``"128MB"`` or ``"4g"`` into bytes.
+
+    A bare number is interpreted as bytes.  Raises ``ValueError`` on
+    malformed input or unknown suffixes.
+    """
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"malformed size: {text!r}")
+    value, suffix = match.groups()
+    multiplier = _BYTE_SUFFIXES.get(suffix.lower(), None) if suffix else 1
+    if multiplier is None:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(float(value) * multiplier)
+
+
+def parse_duration(text: str) -> float:
+    """Parse a human-readable duration like ``"30min"`` or ``"6h"``.
+
+    A bare number is interpreted as seconds.
+    """
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"malformed duration: {text!r}")
+    value, suffix = match.groups()
+    multiplier = _DURATION_SUFFIXES.get(suffix.lower(), None) if suffix else 1.0
+    if multiplier is None:
+        raise ValueError(f"unknown duration suffix {suffix!r} in {text!r}")
+    return float(value) * multiplier
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with the largest suffix that keeps 3 digits."""
+    value = float(num_bytes)
+    for suffix, size in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(value) >= size:
+            return f"{value / size:.2f}{suffix}"
+    return f"{int(value)}B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration as ``1h23m45s`` (dropping zero leading parts)."""
+    total = float(seconds)
+    sign = "-" if total < 0 else ""
+    total = abs(total)
+    hours, rem = divmod(total, HOURS)
+    minutes, secs = divmod(rem, MINUTES)
+    if hours >= 1:
+        return f"{sign}{int(hours)}h{int(minutes):02d}m{secs:04.1f}s"
+    if minutes >= 1:
+        return f"{sign}{int(minutes)}m{secs:04.1f}s"
+    return f"{sign}{secs:.2f}s"

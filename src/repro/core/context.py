@@ -1,0 +1,89 @@
+"""Shared context handed to every downgrade/upgrade policy.
+
+Policies make decisions from (a) per-file statistics, (b) tier state, and
+(c) configuration (paper Sec 3.3: "the policies have access to file and
+node statistics maintained by the system").  The context bundles those
+and also answers the candidate-set queries, filtering out files whose
+movement is already in flight.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.cluster.hardware import StorageTier
+from repro.common.config import Configuration
+from repro.dfs.master import Master
+from repro.dfs.namespace import INodeFile
+from repro.core.stats import StatisticsRegistry
+from repro.sim.clock import Clock
+
+
+class PolicyContext:
+    """Everything a policy may consult when making decisions."""
+
+    def __init__(
+        self,
+        master: Master,
+        stats: StatisticsRegistry,
+        clock: Clock,
+        conf: Optional[Configuration] = None,
+        in_flight: Optional[Callable[[], Set[int]]] = None,
+    ) -> None:
+        self.master = master
+        self.stats = stats
+        self.clock = clock
+        self.conf = conf if conf is not None else Configuration()
+        # Supplied by the Replication Monitor: inode ids currently moving.
+        self._in_flight = in_flight or (lambda: set())
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    def in_flight_files(self) -> Set[int]:
+        return self._in_flight()
+
+    # -- tier state ----------------------------------------------------------
+    def tier_utilization(self, tier: StorageTier) -> float:
+        return self.master.tier_utilization(tier)
+
+    def tier_free(self, tier: StorageTier) -> int:
+        return self.master.topology.tier_free(tier)
+
+    # -- candidate sets ---------------------------------------------------------
+    def files_on_tier(self, tier: StorageTier) -> List[INodeFile]:
+        """Files with at least one replica byte on ``tier`` and not in flight.
+
+        These are the downgrade candidates: moving such a file off the
+        tier frees space there.
+        """
+        busy = self.in_flight_files()
+        result = []
+        for file in self.master.files():
+            if file.inode_id in busy:
+                continue
+            if self.master.blocks.file_bytes_on_tier(file, tier) > 0:
+                result.append(file)
+        return result
+
+    def files_below_tier(self, tier: StorageTier) -> List[INodeFile]:
+        """Files whose complete copy is only available below ``tier``.
+
+        These are the upgrade candidates for ``tier``: files that would
+        benefit from having a replica moved up.
+        """
+        busy = self.in_flight_files()
+        result = []
+        for file in self.master.files():
+            if file.inode_id in busy:
+                continue
+            best = self.master.blocks.file_best_tier(file)
+            if best is not None and best > tier:
+                result.append(file)
+        return result
+
+    def file_best_tier(self, file: INodeFile) -> Optional[StorageTier]:
+        return self.master.blocks.file_best_tier(file)
+
+    def file_in_tier_or_better(self, file: INodeFile, tier: StorageTier) -> bool:
+        return self.master.blocks.file_has_tier_or_better(file, tier)

@@ -1,0 +1,206 @@
+"""Extension policies from the paper's related-work section (Sec 2.3).
+
+Beyond the seven Table 1 policies, these implement classic and recent
+eviction schemes the paper discusses, adapted to file granularity:
+
+* :class:`RandomDowngradePolicy` — the null baseline;
+* :class:`SizeDowngradePolicy` — web caching's SIZE: evict the largest;
+* :class:`ArcLikeDowngradePolicy` — an ARC-style adaptive split between
+  a recency list (files seen once) and a frequency list (files re-seen),
+  with ghost lists steering the balance;
+* :class:`MarkerOracleDowngradePolicy` — the Marker algorithm augmented
+  with a machine-learned oracle (Lykouris & Vassilvitskii, the paper's
+  [36]): unmarked files are eviction candidates and the access model
+  breaks ties by predicted re-access probability.
+
+All plug into the same four-decision-point interface, which is the
+point: the framework is policy-agnostic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.cluster.hardware import StorageTier
+from repro.dfs.namespace import INodeFile
+from repro.core.context import PolicyContext
+from repro.core.policy import DowngradePolicy
+from repro.ml.access_model import FileAccessModel
+from repro.ml.features import build_feature_vector
+
+
+class RandomDowngradePolicy(DowngradePolicy):
+    """Evict a uniformly random file (seeded; the sanity baseline)."""
+
+    name = "random"
+
+    def __init__(self, ctx: PolicyContext, seed: int = 97) -> None:
+        super().__init__(ctx)
+        self._rng = np.random.default_rng(seed)
+
+    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+        candidates = self.ctx.files_on_tier(tier)
+        if not candidates:
+            return None
+        return candidates[int(self._rng.integers(len(candidates)))]
+
+
+class SizeDowngradePolicy(DowngradePolicy):
+    """Web caching's SIZE policy: evict the largest file first.
+
+    Frees the most room per decision; ignores recency and frequency
+    entirely (which is exactly its weakness on reused large inputs).
+    """
+
+    name = "size"
+
+    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+        candidates = self.ctx.files_on_tier(tier)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda f: (f.size, -f.inode_id))
+
+
+class ArcLikeDowngradePolicy(DowngradePolicy):
+    """ARC adapted to files: recency list T1 vs frequency list T2.
+
+    Files enter T1 on first access; a re-access promotes them to T2.
+    Ghost lists B1/B2 remember recent evictions — re-accessing a B1
+    ghost grows the recency target ``p``, a B2 ghost shrinks it, so the
+    policy continuously re-balances between LRU-like and LFU-like
+    behaviour (the adaptivity ARC is known for).
+    """
+
+    name = "arc"
+
+    def __init__(self, ctx: PolicyContext, ghost_capacity: int = 512) -> None:
+        super().__init__(ctx)
+        self._t1: "OrderedDict[int, None]" = OrderedDict()  # seen once
+        self._t2: "OrderedDict[int, None]" = OrderedDict()  # seen again
+        self._b1: "OrderedDict[int, None]" = OrderedDict()  # ghosts of T1
+        self._b2: "OrderedDict[int, None]" = OrderedDict()  # ghosts of T2
+        self._ghost_capacity = ghost_capacity
+        self.p = 0.5  # target share of evictions taken from T1
+
+    # -- callbacks maintain the lists --------------------------------------
+    def on_file_created(self, file: INodeFile) -> None:
+        self._t1[file.inode_id] = None
+        self._t1.move_to_end(file.inode_id)
+
+    def on_file_accessed(self, file: INodeFile) -> None:
+        inode = file.inode_id
+        if inode in self._t2:
+            self._t2.move_to_end(inode)
+        elif inode in self._t1:
+            del self._t1[inode]
+            self._t2[inode] = None
+        elif inode in self._b1:
+            # Recency ghost hit: we evicted something we should have kept
+            # for recency -> favour T2 evictions (shrink T1's share).
+            del self._b1[inode]
+            self.p = max(self.p - 0.05, 0.0)
+            self._t2[inode] = None
+        elif inode in self._b2:
+            del self._b2[inode]
+            self.p = min(self.p + 0.05, 1.0)
+            self._t2[inode] = None
+        else:
+            self._t1[inode] = None
+
+    def on_file_deleted(self, file: INodeFile) -> None:
+        for bucket in (self._t1, self._t2, self._b1, self._b2):
+            bucket.pop(file.inode_id, None)
+
+    def _trim_ghosts(self) -> None:
+        for ghosts in (self._b1, self._b2):
+            while len(ghosts) > self._ghost_capacity:
+                ghosts.popitem(last=False)
+
+    # -- selection -----------------------------------------------------------
+    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+        candidates = {f.inode_id: f for f in self.ctx.files_on_tier(tier)}
+        if not candidates:
+            return None
+        from_t1 = [i for i in self._t1 if i in candidates]
+        from_t2 = [i for i in self._t2 if i in candidates]
+        pick: Optional[int] = None
+        take_t1 = len(from_t1) > 0 and (
+            len(from_t2) == 0
+            or len(from_t1) >= self.p * (len(from_t1) + len(from_t2))
+        )
+        if take_t1:
+            pick = from_t1[0]  # LRU end of the recency list
+            del self._t1[pick]
+            self._b1[pick] = None
+        elif from_t2:
+            pick = from_t2[0]
+            del self._t2[pick]
+            self._b2[pick] = None
+        else:
+            # Untracked candidates (pre-attach files): fall back to LRU.
+            return self.ctx.stats.lru_order(candidates.values())[0]
+        self._trim_ghosts()
+        return candidates[pick]
+
+
+class MarkerOracleDowngradePolicy(DowngradePolicy):
+    """Marker with a machine-learned oracle (the paper's [36]).
+
+    Classic Marker: accessed files are *marked*; only unmarked files are
+    eviction candidates; when everything is marked, a new phase begins
+    and all marks clear.  The learned-advice variant evicts the unmarked
+    file the oracle deems least likely to be re-accessed, preserving
+    Marker's worst-case competitiveness while gaining from accurate
+    predictions.  Falls back to uniform-random unmarked eviction while
+    the oracle is warming up.
+    """
+
+    name = "marker"
+
+    def __init__(
+        self,
+        ctx: PolicyContext,
+        model: FileAccessModel,
+        seed: int = 31,
+    ) -> None:
+        super().__init__(ctx)
+        self.model = model
+        self._marked: Set[int] = set()
+        self._rng = np.random.default_rng(seed)
+
+    def on_file_accessed(self, file: INodeFile) -> None:
+        self._marked.add(file.inode_id)
+
+    def on_file_deleted(self, file: INodeFile) -> None:
+        self._marked.discard(file.inode_id)
+
+    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+        candidates = self.ctx.files_on_tier(tier)
+        if not candidates:
+            return None
+        unmarked = [f for f in candidates if f.inode_id not in self._marked]
+        if not unmarked:
+            # Phase change: clear marks, everything is a candidate again.
+            self._marked.clear()
+            unmarked = candidates
+        if not self.model.ready:
+            return unmarked[int(self._rng.integers(len(unmarked)))]
+        stats = self.ctx.stats
+        now = self.ctx.now()
+        features = np.vstack(
+            [
+                build_feature_vector(
+                    self.model.spec,
+                    s.size,
+                    s.creation_time,
+                    list(s.access_times),
+                    now,
+                )
+                for s in (stats.get_or_create(f) for f in unmarked)
+            ]
+        )
+        probs = self.model.model.predict_proba(features)
+        return unmarked[int(np.argmin(probs))]

@@ -1,0 +1,89 @@
+"""Greedy-Dual-Size: the classic web-cache policy (paper Sec 2.3, [2]).
+
+Every file carries a credit ``H = cost / size + L``, refreshed on each
+access, where ``L`` is a monotonically rising *inflation* value.  The
+victim is the file with the smallest ``H``, and ``L`` is then raised to
+the victim's credit — so files that have not been touched since several
+eviction generations ago sink below freshly-credited ones, giving the
+policy its recency dimension without any timestamps.
+
+Two cost models are supported (``gds.cost``):
+
+* ``"uniform"`` (default) — cost 1 per file, the GDS(1) variant: among
+  files of the same generation, the largest goes first (maximum bytes
+  reclaimed per miss incurred);
+* ``"size"`` — cost proportional to size, the GDS(size) variant: every
+  file earns the same credit, reducing to eviction by generation (FIFO
+  over refresh events).
+
+Sizes are expressed in megabytes so the ``cost / size`` term is on a
+numerically comfortable scale next to the inflation term.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cluster.hardware import StorageTier
+from repro.common.units import MB
+from repro.dfs.namespace import INodeFile
+from repro.core.context import PolicyContext
+from repro.core.policy import DowngradePolicy
+
+COST_MODES = ("uniform", "size")
+
+
+class GreedyDualSizeDowngradePolicy(DowngradePolicy):
+    """Evict the file with the smallest inflated credit ``H``."""
+
+    name = "gds"
+
+    def __init__(self, ctx: PolicyContext, cost_mode: Optional[str] = None) -> None:
+        super().__init__(ctx)
+        mode = cost_mode or ctx.conf.get_str("gds.cost", "uniform")
+        if mode not in COST_MODES:
+            raise ValueError(f"gds.cost must be one of {COST_MODES}, got {mode!r}")
+        self.cost_mode = mode
+        self.inflation = 0.0
+        self._credits: Dict[int, float] = {}
+
+    # -- credit bookkeeping -------------------------------------------------
+    def _cost(self, file: INodeFile) -> float:
+        if self.cost_mode == "size":
+            return max(file.size / MB, 1e-9)
+        return 1.0
+
+    def credit(self, file: INodeFile) -> float:
+        """The file's current credit (crediting it first if untracked)."""
+        value = self._credits.get(file.inode_id)
+        if value is None:
+            value = self._refresh(file)
+        return value
+
+    def _refresh(self, file: INodeFile) -> float:
+        size_mb = max(file.size / MB, 1e-9)
+        value = self._cost(file) / size_mb + self.inflation
+        self._credits[file.inode_id] = value
+        return value
+
+    # -- callbacks -------------------------------------------------------------
+    def on_file_created(self, file: INodeFile) -> None:
+        self._refresh(file)
+
+    def on_file_accessed(self, file: INodeFile) -> None:
+        self._refresh(file)
+
+    def on_file_deleted(self, file: INodeFile) -> None:
+        self._credits.pop(file.inode_id, None)
+
+    # -- selection ------------------------------------------------------------
+    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+        candidates = self.ctx.files_on_tier(tier)
+        if not candidates:
+            return None
+        victim = min(candidates, key=lambda f: (self.credit(f), f.inode_id))
+        # Raise the inflation floor to the departing credit; every later
+        # refresh starts from here, aging untouched files relatively.
+        self.inflation = max(self.inflation, self._credits.get(victim.inode_id, 0.0))
+        self._credits.pop(victim.inode_id, None)
+        return victim

@@ -1,0 +1,135 @@
+"""LeCaR: learning cache replacement with regret minimization (paper's [51]).
+
+LeCaR treats LRU and LFU as two *experts* and keeps a probability weight
+for each.  Every eviction samples an expert according to the weights and
+evicts that expert's victim; the victim's identity and eviction time are
+remembered in the expert's ghost history.  When a later access hits a
+ghost, the expert that evicted it made a mistake, and its weight decays
+multiplicatively by ``exp(-lr * d^age)`` — recent mistakes cost more
+than stale ones (``d`` is the discount, ``age`` the number of accesses
+since the eviction).  Over time the weights shift toward whichever
+expert suits the current workload, which is exactly the adaptivity the
+paper attributes to this line of work (Sec 2.3: expert-selection
+approaches "outperform only the static policies").
+
+The implementation follows Vietri et al. (HotStorage'18) with file
+granularity: victims are chosen among the files currently on the tier,
+using the shared statistics registry for LRU/LFU orderings.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.hardware import StorageTier
+from repro.dfs.namespace import INodeFile
+from repro.core.context import PolicyContext
+from repro.core.policy import DowngradePolicy
+
+#: Learning rate of the multiplicative weight update (paper value).
+DEFAULT_LEARNING_RATE = 0.45
+
+#: Ghost entries older than this many accesses barely matter: the
+#: discount is calibrated so a ghost at full history age costs 0.5% of a
+#: fresh one, mirroring LeCaR's ``d = 0.005^(1/N)``.
+DEFAULT_HISTORY_CAPACITY = 512
+
+
+class LeCaRDowngradePolicy(DowngradePolicy):
+    """Regret-weighted random choice between an LRU and an LFU expert."""
+
+    name = "lecar"
+
+    def __init__(
+        self,
+        ctx: PolicyContext,
+        learning_rate: Optional[float] = None,
+        history_capacity: Optional[int] = None,
+        seed: int = 53,
+    ) -> None:
+        super().__init__(ctx)
+        conf = ctx.conf
+        self.learning_rate = (
+            learning_rate
+            if learning_rate is not None
+            else conf.get_float("lecar.learning_rate", DEFAULT_LEARNING_RATE)
+        )
+        self.history_capacity = (
+            history_capacity
+            if history_capacity is not None
+            else conf.get_int("lecar.history_capacity", DEFAULT_HISTORY_CAPACITY)
+        )
+        if self.learning_rate <= 0:
+            raise ValueError("lecar.learning_rate must be positive")
+        if self.history_capacity < 1:
+            raise ValueError("lecar.history_capacity must be >= 1")
+        self.discount = 0.005 ** (1.0 / self.history_capacity)
+        #: (w_lru, w_lfu); always positive, always summing to 1.
+        self.weights: Tuple[float, float] = (0.5, 0.5)
+        # inode id -> access counter at eviction time.
+        self._ghost_lru: "OrderedDict[int, int]" = OrderedDict()
+        self._ghost_lfu: "OrderedDict[int, int]" = OrderedDict()
+        self._accesses = 0
+        self._rng = np.random.default_rng(seed)
+
+    # -- regret updates ------------------------------------------------------
+    def _penalize(self, expert_index: int, age: int) -> None:
+        """Decay the mistaken expert's weight; recent mistakes cost more."""
+        regret = self.discount ** max(age, 0)
+        factor = float(np.exp(-self.learning_rate * regret))
+        w = list(self.weights)
+        w[expert_index] *= factor
+        total = w[0] + w[1]
+        self.weights = (w[0] / total, w[1] / total)
+
+    def on_file_accessed(self, file: INodeFile) -> None:
+        self._accesses += 1
+        inode = file.inode_id
+        evicted_at = self._ghost_lru.pop(inode, None)
+        if evicted_at is not None:
+            self._penalize(0, self._accesses - evicted_at)
+        evicted_at = self._ghost_lfu.pop(inode, None)
+        if evicted_at is not None:
+            self._penalize(1, self._accesses - evicted_at)
+
+    def on_file_deleted(self, file: INodeFile) -> None:
+        self._ghost_lru.pop(file.inode_id, None)
+        self._ghost_lfu.pop(file.inode_id, None)
+
+    # -- expert victims ----------------------------------------------------------
+    def _lru_victim(self, candidates) -> INodeFile:
+        return self.ctx.stats.lru_order(candidates)[0]
+
+    def _lfu_victim(self, candidates) -> INodeFile:
+        stats = self.ctx.stats
+        return min(
+            candidates,
+            key=lambda f: (
+                stats.get_or_create(f).total_accesses,
+                stats.get_or_create(f).last_access_or_creation,
+                f.inode_id,
+            ),
+        )
+
+    def _remember(self, ghost: "OrderedDict[int, int]", inode: int) -> None:
+        ghost[inode] = self._accesses
+        ghost.move_to_end(inode)
+        while len(ghost) > self.history_capacity:
+            ghost.popitem(last=False)
+
+    # -- selection -------------------------------------------------------------------
+    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+        candidates = self.ctx.files_on_tier(tier)
+        if not candidates:
+            return None
+        use_lru = bool(self._rng.random() < self.weights[0])
+        if use_lru:
+            victim = self._lru_victim(candidates)
+            self._remember(self._ghost_lru, victim.inode_id)
+        else:
+            victim = self._lfu_victim(candidates)
+            self._remember(self._ghost_lfu, victim.inode_id)
+        return victim

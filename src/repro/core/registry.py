@@ -1,0 +1,154 @@
+"""Named construction of policy stacks.
+
+Experiments refer to policies by the paper's acronyms ("lru", "exd",
+"xgb", ...).  :func:`configure_policies` builds the requested pair on an
+existing :class:`ReplicationManager`, sharing weight trackers between
+same-family downgrade/upgrade policies and an
+:class:`AccessModelTrainer` between the two XGB policies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.downgrade import (
+    ExdDowngradePolicy,
+    LfuDowngradePolicy,
+    LfuFDowngradePolicy,
+    LifeDowngradePolicy,
+    LruDowngradePolicy,
+    LrfuDowngradePolicy,
+    XgbDowngradePolicy,
+)
+from repro.core.extra_policies import (
+    ArcLikeDowngradePolicy,
+    MarkerOracleDowngradePolicy,
+    RandomDowngradePolicy,
+    SizeDowngradePolicy,
+)
+from repro.core.gds import GreedyDualSizeDowngradePolicy
+from repro.core.lecar import LeCaRDowngradePolicy
+from repro.core.manager import ReplicationManager
+from repro.core.slruk import SlruKDowngradePolicy, SlruKUpgradePolicy
+from repro.core.upgrade import (
+    ExdUpgradePolicy,
+    LrfuUpgradePolicy,
+    OsaUpgradePolicy,
+    XgbUpgradePolicy,
+)
+from repro.core.training import AccessModelTrainer
+
+DOWNGRADE_POLICY_NAMES = ("lru", "lfu", "lrfu", "life", "lfu-f", "exd", "xgb")
+UPGRADE_POLICY_NAMES = ("osa", "lrfu", "exd", "xgb")
+
+#: Related-work policies beyond the paper's Table 1 (see
+#: :mod:`repro.core.extra_policies`, :mod:`repro.core.slruk`,
+#: :mod:`repro.core.gds`, :mod:`repro.core.lecar`).
+EXTRA_DOWNGRADE_POLICY_NAMES = (
+    "random",
+    "size",
+    "arc",
+    "marker",
+    "slru-k",
+    "gds",
+    "lecar",
+)
+
+#: Related-work admission policies beyond the paper's Table 2.
+EXTRA_UPGRADE_POLICY_NAMES = ("slru-k",)
+
+#: The end-to-end configurations compared in Sec 7.2 (Figs 6-9):
+#: (downgrade policy, upgrade policy) pairs keyed by the label used in
+#: the figures.
+END_TO_END_PAIRS = {
+    "LRU-OSA": ("lru", "osa"),
+    "LRFU": ("lrfu", "lrfu"),
+    "EXD": ("exd", "exd"),
+    "XGB": ("xgb", "xgb"),
+}
+
+
+def _ensure_trainer(manager: ReplicationManager, seed: int) -> AccessModelTrainer:
+    if manager.trainer is None:
+        trainer = AccessModelTrainer(
+            manager.sim, manager.stats, manager.conf, seed=seed
+        )
+        manager.set_trainer(trainer)
+    assert manager.trainer is not None
+    return manager.trainer
+
+
+def configure_policies(
+    manager: ReplicationManager,
+    downgrade: Optional[str] = None,
+    upgrade: Optional[str] = None,
+    seed: int = 11,
+) -> ReplicationManager:
+    """Attach the named policies to ``manager`` (None disables a side)."""
+    ctx = manager.ctx
+    if downgrade is not None:
+        name = downgrade.lower()
+        if name == "lru":
+            manager.set_downgrade_policy(LruDowngradePolicy(ctx))
+        elif name == "lfu":
+            manager.set_downgrade_policy(LfuDowngradePolicy(ctx))
+        elif name == "lrfu":
+            manager.set_downgrade_policy(
+                LrfuDowngradePolicy(ctx, weights=manager.ensure_lrfu_weights())
+            )
+        elif name == "life":
+            manager.set_downgrade_policy(LifeDowngradePolicy(ctx))
+        elif name == "lfu-f":
+            manager.set_downgrade_policy(LfuFDowngradePolicy(ctx))
+        elif name == "exd":
+            manager.set_downgrade_policy(
+                ExdDowngradePolicy(ctx, weights=manager.ensure_exd_weights())
+            )
+        elif name == "xgb":
+            trainer = _ensure_trainer(manager, seed)
+            manager.set_downgrade_policy(
+                XgbDowngradePolicy(ctx, model=trainer.downgrade_model)
+            )
+        elif name == "random":
+            manager.set_downgrade_policy(RandomDowngradePolicy(ctx, seed=seed))
+        elif name == "size":
+            manager.set_downgrade_policy(SizeDowngradePolicy(ctx))
+        elif name == "arc":
+            manager.set_downgrade_policy(ArcLikeDowngradePolicy(ctx))
+        elif name == "marker":
+            trainer = _ensure_trainer(manager, seed)
+            manager.set_downgrade_policy(
+                MarkerOracleDowngradePolicy(
+                    ctx, model=trainer.downgrade_model, seed=seed
+                )
+            )
+        elif name == "slru-k":
+            manager.set_downgrade_policy(SlruKDowngradePolicy(ctx))
+        elif name == "gds":
+            manager.set_downgrade_policy(GreedyDualSizeDowngradePolicy(ctx))
+        elif name == "lecar":
+            manager.set_downgrade_policy(LeCaRDowngradePolicy(ctx, seed=seed))
+        else:
+            raise ValueError(f"unknown downgrade policy {downgrade!r}")
+    if upgrade is not None:
+        name = upgrade.lower()
+        if name == "osa":
+            manager.set_upgrade_policy(OsaUpgradePolicy(ctx))
+        elif name == "lrfu":
+            manager.set_upgrade_policy(
+                LrfuUpgradePolicy(ctx, weights=manager.ensure_lrfu_weights())
+            )
+        elif name == "exd":
+            manager.set_upgrade_policy(
+                ExdUpgradePolicy(ctx, weights=manager.ensure_exd_weights())
+            )
+        elif name == "xgb":
+            trainer = _ensure_trainer(manager, seed)
+            manager.set_upgrade_policy(
+                XgbUpgradePolicy(ctx, model=trainer.upgrade_model)
+            )
+        elif name == "slru-k":
+            manager.set_upgrade_policy(SlruKUpgradePolicy(ctx))
+        else:
+            raise ValueError(f"unknown upgrade policy {upgrade!r}")
+    return manager

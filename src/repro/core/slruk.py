@@ -1,0 +1,149 @@
+"""SLRU-K: Big SQL's second caching algorithm (paper Sec 2.1, [16]).
+
+Where EXD collapses recency and frequency into one exponentially-decayed
+weight, SLRU-K keeps the last K access times per file and ranks files by
+their *backward K-distance* — the age of the K-th most recent access.
+Files accessed fewer than K times have infinite distance and are evicted
+first (ranked among themselves by plain recency), which is what makes
+LRU-K famously scan-resistant: one touch is not enough to look valuable.
+
+Like EXD in Big SQL, SLRU-K drives both sides:
+
+* :class:`SlruKDowngradePolicy` evicts the file with the largest
+  backward K-distance;
+* :class:`SlruKUpgradePolicy` admits an accessed file only when memory
+  has room, or when the file is strictly K-younger than every resident
+  it would displace.
+
+Both reuse the last-``k`` access times the statistics registry already
+keeps for the feature pipeline (Sec 4.1), so the policy adds no
+per-file state of its own.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.cluster.hardware import StorageTier
+from repro.dfs.namespace import INodeFile
+from repro.core.context import PolicyContext
+from repro.core.policy import DowngradePolicy, UpgradePolicy
+from repro.core.stats import FileStatistics
+
+#: Big SQL's default history depth.
+DEFAULT_K = 2
+
+
+def backward_k_distance(
+    stats: FileStatistics, now: float, k: int
+) -> float:
+    """Age of the K-th most recent access; infinite below K accesses."""
+    times = stats.access_times
+    if len(times) >= k:
+        return now - times[-k]
+    return math.inf
+
+
+def eviction_rank(stats: FileStatistics, now: float, k: int) -> Tuple[int, float]:
+    """Sort key: higher ranks are evicted first.
+
+    Files with infinite K-distance form the senior class (rank 1) and
+    are ordered among themselves by idle time; fully K-accessed files
+    (rank 0) are ordered by their finite K-distance.
+    """
+    distance = backward_k_distance(stats, now, k)
+    if math.isinf(distance):
+        return (1, stats.idle_time(now))
+    return (0, distance)
+
+
+class SlruKDowngradePolicy(DowngradePolicy):
+    """Evict the file with the largest backward K-distance."""
+
+    name = "slru-k"
+
+    def __init__(self, ctx: PolicyContext, k: Optional[int] = None) -> None:
+        super().__init__(ctx)
+        self.k = k if k is not None else ctx.conf.get_int("slruk.k", DEFAULT_K)
+        if self.k < 1:
+            raise ValueError("slruk.k must be >= 1")
+        if self.k > ctx.stats.k:
+            raise ValueError(
+                f"slruk.k={self.k} exceeds the {ctx.stats.k} access times "
+                "the statistics registry retains (raise stats.k)"
+            )
+
+    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+        candidates = self.ctx.files_on_tier(tier)
+        if not candidates:
+            return None
+        now = self.ctx.now()
+        stats = self.ctx.stats
+        return max(
+            candidates,
+            key=lambda f: (
+                eviction_rank(stats.get_or_create(f), now, self.k),
+                -f.inode_id,
+            ),
+        )
+
+
+class SlruKUpgradePolicy(UpgradePolicy):
+    """Admit a file into memory only when it out-ranks the victims.
+
+    On access of a file ``f`` without a memory replica: if memory can
+    absorb ``f``, admit it.  Otherwise find the residents that would be
+    evicted (largest K-distance first) until ``f`` fits, and admit only
+    if ``f``'s own K-distance is strictly smaller than each victim's —
+    i.e. caching ``f`` strictly improves the K-recency of the memory
+    tier's contents.
+    """
+
+    name = "slru-k"
+
+    def __init__(self, ctx: PolicyContext, k: Optional[int] = None) -> None:
+        super().__init__(ctx)
+        self.k = k if k is not None else ctx.conf.get_int("slruk.k", DEFAULT_K)
+        if self.k < 1:
+            raise ValueError("slruk.k must be >= 1")
+
+    def start_upgrade(self, accessed_file: Optional[INodeFile]) -> bool:
+        if accessed_file is None:
+            return False
+        if self.ctx.file_in_tier_or_better(accessed_file, StorageTier.MEMORY):
+            return False
+        free = self.ctx.tier_free(StorageTier.MEMORY)
+        if free >= accessed_file.size:
+            return True
+        now = self.ctx.now()
+        stats = self.ctx.stats
+        victims = self._victims(accessed_file.size - free, now)
+        if victims is None:
+            return False  # even evicting everything would not make room
+        own_rank = eviction_rank(stats.get_or_create(accessed_file), now, self.k)
+        return all(own_rank < rank for _, rank in victims)
+
+    def _victims(
+        self, needed: int, now: float
+    ) -> Optional[List[Tuple[INodeFile, Tuple[int, float]]]]:
+        """Residents that would leave, most evictable first; None = no fit."""
+        stats = self.ctx.stats
+        blocks = self.ctx.master.blocks
+        residents = sorted(
+            self.ctx.files_on_tier(StorageTier.MEMORY),
+            key=lambda f: (
+                eviction_rank(stats.get_or_create(f), now, self.k),
+                -f.inode_id,
+            ),
+            reverse=True,
+        )
+        victims: List[Tuple[INodeFile, Tuple[int, float]]] = []
+        reclaimed = 0
+        for resident in residents:
+            rank = eviction_rank(stats.get_or_create(resident), now, self.k)
+            victims.append((resident, rank))
+            reclaimed += blocks.file_bytes_on_tier(resident, StorageTier.MEMORY)
+            if reclaimed >= needed:
+                return victims
+        return None

@@ -1,0 +1,242 @@
+"""The four upgrade policies of Table 2.
+
+============  ==========================================================
+Acronym       When a file moves up
+============  ==========================================================
+OSA           on every access, straight into memory (never HDD → SSD)
+LRFU          when its decayed LRFU weight exceeds a threshold (3)
+EXD           when memory has room, or its weight beats the victims'
+XGB           when the model predicts access probability above 0.5
+============  ==========================================================
+
+Only XGB is proactive: invoked periodically, it scans the most recently
+used files and keeps scheduling upgrades until no candidate clears the
+discrimination threshold or the scheduled-bytes budget (1GB) is spent
+(Sec 6.4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.hardware import StorageTier
+from repro.common.units import GB, HOURS
+from repro.dfs.namespace import INodeFile
+from repro.core.context import PolicyContext
+from repro.core.policy import UpgradePolicy
+from repro.core.weights import ExdWeights, LrfuWeights
+from repro.ml.access_model import FileAccessModel
+from repro.ml.features import build_feature_vector
+
+
+class OsaUpgradePolicy(UpgradePolicy):
+    """On Single Access: every accessed file is pulled into memory.
+
+    HDD→SSD moves are disallowed (Sec 6.1): the only target is memory,
+    so when memory has no room the upgrade is simply skipped.
+    """
+
+    name = "osa"
+
+    def start_upgrade(self, accessed_file: Optional[INodeFile]) -> bool:
+        if accessed_file is None:
+            return False
+        return not self.ctx.file_in_tier_or_better(
+            accessed_file, StorageTier.MEMORY
+        )
+
+    def select_upgrade_tier(self, file: INodeFile) -> Optional[StorageTier]:
+        return StorageTier.MEMORY
+
+
+class LrfuUpgradePolicy(UpgradePolicy):
+    """Upgrade recently-and-frequently used files (weight > threshold)."""
+
+    name = "lrfu"
+
+    def __init__(self, ctx: PolicyContext, weights: Optional[LrfuWeights] = None) -> None:
+        super().__init__(ctx)
+        half_life = ctx.conf.get_duration("lrfu.half_life", 6 * HOURS)
+        self.weights = weights or LrfuWeights(half_life=half_life)
+        self.threshold = ctx.conf.get_float("lrfu.upgrade_threshold", 3.0)
+
+    def start_upgrade(self, accessed_file: Optional[INodeFile]) -> bool:
+        if accessed_file is None:
+            return False
+        if self.ctx.file_in_tier_or_better(accessed_file, StorageTier.MEMORY):
+            return False
+        weight = self.weights.effective(accessed_file, self.ctx.now())
+        return weight > self.threshold
+
+
+class ExdUpgradePolicy(UpgradePolicy):
+    """Big SQL's admission rule.
+
+    If memory can absorb the accessed file, upgrade it.  Otherwise
+    upgrade only if its weight exceeds the summed weights of the
+    lowest-weight memory residents that would have to leave to make
+    room (Sec 6.1).
+    """
+
+    name = "exd"
+
+    def __init__(self, ctx: PolicyContext, weights: Optional[ExdWeights] = None) -> None:
+        super().__init__(ctx)
+        alpha = ctx.conf.get_float("exd.alpha", 1.16e-5)
+        self.weights = weights or ExdWeights(alpha=alpha)
+
+    def start_upgrade(self, accessed_file: Optional[INodeFile]) -> bool:
+        if accessed_file is None:
+            return False
+        if self.ctx.file_in_tier_or_better(accessed_file, StorageTier.MEMORY):
+            return False
+        free = self.ctx.tier_free(StorageTier.MEMORY)
+        if free >= accessed_file.size:
+            return True
+        now = self.ctx.now()
+        needed = accessed_file.size - free
+        victims = sorted(
+            self.ctx.files_on_tier(StorageTier.MEMORY),
+            key=lambda f: (self.weights.effective(f, now), f.inode_id),
+        )
+        victim_weight = 0.0
+        reclaimed = 0
+        blocks = self.ctx.master.blocks
+        for victim in victims:
+            victim_weight += self.weights.effective(victim, now)
+            reclaimed += blocks.file_bytes_on_tier(victim, StorageTier.MEMORY)
+            if reclaimed >= needed:
+                break
+        if reclaimed < needed:
+            return False  # even evicting everything would not fit the file
+        return self.weights.effective(accessed_file, now) > victim_weight
+
+
+class XgbUpgradePolicy(UpgradePolicy):
+    """ML policy: proactively pull soon-to-be-read files up the tiers.
+
+    Evaluates the *upgrade* access model (class window 30min) over the
+    ``xgb.candidates`` (default 600) most recently used files that are
+    not yet in memory; files whose predicted access probability exceeds
+    the discrimination threshold (0.5) are scheduled, highest probability
+    first, until the per-round scheduled-bytes budget (default 1GB) is
+    exhausted (Sec 6.1/6.4).
+
+    On access-triggered invocations only the accessed file is evaluated;
+    the periodic proactive invocation performs the full scan.
+
+    While the model is warming up the policy falls back to plain OSA
+    behaviour (upgrade on access), mirroring the XGB downgrade policy's
+    LRU fallback — the system keeps working from the first access and
+    hands over to the model once its error rate clears the gate.
+    """
+
+    name = "xgb"
+
+    proactive = True
+
+    def __init__(self, ctx: PolicyContext, model: FileAccessModel) -> None:
+        super().__init__(ctx)
+        self.model = model
+        self.candidate_limit = ctx.conf.get_int("xgb.candidates", 600)
+        self.threshold = ctx.conf.get_float("xgb.upgrade_threshold", 0.5)
+        self.budget = ctx.conf.get_bytes("xgb.upgrade_budget", 1 * GB)
+        self._queue: List[int] = []
+        self._scheduled_bytes = 0
+
+    # -- decision point 1 -------------------------------------------------
+    def start_upgrade(self, accessed_file: Optional[INodeFile]) -> bool:
+        self._scheduled_bytes = 0
+        self._queue = []
+        if not self.model.ready:
+            # Warm-up fallback: behave like OSA (no proactive scans).
+            if accessed_file is None:
+                return False
+            if self.ctx.file_in_tier_or_better(accessed_file, StorageTier.MEMORY):
+                return False
+            self._queue = [accessed_file.inode_id]
+            return True
+        if accessed_file is not None:
+            if self.ctx.file_in_tier_or_better(accessed_file, StorageTier.MEMORY):
+                return False
+            prob = self._probabilities([accessed_file])[0]
+            if prob > self.threshold:
+                self._queue = [accessed_file.inode_id]
+                return True
+            return False
+        self._build_queue()
+        return bool(self._queue)
+
+    def _probabilities(self, files: List[INodeFile]) -> np.ndarray:
+        now = self.ctx.now()
+        stats = self.ctx.stats
+        spec = self.model.spec
+        features = np.vstack(
+            [
+                build_feature_vector(
+                    spec,
+                    s.size,
+                    s.creation_time,
+                    list(s.access_times),
+                    now,
+                )
+                for s in (stats.get_or_create(f) for f in files)
+            ]
+        )
+        return self.model.model.predict_proba(features)
+
+    def _build_queue(self) -> None:
+        stats = self.ctx.stats
+        candidates = stats.mru_order(
+            self.ctx.files_below_tier(StorageTier.MEMORY)
+        )[: self.candidate_limit]
+        if not candidates:
+            return
+        probs = self._probabilities(candidates)
+        order = np.argsort(-probs, kind="stable")
+        self._queue = [
+            candidates[int(i)].inode_id
+            for i in order
+            if probs[int(i)] > self.threshold
+        ]
+
+    # -- decision point 2 ---------------------------------------------------
+    def select_file_to_upgrade(
+        self, accessed_file: Optional[INodeFile]
+    ) -> Optional[INodeFile]:
+        busy = self.ctx.in_flight_files()
+        while self._queue:
+            inode_id = self._queue.pop(0)
+            try:
+                file = self.ctx.master.get_file_by_id(inode_id)
+            except KeyError:
+                continue
+            if file.inode_id in busy:
+                continue
+            if self.ctx.file_in_tier_or_better(file, StorageTier.MEMORY):
+                continue
+            return file
+        return None
+
+    # -- decision point 3 -----------------------------------------------------
+    def select_upgrade_tier(self, file: INodeFile) -> Optional[StorageTier]:
+        best = self.ctx.file_best_tier(file)
+        if best is None or best is StorageTier.MEMORY:
+            return None
+        return StorageTier.MEMORY
+
+    def upgrade_tier_candidates(self, file: INodeFile) -> List[StorageTier]:
+        """Memory first; SSD acceptable for HDD-resident files."""
+        best = self.ctx.file_best_tier(file)
+        if best is None:
+            return []
+        return list(best.higher_tiers())
+
+    # -- decision point 4 --------------------------------------------------------
+    def on_upgrade_scheduled(self, file: INodeFile, scheduled_bytes: int) -> None:
+        self._scheduled_bytes += scheduled_bytes
+
+    def stop_upgrade(self) -> bool:
+        return not self._queue or self._scheduled_bytes >= self.budget

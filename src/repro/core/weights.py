@@ -1,0 +1,97 @@
+"""Recency/frequency weight trackers shared by the LRFU and EXD policies.
+
+Both formulas update a per-file weight on every access and *decay* it as
+time passes since the last access:
+
+* **LRFU** (Formula 1):  ``W = 1 + H * W / ((t_now - t_last) + H)`` where
+  ``H`` is the half-life — after ``H`` idle seconds the carried weight is
+  halved.
+* **EXD** (Formula 2, Big SQL):  ``W = 1 + W * exp(-a * (t_now - t_last))``.
+  The paper sets ``a = 1.16e-8`` per *millisecond* ([16]); this module
+  uses seconds, hence the default ``1.16e-5``.
+
+Selections need the weight *as of now* (not as of the last access), so
+both trackers expose :meth:`effective`, which applies the decay factor
+without mutating the stored value.  The downgrade and upgrade flavours of
+each policy share one tracker instance so accesses are counted once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.common.units import HOURS
+from repro.dfs.namespace import INodeFile
+
+#: Per-second decay constant equivalent to Big SQL's 1.16e-8 per ms.
+DEFAULT_EXD_ALPHA = 1.16e-5
+
+#: Default LRFU half-life (the paper's running example uses 6 hours).
+DEFAULT_LRFU_HALF_LIFE = 6 * HOURS
+
+
+class _WeightTracker:
+    """Shared bookkeeping: per-file (weight, last update time)."""
+
+    def __init__(self) -> None:
+        self._weights: Dict[int, float] = {}
+        self._updated: Dict[int, float] = {}
+
+    def on_create(self, file: INodeFile, now: float) -> None:
+        """Initialize the weight to 1 when the file is created."""
+        self._weights[file.inode_id] = 1.0
+        self._updated[file.inode_id] = now
+
+    def on_delete(self, file: INodeFile) -> None:
+        self._weights.pop(file.inode_id, None)
+        self._updated.pop(file.inode_id, None)
+
+    def raw_weight(self, file: INodeFile) -> float:
+        return self._weights.get(file.inode_id, 1.0)
+
+    def _decay(self, elapsed: float) -> float:
+        raise NotImplementedError
+
+    def on_access(self, file: INodeFile, now: float) -> float:
+        """Update the stored weight for an access at ``now``."""
+        if file.inode_id not in self._weights:
+            self.on_create(file, now)
+        elapsed = max(now - self._updated[file.inode_id], 0.0)
+        weight = 1.0 + self._weights[file.inode_id] * self._decay(elapsed)
+        self._weights[file.inode_id] = weight
+        self._updated[file.inode_id] = now
+        return weight
+
+    def effective(self, file: INodeFile, now: float) -> float:
+        """The decayed weight as of ``now`` (no mutation)."""
+        if file.inode_id not in self._weights:
+            return 0.0
+        elapsed = max(now - self._updated[file.inode_id], 0.0)
+        return self._weights[file.inode_id] * self._decay(elapsed)
+
+
+class LrfuWeights(_WeightTracker):
+    """Formula 1: hyperbolic decay with half-life ``H``."""
+
+    def __init__(self, half_life: float = DEFAULT_LRFU_HALF_LIFE) -> None:
+        super().__init__()
+        if half_life <= 0:
+            raise ValueError("half life must be positive")
+        self.half_life = float(half_life)
+
+    def _decay(self, elapsed: float) -> float:
+        return self.half_life / (elapsed + self.half_life)
+
+
+class ExdWeights(_WeightTracker):
+    """Formula 2: exponential decay with rate ``alpha`` (per second)."""
+
+    def __init__(self, alpha: float = DEFAULT_EXD_ALPHA) -> None:
+        super().__init__()
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = float(alpha)
+
+    def _decay(self, elapsed: float) -> float:
+        return math.exp(-self.alpha * elapsed)

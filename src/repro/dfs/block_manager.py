@@ -1,0 +1,172 @@
+"""Block manager: block → replica → (node, tier, device) bookkeeping.
+
+Mirrors the "Block Manager" component of the Master (paper Fig 3).  All
+replica creation/removal flows through here so that device capacity
+accounting and the metadata maps can never diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.cluster.hardware import StorageTier
+from repro.cluster.topology import ClusterTopology
+from repro.common.errors import ReplicaNotFoundError
+from repro.dfs.block import BlockInfo, ReplicaInfo
+from repro.dfs.namespace import INodeFile
+
+
+class BlockManager:
+    """Authoritative map of blocks and replicas, with tier/node indexes."""
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self._topology = topology
+        self._next_block_id = 0
+        self._next_replica_id = 0
+        self._blocks: Dict[int, BlockInfo] = {}
+        self._file_blocks: Dict[int, List[int]] = {}
+        # replica_id -> ReplicaInfo, for O(1) removal
+        self._replicas: Dict[int, ReplicaInfo] = {}
+        # (node_id, tier) -> replica ids, used by downgrade scans
+        self._by_node_tier: Dict[tuple, Set[int]] = {}
+
+    # -- block lifecycle -----------------------------------------------------
+    def allocate_block(self, file: INodeFile, index: int, size: int) -> BlockInfo:
+        """Create a new (replica-less) block for ``file``."""
+        block = BlockInfo(self._next_block_id, file.inode_id, index, size)
+        self._next_block_id += 1
+        self._blocks[block.block_id] = block
+        self._file_blocks.setdefault(file.inode_id, []).append(block.block_id)
+        file.block_ids.append(block.block_id)
+        return block
+
+    def remove_file_blocks(self, file: INodeFile) -> List[ReplicaInfo]:
+        """Drop all blocks of ``file``, releasing replica storage.
+
+        Returns the replicas that were removed (already released).
+        """
+        removed: List[ReplicaInfo] = []
+        for block_id in self._file_blocks.pop(file.inode_id, []):
+            block = self._blocks.pop(block_id)
+            for replica in list(block.replicas.values()):
+                self._release_replica(replica)
+                removed.append(replica)
+        file.block_ids.clear()
+        return removed
+
+    # -- replica lifecycle -------------------------------------------------------
+    def add_replica(
+        self, block: BlockInfo, node_id: str, tier: StorageTier, device_id: str
+    ) -> ReplicaInfo:
+        """Record a new replica and charge its space to the device.
+
+        The caller must have picked ``device_id`` via a placement policy;
+        this method performs the actual allocation.
+        """
+        node = self._topology.node(node_id)
+        device = next(d for d in node.devices(tier) if d.device_id == device_id)
+        replica = ReplicaInfo(
+            self._next_replica_id, block, node_id, tier, device_id
+        )
+        self._next_replica_id += 1
+        device.allocate(replica.replica_id, block.size)
+        block.replicas[replica.replica_id] = replica
+        self._replicas[replica.replica_id] = replica
+        self._by_node_tier.setdefault((node_id, tier), set()).add(replica.replica_id)
+        return replica
+
+    def remove_replica(self, replica: ReplicaInfo) -> None:
+        """Delete a replica, releasing its device space."""
+        if replica.replica_id not in self._replicas:
+            raise ReplicaNotFoundError(f"unknown replica {replica.replica_id}")
+        self._release_replica(replica)
+        replica.block.replicas.pop(replica.replica_id, None)
+
+    def _release_replica(self, replica: ReplicaInfo) -> None:
+        node = self._topology.node(replica.node_id)
+        device = next(
+            d for d in node.devices(replica.tier) if d.device_id == replica.device_id
+        )
+        device.release(replica.replica_id, replica.block.size)
+        self._replicas.pop(replica.replica_id, None)
+        key = (replica.node_id, replica.tier)
+        bucket = self._by_node_tier.get(key)
+        if bucket is not None:
+            bucket.discard(replica.replica_id)
+
+    # -- queries ---------------------------------------------------------------
+    def block(self, block_id: int) -> BlockInfo:
+        return self._blocks[block_id]
+
+    def has_block(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    def blocks_of(self, file: INodeFile) -> List[BlockInfo]:
+        return [self._blocks[bid] for bid in self._file_blocks.get(file.inode_id, [])]
+
+    def replica(self, replica_id: int) -> ReplicaInfo:
+        if replica_id not in self._replicas:
+            raise ReplicaNotFoundError(f"unknown replica {replica_id}")
+        return self._replicas[replica_id]
+
+    def replicas_on(self, node_id: str, tier: StorageTier) -> List[ReplicaInfo]:
+        ids = self._by_node_tier.get((node_id, tier), set())
+        return [self._replicas[rid] for rid in ids]
+
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    # -- file-level tier queries (all-or-nothing semantics, Sec 3.2) --------------
+    def file_tiers(self, file: INodeFile) -> Set[StorageTier]:
+        """Tiers on which *every* block of the file has a replica.
+
+        The paper's policies act at file granularity because performance
+        gains require the whole file in a higher tier ("all-or-nothing",
+        PACMan).  A zero-block file reports no tiers.
+        """
+        blocks = self.blocks_of(file)
+        if not blocks:
+            return set()
+        tier_sets = [set(b.tiers()) for b in blocks]
+        return set.intersection(*tier_sets)
+
+    def file_best_tier(self, file: INodeFile) -> Optional[StorageTier]:
+        """Fastest tier holding the complete file, or None."""
+        tiers = self.file_tiers(file)
+        return min(tiers) if tiers else None
+
+    def file_has_tier(self, file: INodeFile, tier: StorageTier) -> bool:
+        return tier in self.file_tiers(file)
+
+    def file_has_tier_or_better(self, file: INodeFile, tier: StorageTier) -> bool:
+        best = self.file_best_tier(file)
+        return best is not None and best <= tier
+
+    def file_bytes_on_tier(self, file: INodeFile, tier: StorageTier) -> int:
+        """Total replica bytes of ``file`` stored on ``tier``."""
+        total = 0
+        for block in self.blocks_of(file):
+            total += sum(r.size for r in block.replicas_on_tier(tier))
+        return total
+
+    # -- replication health (used by the Replication Monitor) ----------------------
+    def under_replicated(self, files: Iterable[INodeFile]) -> List[BlockInfo]:
+        """Blocks with fewer replicas than their file's replication factor."""
+        result = []
+        for file in files:
+            for block in self.blocks_of(file):
+                if block.replica_count < file.replication:
+                    result.append(block)
+        return result
+
+    def over_replicated(self, files: Iterable[INodeFile]) -> List[BlockInfo]:
+        """Blocks with more replicas than their file's replication factor."""
+        result = []
+        for file in files:
+            for block in self.blocks_of(file):
+                if block.replica_count > file.replication:
+                    result.append(block)
+        return result

@@ -1,0 +1,161 @@
+"""Fault injection: worker failures and recoveries on the simulator.
+
+Replication is the paper's first-listed reason for existing (Sec 3:
+"it prevents data loss due to disk or node failures"), and the
+Replication Monitor's health scan is the component that restores the
+replication factor after a loss.  The injector exercises that path:
+
+* **fail(node)** — the node's replicas vanish (disk contents are treated
+  as lost, the HDFS view of a dead DataNode), placement and scheduling
+  stop targeting it, and every affected block becomes under-replicated
+  until the health scan re-replicates it;
+* **recover(node)** — the node rejoins *empty* and becomes a placement
+  and scheduling target again.
+
+Tasks already running on a failing node finish (graceful-decommission
+semantics); re-executing in-flight tasks is a scheduler concern the
+paper does not evaluate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dfs.master import Master
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One failure or recovery that actually happened."""
+
+    time: float
+    node_id: str
+    kind: str  # "fail" | "recover"
+    replicas_lost: int = 0
+    blocks_lost: int = 0
+
+
+@dataclass
+class FaultStats:
+    """Aggregate counters over all injected events."""
+
+    failures: int = 0
+    recoveries: int = 0
+    replicas_lost: int = 0
+    #: Blocks whose last replica vanished (unrecoverable data loss).
+    blocks_lost: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+
+
+class FaultInjector:
+    """Schedules node failures/recoveries against a Master's cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        master: Master,
+        scheduler: Optional[object] = None,
+    ) -> None:
+        self.sim = sim
+        self.master = master
+        #: Anything with ``on_node_failed`` / ``on_node_recovered``
+        #: (duck-typed so DFS-only stacks need no engine import).
+        self.scheduler = scheduler
+        self.stats = FaultStats()
+
+    # -- immediate operations ------------------------------------------------
+    def fail(self, node_id: str) -> FaultEvent:
+        """Take ``node_id`` down now, dropping every replica it held."""
+        node = self.master.topology.node(node_id)
+        if not node.alive:
+            raise ValueError(f"{node_id} is already down")
+        node.alive = False
+        lost = self.master.decommission_node(node_id)
+        blocks_lost = self._count_lost_blocks()
+        if self.scheduler is not None:
+            self.scheduler.on_node_failed(node_id)
+        event = FaultEvent(
+            time=self.sim.now(),
+            node_id=node_id,
+            kind="fail",
+            replicas_lost=lost,
+            blocks_lost=blocks_lost,
+        )
+        self.stats.failures += 1
+        self.stats.replicas_lost += lost
+        self.stats.blocks_lost = blocks_lost
+        self.stats.events.append(event)
+        return event
+
+    def recover(self, node_id: str) -> FaultEvent:
+        """Bring ``node_id`` back (empty) now."""
+        node = self.master.topology.node(node_id)
+        if node.alive:
+            raise ValueError(f"{node_id} is not down")
+        node.alive = True
+        if self.scheduler is not None:
+            self.scheduler.on_node_recovered(node_id)
+        event = FaultEvent(time=self.sim.now(), node_id=node_id, kind="recover")
+        self.stats.recoveries += 1
+        self.stats.events.append(event)
+        return event
+
+    # -- scheduled operations -----------------------------------------------------
+    def fail_at(self, time: float, node_id: str) -> None:
+        self.sim.at(time, lambda: self.fail(node_id), name=f"fail-{node_id}")
+
+    def recover_at(self, time: float, node_id: str) -> None:
+        self.sim.at(time, lambda: self.recover(node_id), name=f"recover-{node_id}")
+
+    def outage(self, node_id: str, start: float, downtime: float) -> None:
+        """Schedule a failure at ``start`` and recovery after ``downtime``."""
+        self.fail_at(start, node_id)
+        self.recover_at(start + downtime, node_id)
+
+    def schedule_random_outages(
+        self,
+        count: int,
+        start: float,
+        end: float,
+        downtime: float,
+        seed: int = 17,
+    ) -> List[str]:
+        """Schedule ``count`` single-node outages at random times.
+
+        Nodes are drawn without replacement so outages never overlap on
+        the same node; returns the chosen node ids in failure order.
+        """
+        import numpy as np
+
+        nodes = sorted(n.node_id for n in self.master.topology.nodes)
+        if count > len(nodes):
+            raise ValueError(f"cannot fail {count} of {len(nodes)} nodes")
+        rng = np.random.default_rng(seed)
+        picks = rng.choice(len(nodes), size=count, replace=False)
+        times = np.sort(rng.uniform(start, end, size=count))
+        chosen = []
+        for time, pick in zip(times, picks):
+            node_id = nodes[int(pick)]
+            self.outage(node_id, float(time), downtime)
+            chosen.append(node_id)
+        return chosen
+
+    # -- introspection -----------------------------------------------------------
+    def _count_lost_blocks(self) -> int:
+        lost = 0
+        for file in self.master.files():
+            for block in self.master.blocks.blocks_of(file):
+                if block.replica_count == 0:
+                    lost += 1
+        return lost
+
+    def under_replicated_blocks(self) -> int:
+        """Blocks currently below their file's replication factor."""
+        count = 0
+        for file in self.master.files():
+            for block in self.master.blocks.blocks_of(file):
+                if 0 < block.replica_count < file.replication:
+                    count += 1
+        return count

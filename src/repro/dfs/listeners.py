@@ -1,0 +1,35 @@
+"""Listener interface between the DFS master and the tiering framework.
+
+The Replication Manager (paper Sec 3.3) receives "file notifications"
+after creations, accesses, modifications, and deletions, plus a signal
+whenever data lands on a storage tier (which drives the proactive
+downgrade check of Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.hardware import StorageTier
+from repro.dfs.namespace import INodeFile
+
+
+class FileSystemListener:
+    """Callbacks a tiering framework registers with the Master.
+
+    All methods default to no-ops so implementations override only what
+    they need.
+    """
+
+    def on_file_created(self, file: INodeFile) -> None:
+        """A file finished being written (metadata + replicas in place)."""
+
+    def on_file_accessed(self, file: INodeFile) -> None:
+        """A file is about to be read (fired before replica selection)."""
+
+    def on_file_modified(self, file: INodeFile) -> None:
+        """A file was appended to / rewritten."""
+
+    def on_file_deleted(self, file: INodeFile) -> None:
+        """A file is being removed (replicas already released)."""
+
+    def on_data_added(self, tier: StorageTier) -> None:
+        """Some replica bytes were added to ``tier`` (create or move)."""

@@ -1,0 +1,95 @@
+"""Node manager: per-node statistics used by placement decisions.
+
+Mirrors the "Node Manager" of the paper's Master (Fig 3): it knows the
+topology and maintains per-node load statistics (bytes read/written per
+tier, in-flight transfers) that the multi-objective placement policy's
+load-balancing term consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cluster.hardware import StorageTier
+from repro.cluster.topology import ClusterTopology
+
+
+@dataclass
+class NodeStats:
+    """Running I/O counters for one node."""
+
+    bytes_read: Dict[StorageTier, int] = field(
+        default_factory=lambda: {t: 0 for t in StorageTier}
+    )
+    bytes_written: Dict[StorageTier, int] = field(
+        default_factory=lambda: {t: 0 for t in StorageTier}
+    )
+    active_transfers: int = 0
+    total_transfers: int = 0
+
+    @property
+    def total_bytes_read(self) -> int:
+        return sum(self.bytes_read.values())
+
+    @property
+    def total_bytes_written(self) -> int:
+        return sum(self.bytes_written.values())
+
+
+class NodeManager:
+    """Tracks per-node I/O load across the topology."""
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self._topology = topology
+        self._stats: Dict[str, NodeStats] = {
+            node.node_id: NodeStats() for node in topology.nodes
+        }
+
+    @property
+    def topology(self) -> ClusterTopology:
+        return self._topology
+
+    def stats(self, node_id: str) -> NodeStats:
+        return self._stats[node_id]
+
+    # -- recording --------------------------------------------------------
+    def record_read(self, node_id: str, tier: StorageTier, num_bytes: int) -> None:
+        self._stats[node_id].bytes_read[tier] += num_bytes
+
+    def record_write(self, node_id: str, tier: StorageTier, num_bytes: int) -> None:
+        self._stats[node_id].bytes_written[tier] += num_bytes
+
+    def transfer_started(self, node_id: str) -> None:
+        stats = self._stats[node_id]
+        stats.active_transfers += 1
+        stats.total_transfers += 1
+
+    def transfer_finished(self, node_id: str) -> None:
+        stats = self._stats[node_id]
+        if stats.active_transfers <= 0:
+            raise ValueError(f"transfer count underflow on {node_id}")
+        stats.active_transfers -= 1
+
+    # -- load scoring -------------------------------------------------------
+    def load_score(self, node_id: str) -> float:
+        """Relative load in [0, 1]: 0 = idle, approaching 1 = busy.
+
+        Uses in-flight transfer count; placement's load-balancing term
+        prefers nodes with fewer concurrent transfers.
+        """
+        active = self._stats[node_id].active_transfers
+        return active / (active + 1.0)
+
+    def least_loaded(self, node_ids: List[str]) -> str:
+        """The node among ``node_ids`` with the lowest load score."""
+        if not node_ids:
+            raise ValueError("empty node list")
+        return min(node_ids, key=lambda n: (self.load_score(n), n))
+
+    # -- aggregates ------------------------------------------------------------
+    def cluster_bytes_read(self, tier: StorageTier) -> int:
+        return sum(s.bytes_read[tier] for s in self._stats.values())
+
+    def cluster_bytes_written(self, tier: StorageTier) -> int:
+        return sum(s.bytes_written[tier] for s in self._stats.values())

@@ -1,0 +1,70 @@
+"""Worker-side view of a node: block reports and transfer cost estimates.
+
+Workers in the real system store blocks and execute transfer commands;
+in the simulator the Master mutates device state directly, so a
+:class:`Worker` is a read-only facade used for block reports (consumed by
+the Replication Monitor) and for computing how long a replica transfer
+takes on this hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.hardware import DEFAULT_MEDIA_PROFILES, StorageTier
+from repro.cluster.node import Node
+from repro.common.units import MB
+from repro.dfs.block import ReplicaInfo
+from repro.dfs.block_manager import BlockManager
+
+#: Default node-to-node network bandwidth (1GbE, matching the paper's era).
+DEFAULT_NETWORK_BANDWIDTH = 1250 * MB  # 10GbE
+
+
+class Worker:
+    """Facade over one node's stored replicas."""
+
+    def __init__(
+        self,
+        node: Node,
+        block_manager: BlockManager,
+        network_bandwidth: float = DEFAULT_NETWORK_BANDWIDTH,
+    ) -> None:
+        self.node = node
+        self._blocks = block_manager
+        self.network_bandwidth = network_bandwidth
+
+    @property
+    def node_id(self) -> str:
+        return self.node.node_id
+
+    def block_report(self, tier: Optional[StorageTier] = None) -> List[ReplicaInfo]:
+        """All replicas this worker stores (optionally one tier)."""
+        tiers = [tier] if tier is not None else list(StorageTier)
+        report: List[ReplicaInfo] = []
+        for t in tiers:
+            report.extend(self._blocks.replicas_on(self.node_id, t))
+        return report
+
+    def stored_bytes(self, tier: StorageTier) -> int:
+        return self.node.tier_used(tier)
+
+    def transfer_time(
+        self,
+        num_bytes: int,
+        from_tier: StorageTier,
+        to_tier: StorageTier,
+        cross_node: bool,
+    ) -> float:
+        """Seconds to move ``num_bytes`` from ``from_tier`` to ``to_tier``.
+
+        The transfer streams at the minimum of the source read bandwidth,
+        the destination write bandwidth, and (for cross-node moves) the
+        network bandwidth.
+        """
+        src = DEFAULT_MEDIA_PROFILES[from_tier]
+        dst = DEFAULT_MEDIA_PROFILES[to_tier]
+        bandwidth = min(src.read_bw, dst.write_bw)
+        if cross_node:
+            bandwidth = min(bandwidth, self.network_bandwidth)
+        return src.seek_latency + dst.seek_latency + num_bytes / bandwidth

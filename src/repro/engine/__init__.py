@@ -1,0 +1,44 @@
+"""Execution engine: contention-aware I/O, scheduling, and metrics.
+
+This is the simulated equivalent of Hadoop running over the DFS: jobs
+become map tasks (one per input block) and output-writer tasks scheduled
+onto per-node slots, with I/O durations priced by the shared-stream
+bandwidth model of :mod:`repro.engine.iomodel`.
+"""
+
+from repro.engine.iomodel import IoModel, WriteLeg
+from repro.engine.metrics import (
+    BinMetrics,
+    MetricsCollector,
+    completion_reduction,
+    efficiency_improvement,
+)
+from repro.engine.scheduler import JobExecution, TaskScheduler
+from repro.engine.runner import (
+    PLACEMENT_NAMES,
+    RunResult,
+    SystemConfig,
+    WorkloadRunner,
+    make_placement,
+    run_workload,
+)
+from repro.engine.dfsio import DfsioResult, DfsioRunner
+
+__all__ = [
+    "IoModel",
+    "WriteLeg",
+    "MetricsCollector",
+    "BinMetrics",
+    "completion_reduction",
+    "efficiency_improvement",
+    "TaskScheduler",
+    "JobExecution",
+    "SystemConfig",
+    "RunResult",
+    "WorkloadRunner",
+    "run_workload",
+    "make_placement",
+    "PLACEMENT_NAMES",
+    "DfsioResult",
+    "DfsioRunner",
+]

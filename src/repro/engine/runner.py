@@ -1,0 +1,240 @@
+"""End-to-end workload execution: trace in, metrics out.
+
+:class:`WorkloadRunner` assembles the full stack for one experimental
+configuration — cluster, DFS with the requested placement policy,
+optionally the tiering framework with a downgrade/upgrade policy pair —
+replays a :class:`Trace` through it, and returns a :class:`RunResult`
+with every metric the paper's figures need.
+
+The four system configurations of Fig 2 / Sec 7.2 map to:
+
+=================  ============================================------
+Label              SystemConfig
+=================  ==================================================
+HDFS               placement="hdfs", no policies
+HDFS with Cache    placement="hdfs-cache", no policies
+OctopusFS          placement="octopus", no policies
+Octopus++          placement="octopus", downgrade/upgrade policies set
+=================  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.cluster.builder import build_local_cluster
+from repro.cluster.hardware import StorageTier
+from repro.common.config import Configuration
+from repro.common.units import GB
+from repro.core.manager import ReplicationManager
+from repro.core.registry import configure_policies
+from repro.dfs.client import DFSClient
+from repro.dfs.master import Master
+from repro.dfs.node_manager import NodeManager
+from repro.dfs.placement import (
+    HdfsCachePlacementPolicy,
+    HdfsPlacementPolicy,
+    OctopusPlacementPolicy,
+    PlacementPolicy,
+    SingleTierPlacementPolicy,
+)
+from repro.engine.iomodel import IoModel
+from repro.engine.metrics import MetricsCollector
+from repro.engine.scheduler import TaskScheduler
+from repro.sim.simulator import Simulator
+from repro.workload.jobs import FileCreation, Trace, TraceJob
+
+PLACEMENT_NAMES = ("hdfs", "hdfs-cache", "octopus", "single-hdd")
+
+
+@dataclass
+class SystemConfig:
+    """One experimental configuration of the storage system."""
+
+    label: str = "octopus"
+    placement: str = "octopus"
+    downgrade: Optional[str] = None
+    upgrade: Optional[str] = None
+    workers: int = 11
+    memory_per_node: int = 4 * GB
+    task_slots: int = 8
+    conf: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 7
+    #: Tier-aware task placement (see TaskScheduler).  The default False
+    #: models the stock tier-unaware Hadoop scheduler the paper's entire
+    #: evaluation runs on (Sec 7.2: "current schedulers ... do not
+    #: account for the presence of multiple storage tiers"); True is the
+    #: future-work mode measured by the scheduler-awareness ablation.
+    tier_aware_scheduler: bool = False
+    #: AutoCache semantics (Sec 3.3): upgrades create extra cached memory
+    #: replicas (instead of moving replicas) and downgrades delete them
+    #: (instead of moving them down).  Pair with placement="hdfs".
+    cache_mode: bool = False
+
+    @property
+    def uses_manager(self) -> bool:
+        return self.downgrade is not None or self.upgrade is not None
+
+    def effective_conf(self) -> Dict[str, Any]:
+        """The configuration dict with mode-implied keys folded in."""
+        conf = dict(self.conf)
+        if self.cache_mode:
+            conf.setdefault("manager.cache_mode", True)
+            conf.setdefault("downgrade.action", "delete")
+        return conf
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one workload run."""
+
+    label: str
+    metrics: MetricsCollector
+    elapsed: float
+    jobs_finished: int
+    bytes_upgraded_memory: int = 0
+    bytes_downgraded_memory: int = 0
+    transfers_committed: int = 0
+    downgrade_model_accuracy: list = field(default_factory=list)
+    upgrade_model_accuracy: list = field(default_factory=list)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "jobs": self.jobs_finished,
+            "hit_ratio": round(self.metrics.hit_ratio(), 4),
+            "byte_hit_ratio": round(self.metrics.byte_hit_ratio(), 4),
+            "task_hours": round(self.metrics.total_task_seconds() / 3600.0, 2),
+        }
+
+
+def make_placement(
+    name: str, topology, node_manager: NodeManager, conf: Configuration
+) -> PlacementPolicy:
+    """Placement policy factory keyed by configuration name."""
+    name = name.lower()
+    if name == "hdfs":
+        return HdfsPlacementPolicy(topology, node_manager, conf)
+    if name == "hdfs-cache":
+        return HdfsCachePlacementPolicy(topology, node_manager, conf)
+    if name == "octopus":
+        return OctopusPlacementPolicy(topology, node_manager, conf)
+    if name == "single-hdd":
+        return SingleTierPlacementPolicy(
+            topology, node_manager, conf, tier=StorageTier.HDD
+        )
+    raise ValueError(f"unknown placement {name!r}")
+
+
+class WorkloadRunner:
+    """Builds the system stack and replays a trace through it."""
+
+    def __init__(self, trace: Trace, config: SystemConfig) -> None:
+        self.trace = trace
+        self.config = config
+        self.sim = Simulator()
+        self.conf = Configuration(config.effective_conf())
+        self.topology = build_local_cluster(
+            num_workers=config.workers,
+            memory_per_node=config.memory_per_node,
+            task_slots=config.task_slots,
+        )
+        node_manager = NodeManager(self.topology)
+        placement = make_placement(
+            config.placement, self.topology, node_manager, self.conf
+        )
+        self.master = Master(self.topology, placement, self.sim, self.conf)
+        self.client = DFSClient(self.master)
+        self.iomodel = IoModel(self.topology)
+        self.metrics = MetricsCollector()
+        self.scheduler = TaskScheduler(
+            self.sim,
+            self.master,
+            self.iomodel,
+            self.metrics,
+            seed=config.seed,
+            tier_aware=config.tier_aware_scheduler,
+        )
+        self.manager: Optional[ReplicationManager] = None
+        if config.uses_manager:
+            self.manager = ReplicationManager(self.master, self.sim, self.conf)
+            configure_policies(
+                self.manager,
+                downgrade=config.downgrade,
+                upgrade=config.upgrade,
+                seed=config.seed,
+            )
+
+    # -- replay --------------------------------------------------------------
+    def _schedule_events(self) -> None:
+        for creation in self.trace.creations:
+            self.sim.at(
+                max(creation.time, 0.0),
+                self._make_creator(creation),
+                name=f"create-{creation.path}",
+            )
+        for job in self.trace.jobs:
+            self.sim.at(
+                job.submit_time, self._make_submitter(job), name=f"job-{job.job_id}"
+            )
+
+    def _make_creator(self, creation: FileCreation):
+        def create() -> None:
+            self.client.create(creation.path, creation.size)
+
+        return create
+
+    def _make_submitter(self, job: TraceJob):
+        def submit() -> None:
+            self.scheduler.submit(job)
+
+        return submit
+
+    def run(self, drain_limit: float = 4 * 3600.0) -> RunResult:
+        """Replay the full trace and drain remaining work.
+
+        ``drain_limit`` bounds how long past the trace end the simulation
+        may run while jobs and transfers finish.
+        """
+        self._schedule_events()
+        end = self.trace.duration
+        self.sim.run(until=end)
+        # Drain: keep running until all jobs finished (or the limit hits).
+        deadline = end + drain_limit
+        while not self.scheduler.idle and self.sim.now() < deadline:
+            self.sim.run(until=min(self.sim.now() + 60.0, deadline))
+        if self.manager is not None:
+            self.manager.stop()
+        # Let in-flight transfers conclude so accounting is complete.
+        self.sim.run(until=self.sim.now() + 600.0)
+        return self._result()
+
+    def _result(self) -> RunResult:
+        result = RunResult(
+            label=self.config.label,
+            metrics=self.metrics,
+            elapsed=self.sim.now(),
+            jobs_finished=self.scheduler.jobs_finished,
+        )
+        if self.manager is not None:
+            monitor = self.manager.monitor
+            result.bytes_upgraded_memory = monitor.bytes_upgraded[StorageTier.MEMORY]
+            result.bytes_downgraded_memory = monitor.bytes_downgraded[
+                StorageTier.MEMORY
+            ]
+            result.transfers_committed = monitor.transfers_committed
+            trainer = self.manager.trainer
+            if trainer is not None:
+                result.downgrade_model_accuracy = list(
+                    trainer.downgrade_model.accuracy_history
+                )
+                result.upgrade_model_accuracy = list(
+                    trainer.upgrade_model.accuracy_history
+                )
+        return result
+
+
+def run_workload(trace: Trace, config: SystemConfig) -> RunResult:
+    """Convenience wrapper: build a runner and execute it."""
+    return WorkloadRunner(trace, config).run()

@@ -1,0 +1,41 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+Each module exposes a ``run_*`` function returning plain dataclasses/
+dicts, plus a ``render_*`` helper that formats them as the text rows the
+paper reports.  The benchmark harness under ``benchmarks/`` is a thin
+pytest-benchmark wrapper over these runners; the modules can equally be
+driven from a notebook or script.
+
+=====================  ====================================================
+Experiment             Module
+=====================  ====================================================
+Fig 2                  :mod:`repro.experiments.fig02_dfsio`
+Table 3                :mod:`repro.experiments.table03_bins`
+Fig 5                  :mod:`repro.experiments.fig05_cdfs`
+Figs 6-9               :mod:`repro.experiments.endtoend`
+Figs 10-11             :mod:`repro.experiments.downgrade_only`
+Fig 12 / Table 4       :mod:`repro.experiments.upgrade_only`
+Fig 13                 :mod:`repro.experiments.scalability`
+Figs 14-15             :mod:`repro.experiments.model_eval`
+Figs 16-17             :mod:`repro.experiments.learning_modes`
+Sec 4.3                :mod:`repro.experiments.tuning`
+Sec 7.7                :mod:`repro.experiments.overheads`
+AutoCache (Sec 3.3)    :mod:`repro.experiments.autocache`
+Fault tolerance        :mod:`repro.experiments.fault_tolerance`
+Ablations (extension)  :mod:`repro.experiments.ablations`
+=====================  ====================================================
+"""
+
+from repro.experiments.common import (
+    ExperimentScale,
+    format_table,
+    make_trace,
+    standard_configs,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "make_trace",
+    "standard_configs",
+    "format_table",
+]

@@ -1,0 +1,132 @@
+"""Offline training-data generation straight from a trace.
+
+The model-evaluation experiments (Figs 14-17) need timestamped
+(feature, label) streams.  Rather than running the full cluster
+simulation, this module replays the *trace* alone — every file's creation
+and access times are known — and mimics the online trainer: one
+observation per access (positive by construction) plus periodic sampling
+over all live files.  The result is identical in distribution to what the
+live :class:`~repro.core.training.AccessModelTrainer` produces, at a
+fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.common.units import MINUTES
+from repro.ml.access_model import TrainingPoint
+from repro.ml.features import FeatureSpec, build_feature_vector, label_for_window
+from repro.workload.jobs import Trace
+
+
+@dataclass
+class _FileHistory:
+    size: int
+    creation_time: float
+    access_times: List[float]
+
+
+def _collect_histories(trace: Trace) -> Dict[str, _FileHistory]:
+    histories: Dict[str, _FileHistory] = {}
+    for creation in trace.creations:
+        histories[creation.path] = _FileHistory(
+            creation.size, max(creation.time, 0.0), []
+        )
+    for job in sorted(trace.jobs, key=lambda j: j.submit_time):
+        for output in job.outputs:
+            histories[output.path] = _FileHistory(
+                output.size, job.submit_time, []
+            )
+    for job in sorted(trace.jobs, key=lambda j: j.submit_time):
+        for path in job.input_paths:
+            history = histories.get(path)
+            if history is not None and job.submit_time >= history.creation_time:
+                history.access_times.append(job.submit_time)
+    return histories
+
+
+def generate_observation_stream(
+    trace: Trace,
+    window: float,
+    spec: Optional[FeatureSpec] = None,
+    sample_interval: float = 5 * MINUTES,
+    sample_size: int = 100,
+    seed: int = 11,
+    k_track: int = 12,
+) -> List[TrainingPoint]:
+    """Produce the time-ordered training points a live trainer would see.
+
+    ``window`` is the class window (30min for the upgrade model, 1h for
+    the downgrade model at trace scale).  Points are generated:
+
+    * right after every file access (reference = access time − window);
+    * every ``sample_interval`` for ``sample_size`` random live files.
+    """
+    spec = spec or FeatureSpec()
+    rng = make_rng(seed)
+    histories = _collect_histories(trace)
+    events: List[Tuple[float, str]] = []
+    for path, history in histories.items():
+        for t in history.access_times:
+            events.append((t, path))
+    t = sample_interval
+    end = trace.duration
+    paths = sorted(histories)
+    while t < end:
+        live = [p for p in paths if histories[p].creation_time <= t]
+        if live:
+            count = min(sample_size, len(live))
+            picks = rng.choice(len(live), size=count, replace=False)
+            for i in picks:
+                events.append((t, live[int(i)]))
+        t += sample_interval
+    events.sort(key=lambda e: e[0])
+
+    points: List[TrainingPoint] = []
+    for now, path in events:
+        history = histories[path]
+        reference = now - window
+        if reference < history.creation_time:
+            continue
+        past = [a for a in history.access_times if a <= reference][-k_track:]
+        features = build_feature_vector(
+            spec, history.size, history.creation_time, past, reference
+        )
+        label = label_for_window(history.access_times, reference, window)
+        points.append(TrainingPoint(features=features, label=label, timestamp=now))
+    return points
+
+
+def split_by_time(
+    points: List[TrainingPoint],
+    boundaries: Tuple[float, ...],
+) -> List[List[TrainingPoint]]:
+    """Partition a stream at absolute time boundaries (paper: 4h/1h/1h)."""
+    segments: List[List[TrainingPoint]] = [[] for _ in range(len(boundaries) + 1)]
+    for point in points:
+        index = sum(point.timestamp >= b for b in boundaries)
+        segments[index].append(point)
+    return segments
+
+
+def to_arrays(points: List[TrainingPoint]) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack a point list into (X, y) arrays."""
+    if not points:
+        raise ValueError("empty point list")
+    X = np.vstack([p.features for p in points])
+    y = np.array([p.label for p in points])
+    return X, y
+
+
+def shift_timestamps(
+    points: List[TrainingPoint], offset: float
+) -> List[TrainingPoint]:
+    """Return a copy of the stream moved by ``offset`` seconds."""
+    return [
+        TrainingPoint(p.features, p.label, p.timestamp + offset) for p in points
+    ]

@@ -1,0 +1,116 @@
+"""Figs 10-11: downgrade policies in isolation (Sec 7.3).
+
+All seven downgrade policies of Table 1 run with upgrades disabled over
+the FB workload; per-bin completion gains plus HR/BHR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.registry import DOWNGRADE_POLICY_NAMES
+from repro.engine.metrics import completion_reduction, efficiency_improvement
+from repro.engine.runner import RunResult, SystemConfig, run_workload
+from repro.experiments.common import (
+    ExperimentScale,
+    FULL_SCALE,
+    format_table,
+    make_trace,
+)
+from repro.workload.bins import BIN_NAMES
+
+#: Display labels matching the paper's Table 1 acronyms.
+LABELS = {
+    "lru": "LRU",
+    "lfu": "LFU",
+    "lrfu": "LRFU",
+    "life": "LIFE",
+    "lfu-f": "LFU-F",
+    "exd": "EXD",
+    "xgb": "XGB",
+}
+
+
+@dataclass
+class DowngradeOnlyResult:
+    workload: str
+    runs: Dict[str, RunResult] = field(default_factory=dict)
+    completion_reduction: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    efficiency_improvement: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def run_downgrade_only(
+    workload: str = "FB",
+    scale: ExperimentScale = FULL_SCALE,
+    workers: int = 11,
+) -> DowngradeOnlyResult:
+    trace = make_trace(workload, scale)
+    result = DowngradeOnlyResult(workload=workload)
+    baseline = run_workload(
+        trace, SystemConfig(label="HDFS", placement="hdfs", workers=workers)
+    )
+    result.runs["HDFS"] = baseline
+    result.runs["OctopusFS"] = run_workload(
+        trace, SystemConfig(label="OctopusFS", placement="octopus", workers=workers)
+    )
+    result.completion_reduction["OctopusFS"] = completion_reduction(
+        baseline.metrics, result.runs["OctopusFS"].metrics
+    )
+    result.efficiency_improvement["OctopusFS"] = efficiency_improvement(
+        baseline.metrics, result.runs["OctopusFS"].metrics
+    )
+    for name in DOWNGRADE_POLICY_NAMES:
+        label = LABELS[name]
+        run = run_workload(
+            trace,
+            SystemConfig(
+                label=label,
+                placement="octopus",
+                downgrade=name,
+                upgrade=None,
+                workers=workers,
+            ),
+        )
+        result.runs[label] = run
+        result.completion_reduction[label] = completion_reduction(
+            baseline.metrics, run.metrics
+        )
+        result.efficiency_improvement[label] = efficiency_improvement(
+            baseline.metrics, run.metrics
+        )
+    return result
+
+
+def render_fig10(result: DowngradeOnlyResult) -> str:
+    rows = [
+        [label] + [f"{reduction[b]:.1f}" for b in BIN_NAMES]
+        for label, reduction in result.completion_reduction.items()
+    ]
+    return format_table(
+        ["Policy"] + BIN_NAMES,
+        rows,
+        title=(
+            f"Fig 10 ({result.workload}): % completion-time reduction, "
+            "downgrade policies only"
+        ),
+    )
+
+
+def render_fig11(result: DowngradeOnlyResult) -> str:
+    rows = []
+    for label, run in result.runs.items():
+        if label == "HDFS":
+            continue
+        rows.append(
+            [
+                label,
+                f"{100 * run.metrics.hit_ratio():.1f}",
+                f"{100 * run.metrics.byte_hit_ratio():.1f}",
+            ]
+        )
+    return format_table(
+        ["Policy", "HR", "BHR"],
+        rows,
+        title=f"Fig 11 ({result.workload}): hit ratios, downgrade policies only",
+    )

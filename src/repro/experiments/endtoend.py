@@ -1,0 +1,133 @@
+"""Figs 6-9: the end-to-end policy comparison (Sec 7.2).
+
+Runs each workload over HDFS, OctopusFS, and the four Octopus++ policy
+pairs, producing per-bin completion-time reductions (Fig 6), cluster
+efficiency improvements (Fig 7), tier access distributions (Fig 8), and
+hit / byte-hit ratios by accesses and by locations (Fig 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cluster.hardware import StorageTier
+from repro.engine.metrics import completion_reduction, efficiency_improvement
+from repro.engine.runner import RunResult, SystemConfig, run_workload
+from repro.experiments.common import (
+    ExperimentScale,
+    FULL_SCALE,
+    format_table,
+    make_trace,
+    standard_configs,
+)
+from repro.workload.bins import BIN_NAMES
+
+
+@dataclass
+class EndToEndResult:
+    workload: str
+    runs: Dict[str, RunResult] = field(default_factory=dict)
+    completion_reduction: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    efficiency_improvement: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def policy_labels(self) -> List[str]:
+        return [label for label in self.runs if label != "HDFS"]
+
+
+def run_endtoend(
+    workload: str,
+    scale: ExperimentScale = FULL_SCALE,
+    workers: int = 11,
+) -> EndToEndResult:
+    trace = make_trace(workload, scale)
+    result = EndToEndResult(workload=workload)
+    baseline = None
+    for config in standard_configs(workers):
+        run = run_workload(trace, config)
+        result.runs[config.label] = run
+        if config.label == "HDFS":
+            baseline = run
+        else:
+            assert baseline is not None
+            result.completion_reduction[config.label] = completion_reduction(
+                baseline.metrics, run.metrics
+            )
+            result.efficiency_improvement[config.label] = efficiency_improvement(
+                baseline.metrics, run.metrics
+            )
+    return result
+
+
+def render_fig06(result: EndToEndResult) -> str:
+    rows = [
+        [label] + [f"{result.completion_reduction[label][b]:.1f}" for b in BIN_NAMES]
+        for label in result.policy_labels
+    ]
+    return format_table(
+        ["Policy"] + BIN_NAMES,
+        rows,
+        title=(
+            f"Fig 6 ({result.workload}): % reduction in completion time vs HDFS"
+        ),
+    )
+
+
+def render_fig07(result: EndToEndResult) -> str:
+    rows = [
+        [label] + [f"{result.efficiency_improvement[label][b]:.1f}" for b in BIN_NAMES]
+        for label in result.policy_labels
+    ]
+    return format_table(
+        ["Policy"] + BIN_NAMES,
+        rows,
+        title=(
+            f"Fig 7 ({result.workload}): % improvement in cluster efficiency vs HDFS"
+        ),
+    )
+
+
+def render_fig08(result: EndToEndResult) -> str:
+    rows = []
+    for label, run in result.runs.items():
+        dist = run.metrics.tier_access_distribution()
+        for bin_name in BIN_NAMES:
+            rows.append(
+                [
+                    label,
+                    bin_name,
+                    f"{100 * dist[bin_name][StorageTier.MEMORY]:.0f}",
+                    f"{100 * dist[bin_name][StorageTier.SSD]:.0f}",
+                    f"{100 * dist[bin_name][StorageTier.HDD]:.0f}",
+                ]
+            )
+    return format_table(
+        ["System", "Bin", "MEM%", "SSD%", "HDD%"],
+        rows,
+        title=f"Fig 8 ({result.workload}): storage tier access distribution",
+    )
+
+
+def render_fig09(result: EndToEndResult) -> str:
+    rows = []
+    for label, run in result.runs.items():
+        if label == "HDFS":
+            continue
+        metrics = run.metrics
+        rows.append(
+            [
+                label,
+                f"{100 * metrics.hit_ratio():.1f}",
+                f"{100 * metrics.byte_hit_ratio():.1f}",
+                f"{100 * metrics.location_hit_ratio():.1f}",
+                f"{100 * metrics.location_byte_hit_ratio():.1f}",
+            ]
+        )
+    return format_table(
+        ["System", "HR(acc)", "BHR(acc)", "HR(loc)", "BHR(loc)"],
+        rows,
+        title=(
+            f"Fig 9 ({result.workload}): hit ratios by accesses and by locations"
+        ),
+    )

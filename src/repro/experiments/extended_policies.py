@@ -1,0 +1,104 @@
+"""Extension: the related-work eviction policies under the framework.
+
+The paper demonstrates the framework's generality with 11 policies
+(Sec 8); this repo adds seven more from the related-work discussion —
+RANDOM, SIZE, ARC, Marker-with-oracle (Sec 2.3's [36]), SLRU-K (Big
+SQL's second algorithm, Sec 2.1), Greedy-Dual-Size, and LeCaR ([51]) —
+and runs them in the downgrade-only harness next to LRU and XGB.
+
+The expected shape: RANDOM and SIZE trail everything (no recency or
+frequency signal at all); the adaptive schemes (ARC, LeCaR) track LRU on
+a temporally-local workload; the learned policies stay on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.core.registry import EXTRA_DOWNGRADE_POLICY_NAMES
+from repro.engine.metrics import completion_reduction
+from repro.engine.runner import RunResult, SystemConfig, run_workload
+from repro.experiments.common import (
+    ExperimentScale,
+    FULL_SCALE,
+    format_table,
+    make_trace,
+)
+from repro.workload.bins import BIN_NAMES
+
+LABELS = {
+    "random": "RANDOM",
+    "size": "SIZE",
+    "arc": "ARC",
+    "marker": "MARKER+ML",
+    "slru-k": "SLRU-K",
+    "gds": "GDS",
+    "lecar": "LeCaR",
+}
+
+#: Table 1 anchors the comparison.
+REFERENCE_POLICIES = ("lru", "xgb")
+
+
+@dataclass
+class ExtendedPoliciesResult:
+    workload: str
+    runs: Dict[str, RunResult] = field(default_factory=dict)
+    completion_reduction: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def run_extended_policies(
+    workload: str = "FB",
+    scale: ExperimentScale = FULL_SCALE,
+    workers: int = 11,
+    policies: Sequence[str] = EXTRA_DOWNGRADE_POLICY_NAMES,
+) -> ExtendedPoliciesResult:
+    trace = make_trace(workload, scale)
+    result = ExtendedPoliciesResult(workload=workload)
+    baseline = run_workload(
+        trace, SystemConfig(label="HDFS", placement="hdfs", workers=workers)
+    )
+    result.runs["HDFS"] = baseline
+    for name in tuple(REFERENCE_POLICIES) + tuple(policies):
+        label = LABELS.get(name, name.upper())
+        run = run_workload(
+            trace,
+            SystemConfig(
+                label=label,
+                placement="octopus",
+                downgrade=name,
+                upgrade=None,
+                workers=workers,
+            ),
+        )
+        result.runs[label] = run
+        result.completion_reduction[label] = completion_reduction(
+            baseline.metrics, run.metrics
+        )
+    return result
+
+
+def render_extended_policies(result: ExtendedPoliciesResult) -> str:
+    rows = []
+    for label, run in result.runs.items():
+        if label == "HDFS":
+            continue
+        metrics = run.metrics
+        rows.append(
+            [
+                label,
+                f"{100 * metrics.hit_ratio():.1f}",
+                f"{100 * metrics.byte_hit_ratio():.1f}",
+                f"{metrics.total_task_seconds() / 3600.0:.2f}",
+            ]
+            + [f"{result.completion_reduction[label][b]:.1f}" for b in BIN_NAMES]
+        )
+    return format_table(
+        ["Policy", "HR%", "BHR%", "Task hours"] + [f"Δ{b}%" for b in BIN_NAMES],
+        rows,
+        title=(
+            f"Extension ({result.workload}): related-work eviction policies "
+            "under the downgrade-only harness"
+        ),
+    )

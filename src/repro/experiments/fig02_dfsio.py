@@ -1,0 +1,77 @@
+"""Fig 2: DFSIO write/read throughput for the four storage systems.
+
+Writes then reads 84GB on the 12-node cluster under original HDFS,
+HDFS-with-cache, OctopusFS, and Octopus++ (OctopusFS plus the default
+policy pair), reporting average per-node throughput in ~6GB windows so
+the memory-exhaustion knee (~44GB aggregate) is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common.units import GB
+from repro.engine.dfsio import DfsioRunner
+from repro.engine.runner import SystemConfig
+from repro.experiments.common import format_table
+from repro.workload.dfsio import DfsioSpec
+
+
+@dataclass
+class DfsioExperimentResult:
+    """Throughput curves per system: label -> [(GB, MB/s per node)]."""
+
+    write_curves: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    read_curves: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+
+def dfsio_configs(workers: int = 11) -> List[SystemConfig]:
+    return [
+        SystemConfig(label="Original HDFS", placement="hdfs", workers=workers),
+        SystemConfig(label="HDFS with Cache", placement="hdfs-cache", workers=workers),
+        SystemConfig(label="OctopusFS", placement="octopus", workers=workers),
+        SystemConfig(
+            label="Octopus++",
+            placement="octopus",
+            downgrade="xgb",
+            upgrade="xgb",
+            workers=workers,
+        ),
+    ]
+
+
+def run_fig02(
+    total_bytes: int = 84 * GB,
+    workers: int = 11,
+) -> DfsioExperimentResult:
+    """Run all four DFSIO scenarios."""
+    result = DfsioExperimentResult()
+    spec = DfsioSpec(total_bytes=total_bytes)
+    for config in dfsio_configs(workers):
+        runner = DfsioRunner(config, spec)
+        phase = runner.run()
+        result.write_curves[config.label] = phase.write_curve(workers)
+        result.read_curves[config.label] = phase.read_curve(workers)
+    return result
+
+
+def render_fig02(result: DfsioExperimentResult) -> str:
+    """Paper-style series: per system, throughput at each data volume."""
+    sections = []
+    for title, curves in (
+        ("Fig 2(a): average WRITE throughput per node (MB/s)", result.write_curves),
+        ("Fig 2(b): average READ throughput per node (MB/s)", result.read_curves),
+    ):
+        labels = list(curves)
+        # Align rows on the union of measurement points.
+        volumes = sorted({round(v, 1) for c in curves.values() for v, _ in c})
+        rows = []
+        for volume in volumes:
+            row = [f"{volume:.0f}GB"]
+            for label in labels:
+                match = [t for v, t in curves[label] if round(v, 1) == volume]
+                row.append(f"{match[0]:.0f}" if match else "-")
+            rows.append(row)
+        sections.append(format_table(["Data"] + labels, rows, title=title))
+    return "\n\n".join(sections)

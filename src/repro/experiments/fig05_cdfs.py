@@ -1,0 +1,58 @@
+"""Fig 5: CDFs of job data size, file size, and access frequency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.units import MB
+from repro.experiments.common import ExperimentScale, FULL_SCALE, format_table, make_trace
+from repro.workload.jobs import Trace
+
+
+@dataclass
+class CdfResult:
+    """Per workload: the three CDFs as (value, cumulative prob) pairs."""
+
+    job_sizes: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    file_sizes: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    frequencies: Dict[str, Tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+
+
+def run_fig05(scale: ExperimentScale = FULL_SCALE) -> CdfResult:
+    result = CdfResult()
+    for workload in ("FB", "CMU"):
+        trace = make_trace(workload, scale)
+        result.job_sizes[workload] = Trace.cdf(trace.job_sizes())
+        result.file_sizes[workload] = Trace.cdf(trace.file_sizes())
+        counts = [c for c in trace.access_counts().values() if c > 0]
+        result.frequencies[workload] = Trace.cdf(counts)
+    return result
+
+
+def _quantiles(values: np.ndarray, probs: np.ndarray, marks) -> List[str]:
+    out = []
+    for mark in marks:
+        index = np.searchsorted(probs, mark)
+        index = min(index, len(values) - 1)
+        out.append(f"{values[index]:.3g}")
+    return out
+
+
+def render_fig05(result: CdfResult) -> str:
+    marks = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+    sections = []
+    for title, data, unit in (
+        ("Fig 5(a): job data size CDF (MB)", result.job_sizes, MB),
+        ("Fig 5(b): file size CDF (MB)", result.file_sizes, MB),
+        ("Fig 5(c): access frequency CDF (count)", result.frequencies, 1),
+    ):
+        rows = []
+        for workload, (values, probs) in data.items():
+            scaled = values / unit
+            rows.append([workload] + _quantiles(scaled, probs, marks))
+        headers = ["Workload"] + [f"p{int(m * 100)}" for m in marks]
+        sections.append(format_table(headers, rows, title=title))
+    return "\n\n".join(sections)

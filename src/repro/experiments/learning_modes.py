@@ -1,0 +1,193 @@
+"""Figs 16-17: incremental learning and workload adaptation (Sec 7.6).
+
+Fig 16 compares three learners over the FB stream:
+
+* **incremental** — extend the ensemble batch-by-batch (the system's
+  default);
+* **retrain hourly** — refit from scratch on everything seen, once an
+  hour;
+* **one-shot** — train once on the first hour, never again.
+
+Fig 17 feeds the incremental downgrade model an alternating FB/CMU
+stream (switching every 6h / 3h / 1.5h) and tracks prediction accuracy
+around the switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.units import HOURS
+from repro.ml.access_model import FileAccessModel, LearningMode, TrainingPoint
+from repro.ml.gbt import GBTParams
+from repro.experiments.common import ExperimentScale, FULL_SCALE, format_table, make_trace
+from repro.experiments.datasets import generate_observation_stream, shift_timestamps
+from repro.experiments.model_eval import DOWNGRADE_WINDOW, UPGRADE_WINDOW
+
+#: Slightly lighter trees than the paper grid (the replay streams are
+#: smaller than production traces); accuracy is insensitive to this.
+REPLAY_GBT = GBTParams(num_rounds=10, max_depth=12, max_trees=150)
+
+
+def _replay(
+    points: List[TrainingPoint],
+    mode: LearningMode,
+    retrain_interval: float = 1 * HOURS,
+    oneshot_after: float = 1 * HOURS,
+) -> FileAccessModel:
+    """Feed a point stream through a model under the given mode.
+
+    The one-shot learner trains on the first ``oneshot_after`` of *data*
+    (anchored at the first point, since a stream with class window ``w``
+    cannot produce points before ``w``), and keeps trying until the
+    accumulated batch contains both classes — "train once" means one
+    successful fit, not one attempt.
+    """
+    model = FileAccessModel(
+        window=1.0,  # unused during replay: points are pre-built
+        mode=mode,
+        gbt_params=REPLAY_GBT,
+        eval_every=5,
+    )
+    if not points:
+        return model
+    start = points[0].timestamp
+    next_action = start + (
+        retrain_interval if mode is LearningMode.RETRAIN else oneshot_after
+    )
+    fired = False
+    for point in points:
+        if mode is LearningMode.RETRAIN and point.timestamp >= next_action:
+            model.retrain()
+            next_action += retrain_interval
+        elif (
+            mode is LearningMode.ONESHOT
+            and not fired
+            and point.timestamp >= next_action
+        ):
+            fired = model.train_now()
+        model.add_point(point)
+    return model
+
+
+def hourly_accuracy(
+    history: List[Tuple[float, bool]], horizon: float
+) -> List[float]:
+    """Mean prediction accuracy per hour bucket (NaN-free: skips empties)."""
+    buckets: Dict[int, List[bool]] = {}
+    for timestamp, correct in history:
+        buckets.setdefault(int(timestamp // HOURS), []).append(correct)
+    hours = int(np.ceil(horizon / HOURS))
+    out = []
+    for hour in range(hours):
+        values = buckets.get(hour, [])
+        out.append(100.0 * float(np.mean(values)) if values else float("nan"))
+    return out
+
+
+@dataclass
+class Fig16Result:
+    #: (learning mode, model kind) -> accuracy per hour.
+    accuracy: Dict[Tuple[str, str], List[float]] = field(default_factory=dict)
+    horizon: float = 6 * HOURS
+
+
+def run_fig16(scale: ExperimentScale = FULL_SCALE) -> Fig16Result:
+    trace = make_trace("FB", scale)
+    result = Fig16Result(horizon=trace.duration)
+    for kind, window in (("downgrade", DOWNGRADE_WINDOW), ("upgrade", UPGRADE_WINDOW)):
+        points = generate_observation_stream(trace, window=window)
+        for mode in LearningMode:
+            model = _replay(points, mode)
+            result.accuracy[(mode.value, kind)] = hourly_accuracy(
+                model.accuracy_history, trace.duration
+            )
+    return result
+
+
+def render_fig16(result: Fig16Result) -> str:
+    hours = len(next(iter(result.accuracy.values())))
+    rows = []
+    for (mode, kind), series in result.accuracy.items():
+        rows.append(
+            [f"{mode}, {kind}"]
+            + [f"{v:.0f}" if not np.isnan(v) else "-" for v in series]
+        )
+    return format_table(
+        ["Learner"] + [f"h{i + 1}" for i in range(hours)],
+        rows,
+        title="Fig 16: prediction accuracy (%) per hour by learning mode",
+    )
+
+
+@dataclass
+class Fig17Result:
+    #: switch interval label -> accuracy per hour over 12 hours.
+    accuracy: Dict[str, List[float]] = field(default_factory=dict)
+
+
+def _alternating_stream(
+    fb_points: List[TrainingPoint],
+    cmu_points: List[TrainingPoint],
+    switch_interval: float,
+    horizon: float,
+) -> List[TrainingPoint]:
+    """Interleave segments of the two streams on a shared clock.
+
+    Segment i covers [i*s, (i+1)*s) and draws from FB when i is even,
+    CMU when odd; source timestamps are folded modulo their 6h span so
+    every segment has data.
+    """
+    out: List[TrainingPoint] = []
+    span = 6 * HOURS
+    t = 0.0
+    index = 0
+    while t < horizon:
+        source = fb_points if index % 2 == 0 else cmu_points
+        offset = t - (t % span)
+        segment = [
+            TrainingPoint(p.features, p.label, p.timestamp + offset)
+            for p in source
+            if t <= p.timestamp + offset < min(t + switch_interval, horizon)
+        ]
+        out.extend(segment)
+        t += switch_interval
+        index += 1
+    out.sort(key=lambda p: p.timestamp)
+    return out
+
+
+def run_fig17(scale: ExperimentScale = FULL_SCALE) -> Fig17Result:
+    fb_points = generate_observation_stream(
+        make_trace("FB", scale), window=DOWNGRADE_WINDOW
+    )
+    cmu_points = generate_observation_stream(
+        make_trace("CMU", scale), window=DOWNGRADE_WINDOW, seed=13
+    )
+    horizon = 12 * HOURS
+    result = Fig17Result()
+    for label, interval in (
+        ("switch 6h", 6 * HOURS),
+        ("switch 3h", 3 * HOURS),
+        ("switch 1.5h", 1.5 * HOURS),
+    ):
+        stream = _alternating_stream(fb_points, cmu_points, interval, horizon)
+        model = _replay(stream, LearningMode.INCREMENTAL)
+        result.accuracy[label] = hourly_accuracy(model.accuracy_history, horizon)
+    return result
+
+
+def render_fig17(result: Fig17Result) -> str:
+    hours = len(next(iter(result.accuracy.values())))
+    rows = [
+        [label] + [f"{v:.0f}" if not np.isnan(v) else "-" for v in series]
+        for label, series in result.accuracy.items()
+    ]
+    return format_table(
+        ["Schedule"] + [f"h{i + 1}" for i in range(hours)],
+        rows,
+        title="Fig 17: accuracy (%) while alternating FB and CMU workloads",
+    )

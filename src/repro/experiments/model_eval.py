@@ -1,0 +1,148 @@
+"""Figs 14-15: XGB model quality (Sec 7.6).
+
+Fig 14: ROC curves / AUC for the downgrade and upgrade models on both
+workloads, with the paper's temporal split (train on the first 4 hours,
+validate on the 5th, test on the 6th).
+
+Fig 15: feature ablations on the FB downgrade model — drop file size,
+drop creation time, and vary the number of tracked access times
+(6 / 12 / 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.units import HOURS, MINUTES
+from repro.ml.access_model import PAPER_GBT_PARAMS
+from repro.ml.features import FeatureSpec
+from repro.ml.gbt import GradientBoostedTrees
+from repro.ml.metrics import accuracy, auc, roc_curve
+from repro.experiments.common import ExperimentScale, FULL_SCALE, format_table, make_trace
+from repro.experiments.datasets import (
+    generate_observation_stream,
+    split_by_time,
+    to_arrays,
+)
+
+#: Class windows at trace scale: 30min (upgrade), 1h (downgrade).
+UPGRADE_WINDOW = 30 * MINUTES
+DOWNGRADE_WINDOW = 1 * HOURS
+
+
+@dataclass
+class RocResult:
+    """One trained/evaluated model."""
+
+    label: str
+    auc: float
+    accuracy: float
+    fpr: np.ndarray
+    tpr: np.ndarray
+    n_train: int
+    n_test: int
+
+
+def _train_and_eval(
+    label: str,
+    trace,
+    window: float,
+    spec: FeatureSpec,
+    k_track: int = 12,
+) -> RocResult:
+    points = generate_observation_stream(
+        trace, window=window, spec=spec, k_track=k_track
+    )
+    train, _validation, test = split_by_time(
+        points, boundaries=(4 * HOURS, 5 * HOURS)
+    )
+    X_train, y_train = to_arrays(train)
+    X_test, y_test = to_arrays(test)
+    model = GradientBoostedTrees(PAPER_GBT_PARAMS).fit(X_train, y_train)
+    probs = model.predict_proba(X_test)
+    fpr, tpr, _thresholds = roc_curve(y_test, probs)
+    return RocResult(
+        label=label,
+        auc=auc(y_test, probs),
+        accuracy=accuracy(y_test, (probs >= 0.5).astype(int)),
+        fpr=fpr,
+        tpr=tpr,
+        n_train=len(train),
+        n_test=len(test),
+    )
+
+
+@dataclass
+class Fig14Result:
+    models: List[RocResult] = field(default_factory=list)
+
+
+def run_fig14(scale: ExperimentScale = FULL_SCALE) -> Fig14Result:
+    result = Fig14Result()
+    for workload in ("FB", "CMU"):
+        # Stationary traces: Fig 14 measures model capacity under the
+        # paper's 4h-train/1h-validate/1h-test split; adaptation to
+        # drifting workloads is Fig 16's subject.
+        trace = make_trace(workload, scale, drift=False)
+        result.models.append(
+            _train_and_eval(
+                f"XGB Downgrade - {workload}", trace, DOWNGRADE_WINDOW, FeatureSpec()
+            )
+        )
+        result.models.append(
+            _train_and_eval(
+                f"XGB Upgrade - {workload}", trace, UPGRADE_WINDOW, FeatureSpec()
+            )
+        )
+    return result
+
+
+def render_fig14(result: Fig14Result) -> str:
+    rows = [
+        [m.label, f"{m.auc:.4f}", f"{100 * m.accuracy:.1f}%", m.n_train, m.n_test]
+        for m in result.models
+    ]
+    return format_table(
+        ["Model", "AUC", "Accuracy@0.5", "Train pts", "Test pts"],
+        rows,
+        title="Fig 14: ROC AUC for the XGB downgrade/upgrade models",
+    )
+
+
+#: The Fig 15 feature variants: label -> (spec, tracked access times).
+FIG15_VARIANTS: Dict[str, Tuple[FeatureSpec, int]] = {
+    "With 12 Accesses (Def)": (FeatureSpec(k=12), 12),
+    "W/out Filesize": (FeatureSpec(k=12, include_size=False), 12),
+    "W/out Creation": (FeatureSpec(k=12, include_creation=False), 12),
+    "With 6 Accesses": (FeatureSpec(k=6), 6),
+    "With 18 Accesses": (FeatureSpec(k=18), 18),
+}
+
+
+@dataclass
+class Fig15Result:
+    models: List[RocResult] = field(default_factory=list)
+
+
+def run_fig15(scale: ExperimentScale = FULL_SCALE) -> Fig15Result:
+    trace = make_trace("FB", scale, drift=False)
+    result = Fig15Result()
+    for label, (spec, k_track) in FIG15_VARIANTS.items():
+        result.models.append(
+            _train_and_eval(label, trace, DOWNGRADE_WINDOW, spec, k_track=k_track)
+        )
+    return result
+
+
+def render_fig15(result: Fig15Result) -> str:
+    rows = [
+        [m.label, f"{m.auc:.4f}", f"{100 * m.accuracy:.1f}%"] for m in result.models
+    ]
+    return format_table(
+        ["Feature set", "AUC", "Accuracy@0.5"],
+        rows,
+        title="Fig 15: FB downgrade model under feature ablations",
+    )

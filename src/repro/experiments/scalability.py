@@ -1,0 +1,79 @@
+"""Fig 13: scale-out study (Sec 7.5).
+
+Scales workers 11 → 88 while growing the workload proportionally, runs
+HDFS and XGB-managed Octopus++ at each size, and reports per-bin
+completion and efficiency gains.  The paper's two insights —
+efficiency gains grow with cluster size; large-job completion gains
+shrink because 3x-replicated output I/O grows disproportionally — fall
+out of the same mechanism here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.engine.metrics import completion_reduction, efficiency_improvement
+from repro.engine.runner import SystemConfig, run_workload
+from repro.experiments.common import ExperimentScale, format_table
+from repro.workload.bins import BIN_NAMES
+from repro.workload.profiles import FB_PROFILE, scaled_profile
+from repro.workload.synthesis import synthesize_trace
+
+DEFAULT_WORKER_COUNTS = (11, 22, 44, 88)
+
+
+@dataclass
+class ScalabilityResult:
+    worker_counts: Sequence[int]
+    completion_reduction: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    efficiency_improvement: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+
+def run_fig13(
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    base_workers: int = 11,
+    seed: int = 42,
+    workload_scale: float = 1.0,
+) -> ScalabilityResult:
+    result = ScalabilityResult(worker_counts=worker_counts)
+    for workers in worker_counts:
+        scale = workload_scale * workers / base_workers
+        profile = scaled_profile(FB_PROFILE, scale)
+        trace = synthesize_trace(profile, seed=seed)
+        baseline = run_workload(
+            trace, SystemConfig(label="HDFS", placement="hdfs", workers=workers)
+        )
+        managed = run_workload(
+            trace,
+            SystemConfig(
+                label="XGB",
+                placement="octopus",
+                downgrade="xgb",
+                upgrade="xgb",
+                workers=workers,
+            ),
+        )
+        result.completion_reduction[workers] = completion_reduction(
+            baseline.metrics, managed.metrics
+        )
+        result.efficiency_improvement[workers] = efficiency_improvement(
+            baseline.metrics, managed.metrics
+        )
+    return result
+
+
+def render_fig13(result: ScalabilityResult) -> str:
+    sections = []
+    for title, data in (
+        ("Fig 13(a): % completion-time reduction (XGB vs HDFS)",
+         result.completion_reduction),
+        ("Fig 13(b): % efficiency improvement (XGB vs HDFS)",
+         result.efficiency_improvement),
+    ):
+        rows = [
+            [f"{workers} workers"] + [f"{data[workers][b]:.1f}" for b in BIN_NAMES]
+            for workers in result.worker_counts
+        ]
+        sections.append(format_table(["Cluster"] + BIN_NAMES, rows, title=title))
+    return "\n\n".join(sections)

@@ -1,0 +1,84 @@
+"""Table 3: job size distributions of the FB and CMU workloads.
+
+Bins jobs by input size and reports, per bin: % of jobs, % of resources
+(aggregate task time share), % of I/O, and total task time in minutes —
+measured by running each workload once over the HDFS baseline (resource
+usage is placement-independent at this granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.engine.runner import SystemConfig, run_workload
+from repro.experiments.common import ExperimentScale, FULL_SCALE, format_table, make_trace
+from repro.workload.bins import BIN_NAMES, BINS
+
+
+@dataclass
+class BinRow:
+    name: str
+    data_range: str
+    pct_jobs: float
+    pct_resources: float
+    pct_io: float
+    task_minutes: float
+
+
+@dataclass
+class Table03Result:
+    rows: Dict[str, List[BinRow]] = field(default_factory=dict)  # workload -> rows
+
+
+def _span(bin_) -> str:
+    mb = 1024 * 1024
+    low = bin_.low // mb
+    high = bin_.high // mb
+    if high >= 1024:
+        return f"{low / 1024:.0f}-{high / 1024:.0f}GB" if low >= 1024 else f"{low}MB-{high / 1024:.0f}GB"
+    return f"{low}-{high}MB"
+
+
+def run_table03(scale: ExperimentScale = FULL_SCALE) -> Table03Result:
+    result = Table03Result()
+    for workload in ("FB", "CMU"):
+        trace = make_trace(workload, scale)
+        run = run_workload(
+            trace, SystemConfig(label="HDFS", placement="hdfs")
+        )
+        total_jobs = len(trace.jobs)
+        io = trace.io_per_bin()
+        total_io = sum(io.values()) or 1
+        total_task = run.metrics.total_task_seconds() or 1.0
+        jobs = trace.jobs_per_bin()
+        rows = []
+        for bin_ in BINS:
+            task_seconds = run.metrics.bins[bin_.name].task_seconds
+            rows.append(
+                BinRow(
+                    name=bin_.name,
+                    data_range=_span(bin_),
+                    pct_jobs=100.0 * jobs[bin_.name] / total_jobs,
+                    pct_resources=100.0 * task_seconds / total_task,
+                    pct_io=100.0 * io[bin_.name] / total_io,
+                    task_minutes=task_seconds / 60.0,
+                )
+            )
+        result.rows[workload] = rows
+    return result
+
+
+def render_table03(result: Table03Result) -> str:
+    headers = ["Bin", "Data size"]
+    for metric in ("% Jobs", "% Resources", "% I/O", "Task min"):
+        for workload in result.rows:
+            headers.append(f"{metric} {workload}")
+    table_rows = []
+    for i, name in enumerate(BIN_NAMES):
+        row = [name, result.rows["FB"][i].data_range]
+        for attr in ("pct_jobs", "pct_resources", "pct_io", "task_minutes"):
+            for workload in result.rows:
+                row.append(f"{getattr(result.rows[workload][i], attr):.1f}")
+        table_rows.append(row)
+    return format_table(headers, table_rows, title="Table 3: job size distributions")

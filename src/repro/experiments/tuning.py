@@ -1,0 +1,152 @@
+"""Sec 4.3: the offline hyperparameter grid search.
+
+The paper reports that only two XGBoost knobs noticeably affect
+performance — the maximum tree depth ``d`` and the number of boosting
+rounds ``r`` — and that a grid search over training data from both
+workload traces selected ``d = 20`` and ``r = 10``.  This harness
+regenerates that search: for every (d, r) cell it trains on the first
+four hours of a trace-derived observation stream, evaluates AUC and
+accuracy on the last hour, and records the training cost.
+
+The selection rule mirrors the paper's: the cheapest cell whose mean AUC
+across both workloads is within half a point of the grid's best.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.units import HOURS
+from repro.ml.gbt import GBTParams, GradientBoostedTrees
+from repro.ml.metrics import accuracy, auc
+from repro.experiments.common import (
+    ExperimentScale,
+    FULL_SCALE,
+    format_table,
+    make_trace,
+)
+from repro.experiments.datasets import (
+    generate_observation_stream,
+    split_by_time,
+    to_arrays,
+)
+from repro.experiments.model_eval import DOWNGRADE_WINDOW
+
+#: The paper's chosen operating point.
+PAPER_DEPTH = 20
+PAPER_ROUNDS = 10
+
+DEFAULT_DEPTHS = (4, 8, 12, 20)
+DEFAULT_ROUNDS = (5, 10, 20)
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One (depth, rounds) evaluation on one workload."""
+
+    workload: str
+    max_depth: int
+    num_rounds: int
+    auc: float
+    accuracy: float
+    train_seconds: float
+    trees_nodes: int
+
+
+@dataclass
+class TuningResult:
+    cells: List[GridCell] = field(default_factory=list)
+    #: (depth, rounds) selected by the paper's rule.
+    selected: Tuple[int, int] = (0, 0)
+
+    def mean_auc(self) -> Dict[Tuple[int, int], float]:
+        by_key: Dict[Tuple[int, int], List[float]] = {}
+        for cell in self.cells:
+            by_key.setdefault((cell.max_depth, cell.num_rounds), []).append(cell.auc)
+        return {k: float(np.mean(v)) for k, v in by_key.items()}
+
+    def mean_cost(self) -> Dict[Tuple[int, int], float]:
+        by_key: Dict[Tuple[int, int], List[float]] = {}
+        for cell in self.cells:
+            by_key.setdefault((cell.max_depth, cell.num_rounds), []).append(
+                cell.train_seconds
+            )
+        return {k: float(np.mean(v)) for k, v in by_key.items()}
+
+
+def run_tuning(
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    rounds: Sequence[int] = DEFAULT_ROUNDS,
+    scale: ExperimentScale = FULL_SCALE,
+) -> TuningResult:
+    """Run the grid over both workloads and apply the selection rule."""
+    result = TuningResult()
+    datasets = {}
+    for workload in ("FB", "CMU"):
+        trace = make_trace(workload, scale, drift=False)
+        points = generate_observation_stream(trace, window=DOWNGRADE_WINDOW)
+        train, _val, test = split_by_time(points, boundaries=(4 * HOURS, 5 * HOURS))
+        datasets[workload] = (to_arrays(train), to_arrays(test))
+    for workload, ((X_train, y_train), (X_test, y_test)) in datasets.items():
+        for depth in depths:
+            for num_rounds in rounds:
+                params = GBTParams(num_rounds=num_rounds, max_depth=depth)
+                start = time.perf_counter()
+                model = GradientBoostedTrees(params).fit(X_train, y_train)
+                elapsed = time.perf_counter() - start
+                probs = model.predict_proba(X_test)
+                result.cells.append(
+                    GridCell(
+                        workload=workload,
+                        max_depth=depth,
+                        num_rounds=num_rounds,
+                        auc=auc(y_test, probs),
+                        accuracy=accuracy(y_test, (probs >= 0.5).astype(int)),
+                        train_seconds=elapsed,
+                        trees_nodes=sum(t.node_count for t in model.trees),
+                    )
+                )
+    result.selected = select_operating_point(result)
+    return result
+
+
+def select_operating_point(
+    result: TuningResult, tolerance: float = 0.005
+) -> Tuple[int, int]:
+    """The cheapest cell within ``tolerance`` AUC of the grid's best."""
+    mean_auc = result.mean_auc()
+    mean_cost = result.mean_cost()
+    best_auc = max(mean_auc.values())
+    eligible = [k for k, v in mean_auc.items() if v >= best_auc - tolerance]
+    return min(eligible, key=lambda k: (mean_cost[k], k))
+
+
+def render_tuning(result: TuningResult) -> str:
+    mean_auc = result.mean_auc()
+    rows = []
+    for cell in result.cells:
+        key = (cell.max_depth, cell.num_rounds)
+        rows.append(
+            [
+                cell.workload,
+                cell.max_depth,
+                cell.num_rounds,
+                f"{cell.auc:.4f}",
+                f"{100 * cell.accuracy:.1f}%",
+                f"{cell.train_seconds:.2f}s",
+                f"{mean_auc[key]:.4f}",
+                "<-- selected" if key == result.selected else "",
+            ]
+        )
+    return format_table(
+        ["Workload", "depth d", "rounds r", "AUC", "Acc@0.5", "Train", "Mean AUC", ""],
+        rows,
+        title=(
+            "Sec 4.3: grid search over max depth and boosting rounds "
+            f"(selected d={result.selected[0]}, r={result.selected[1]})"
+        ),
+    )

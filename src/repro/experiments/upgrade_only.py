@@ -1,0 +1,121 @@
+"""Fig 12 / Table 4: upgrade policies in isolation (Sec 7.4).
+
+All file replicas start on the HDD tier (single-tier placement) and only
+the upgrade policies may move data up.  Reports per-bin completion gains
+(Fig 12) and the byte accuracy / byte coverage statistics (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.common.units import GB
+from repro.core.registry import UPGRADE_POLICY_NAMES
+from repro.engine.metrics import completion_reduction
+from repro.engine.runner import RunResult, SystemConfig, run_workload
+from repro.experiments.common import (
+    ExperimentScale,
+    FULL_SCALE,
+    format_table,
+    make_trace,
+)
+from repro.workload.bins import BIN_NAMES
+
+LABELS = {"osa": "OSA", "lrfu": "LRFU", "exd": "EXD", "xgb": "XGB"}
+
+
+@dataclass
+class UpgradeStats:
+    gb_read_from_memory: float
+    gb_upgraded_to_memory: float
+
+    @property
+    def byte_accuracy(self) -> float:
+        """Data read from memory / data upgraded (Table 4 BAc)."""
+        if self.gb_upgraded_to_memory == 0:
+            return 0.0
+        return self.gb_read_from_memory / self.gb_upgraded_to_memory
+
+
+@dataclass
+class UpgradeOnlyResult:
+    workload: str
+    runs: Dict[str, RunResult] = field(default_factory=dict)
+    completion_reduction: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    stats: Dict[str, UpgradeStats] = field(default_factory=dict)
+    byte_coverage: Dict[str, float] = field(default_factory=dict)
+
+
+def run_upgrade_only(
+    workload: str = "FB",
+    scale: ExperimentScale = FULL_SCALE,
+    workers: int = 11,
+) -> UpgradeOnlyResult:
+    trace = make_trace(workload, scale)
+    result = UpgradeOnlyResult(workload=workload)
+    baseline = run_workload(
+        trace,
+        SystemConfig(label="HDD-only", placement="single-hdd", workers=workers),
+    )
+    result.runs["HDD-only"] = baseline
+    for name in UPGRADE_POLICY_NAMES:
+        label = LABELS[name]
+        run = run_workload(
+            trace,
+            SystemConfig(
+                label=label,
+                placement="single-hdd",
+                downgrade=None,
+                upgrade=name,
+                workers=workers,
+            ),
+        )
+        result.runs[label] = run
+        result.completion_reduction[label] = completion_reduction(
+            baseline.metrics, run.metrics
+        )
+        read_memory = run.metrics.bytes_read_memory / GB
+        upgraded = run.bytes_upgraded_memory / GB
+        result.stats[label] = UpgradeStats(
+            gb_read_from_memory=read_memory, gb_upgraded_to_memory=upgraded
+        )
+        total_read = run.metrics.bytes_read / GB
+        result.byte_coverage[label] = (
+            read_memory / total_read if total_read else 0.0
+        )
+    return result
+
+
+def render_fig12(result: UpgradeOnlyResult) -> str:
+    rows = [
+        [label] + [f"{reduction[b]:.1f}" for b in BIN_NAMES]
+        for label, reduction in result.completion_reduction.items()
+    ]
+    return format_table(
+        ["Policy"] + BIN_NAMES,
+        rows,
+        title=(
+            f"Fig 12 ({result.workload}): % completion-time reduction, "
+            "upgrade policies only (all data starts on HDD)"
+        ),
+    )
+
+
+def render_table04(result: UpgradeOnlyResult) -> str:
+    rows = []
+    for label, stats in result.stats.items():
+        rows.append(
+            [
+                label,
+                f"{stats.gb_read_from_memory:.2f}",
+                f"{stats.gb_upgraded_to_memory:.2f}",
+                f"{stats.byte_accuracy:.2f}",
+                f"{result.byte_coverage[label]:.2f}",
+            ]
+        )
+    return format_table(
+        ["Policy", "GB read from mem", "GB upgraded to mem", "BAc", "BCo"],
+        rows,
+        title=f"Table 4 ({result.workload}): upgrade policy statistics",
+    )

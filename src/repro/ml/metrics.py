@@ -1,0 +1,98 @@
+"""Binary-classification metrics: ROC/AUC, accuracy, and friends.
+
+Implemented from scratch (no sklearn offline) and used by the Sec 7.6
+model evaluation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _validate(y_true: np.ndarray, y_score: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float)
+    y_score = np.asarray(y_score, dtype=float)
+    if y_true.shape != y_score.shape:
+        raise ValueError("y_true and y_score must have the same shape")
+    if len(y_true) == 0:
+        raise ValueError("empty input")
+    if not np.all((y_true == 0) | (y_true == 1)):
+        raise ValueError("y_true must be binary (0/1)")
+    return y_true, y_score
+
+
+def roc_curve(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve points: (fpr, tpr, thresholds), thresholds decreasing.
+
+    Standard construction: sort by score descending and sweep the
+    discrimination threshold across distinct score values.
+    """
+    y_true, y_score = _validate(y_true, y_score)
+    order = np.argsort(-y_score, kind="stable")
+    y_sorted = y_true[order]
+    scores_sorted = y_score[order]
+    tps = np.cumsum(y_sorted)
+    fps = np.cumsum(1.0 - y_sorted)
+    # Keep only the last index of each run of equal scores.
+    distinct = np.r_[scores_sorted[1:] != scores_sorted[:-1], True]
+    tps = tps[distinct]
+    fps = fps[distinct]
+    thresholds = scores_sorted[distinct]
+    total_pos = y_true.sum()
+    total_neg = len(y_true) - total_pos
+    tpr = tps / total_pos if total_pos > 0 else np.zeros_like(tps)
+    fpr = fps / total_neg if total_neg > 0 else np.zeros_like(fps)
+    # Prepend the (0, 0) origin.
+    fpr = np.r_[0.0, fpr]
+    tpr = np.r_[0.0, tpr]
+    thresholds = np.r_[np.inf, thresholds]
+    return fpr, tpr, thresholds
+
+
+def auc(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoidal rule)."""
+    fpr, tpr, _ = roc_curve(y_true, y_score)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    if len(y_true) == 0:
+        raise ValueError("empty input")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> Tuple[int, int, int, int]:
+    """Return (tn, fp, fn, tp)."""
+    y_true = np.asarray(y_true).astype(bool)
+    y_pred = np.asarray(y_pred).astype(bool)
+    tp = int(np.sum(y_true & y_pred))
+    tn = int(np.sum(~y_true & ~y_pred))
+    fp = int(np.sum(~y_true & y_pred))
+    fn = int(np.sum(y_true & ~y_pred))
+    return tn, fp, fn, tp
+
+
+def precision_recall(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[float, float]:
+    """(precision, recall); 0.0 when undefined."""
+    _, fp, fn, tp = confusion_matrix(y_true, y_pred)
+    precision = tp / (tp + fp) if (tp + fp) > 0 else 0.0
+    recall = tp / (tp + fn) if (tp + fn) > 0 else 0.0
+    return precision, recall
+
+
+def log_loss(y_true: np.ndarray, y_prob: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean negative log-likelihood of binary predictions."""
+    y_true, y_prob = _validate(y_true, y_prob)
+    p = np.clip(y_prob, eps, 1.0 - eps)
+    return float(-np.mean(y_true * np.log(p) + (1 - y_true) * np.log(1 - p)))

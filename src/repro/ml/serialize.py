@@ -1,0 +1,101 @@
+"""Model serialization: save/load boosted ensembles as JSON.
+
+A deployed tiering system restarts; its access models should not have to
+relearn from scratch (the paper's warm-up gate would block predictions
+for the first portion of every run).  The format is a plain JSON
+document — versioned, human-inspectable, and stable across platforms.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional
+
+from repro.ml.gbt import GBTParams, GradientBoostedTrees
+from repro.ml.tree import RegressionTree, TreeParams, _Node
+
+FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: _Node) -> Dict[str, Any]:
+    if node.is_leaf:
+        return {"leaf": node.value}
+    assert node.left is not None and node.right is not None
+    return {
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "default_left": node.default_left,
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(data: Dict[str, Any]) -> _Node:
+    node = _Node()
+    if "leaf" in data:
+        node.value = float(data["leaf"])
+        return node
+    node.is_leaf = False
+    node.feature = int(data["feature"])
+    node.threshold = float(data["threshold"])
+    node.default_left = bool(data["default_left"])
+    node.left = _node_from_dict(data["left"])
+    node.right = _node_from_dict(data["right"])
+    return node
+
+
+def _count_nodes(data: Dict[str, Any]) -> int:
+    if "leaf" in data:
+        return 1
+    return 1 + _count_nodes(data["left"]) + _count_nodes(data["right"])
+
+
+def tree_to_dict(tree: RegressionTree) -> Dict[str, Any]:
+    if tree._root is None:
+        raise ValueError("cannot serialize an unfitted tree")
+    return {
+        "n_features": tree.n_features,
+        "params": asdict(tree.params),
+        "root": _node_to_dict(tree._root),
+    }
+
+
+def tree_from_dict(data: Dict[str, Any]) -> RegressionTree:
+    tree = RegressionTree(TreeParams(**data["params"]))
+    tree.n_features = int(data["n_features"])
+    tree._root = _node_from_dict(data["root"])
+    tree.node_count = _count_nodes(data["root"])
+    return tree
+
+
+def model_to_dict(model: GradientBoostedTrees) -> Dict[str, Any]:
+    """Serialize an ensemble (metadata + all trees)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "params": asdict(model.params),
+        "trees": [tree_to_dict(t) for t in model.trees],
+    }
+
+
+def model_from_dict(data: Dict[str, Any]) -> GradientBoostedTrees:
+    """Rebuild an ensemble serialized by :func:`model_to_dict`."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported model format version: {version!r}")
+    params = GBTParams(**data["params"])
+    model = GradientBoostedTrees(params=params)
+    model.trees = [tree_from_dict(t) for t in data["trees"]]
+    return model
+
+
+def save_model(model: GradientBoostedTrees, path: str) -> None:
+    """Write the model to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(model_to_dict(model), handle)
+
+
+def load_model(path: str) -> GradientBoostedTrees:
+    """Load a model previously written by :func:`save_model`."""
+    with open(path) as handle:
+        return model_from_dict(json.load(handle))

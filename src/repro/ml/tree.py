@@ -1,0 +1,260 @@
+"""Regression trees grown with XGBoost-style second-order statistics.
+
+Each tree fits gradient/hessian pairs: leaf weight ``-G / (H + lambda)``
+and split gain ``1/2 [G_L^2/(H_L+l) + G_R^2/(H_R+l) - G^2/(H+l)] - gamma``
+(Chen & Guestrin 2016, Eq. 6-7).  Missing feature values (NaN) are routed
+through a learned *default direction* per split, exactly like XGBoost's
+sparsity-aware algorithm: both directions are evaluated and the one with
+higher gain wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TreeParams:
+    """Growth hyperparameters (defaults match XGBoost's)."""
+
+    max_depth: int = 6
+    reg_lambda: float = 1.0
+    gamma: float = 0.0
+    min_child_weight: float = 1.0
+    min_split_samples: int = 2
+
+
+class _Node:
+    """One tree node; leaves carry a weight, internal nodes a split."""
+
+    __slots__ = (
+        "feature",
+        "threshold",
+        "default_left",
+        "left",
+        "right",
+        "value",
+        "is_leaf",
+    )
+
+    def __init__(self) -> None:
+        self.feature = -1
+        self.threshold = 0.0
+        self.default_left = True
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.value = 0.0
+        self.is_leaf = True
+
+
+@dataclass
+class _SplitResult:
+    gain: float
+    feature: int
+    threshold: float
+    default_left: bool
+
+
+def _leaf_weight(grad_sum: float, hess_sum: float, reg_lambda: float) -> float:
+    return -grad_sum / (hess_sum + reg_lambda)
+
+
+def _score(grad_sum: float, hess_sum: float, reg_lambda: float) -> float:
+    return grad_sum * grad_sum / (hess_sum + reg_lambda)
+
+
+class RegressionTree:
+    """A single CART tree fit to (gradient, hessian) targets."""
+
+    def __init__(self, params: Optional[TreeParams] = None) -> None:
+        self.params = params or TreeParams()
+        self._root: Optional[_Node] = None
+        self.n_features = 0
+        self.node_count = 0
+
+    # -- training ----------------------------------------------------------
+    def fit(self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray) -> "RegressionTree":
+        """Grow the tree on feature matrix ``X`` (NaN = missing)."""
+        X = np.asarray(X, dtype=float)
+        grad = np.asarray(grad, dtype=float)
+        hess = np.asarray(hess, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if len(grad) != len(X) or len(hess) != len(X):
+            raise ValueError("grad/hess length mismatch with X")
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        self.n_features = X.shape[1]
+        self.node_count = 0
+        indices = np.arange(len(X))
+        self._root = self._build(X, grad, hess, indices, depth=0)
+        return self
+
+    def _build(
+        self,
+        X: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        indices: np.ndarray,
+        depth: int,
+    ) -> _Node:
+        node = _Node()
+        self.node_count += 1
+        g_sum = float(grad[indices].sum())
+        h_sum = float(hess[indices].sum())
+        node.value = _leaf_weight(g_sum, h_sum, self.params.reg_lambda)
+        if (
+            depth >= self.params.max_depth
+            or len(indices) < self.params.min_split_samples
+        ):
+            return node
+        split = self._best_split(X, grad, hess, indices, g_sum, h_sum)
+        if split is None or split.gain <= 0.0:
+            return node
+        values = X[indices, split.feature]
+        missing = np.isnan(values)
+        goes_left = values < split.threshold
+        if split.default_left:
+            goes_left = goes_left | missing
+        else:
+            goes_left = goes_left & ~missing
+        left_idx = indices[goes_left]
+        right_idx = indices[~goes_left]
+        if len(left_idx) == 0 or len(right_idx) == 0:
+            return node
+        node.is_leaf = False
+        node.feature = split.feature
+        node.threshold = split.threshold
+        node.default_left = split.default_left
+        node.left = self._build(X, grad, hess, left_idx, depth + 1)
+        node.right = self._build(X, grad, hess, right_idx, depth + 1)
+        return node
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        indices: np.ndarray,
+        g_sum: float,
+        h_sum: float,
+    ) -> Optional[_SplitResult]:
+        params = self.params
+        parent_score = _score(g_sum, h_sum, params.reg_lambda)
+        best: Optional[_SplitResult] = None
+        g = grad[indices]
+        h = hess[indices]
+        for feature in range(self.n_features):
+            values = X[indices, feature]
+            present = ~np.isnan(values)
+            n_present = int(present.sum())
+            if n_present < 2:
+                continue
+            vals = values[present]
+            order = np.argsort(vals, kind="stable")
+            vals_sorted = vals[order]
+            g_sorted = g[present][order]
+            h_sorted = h[present][order]
+            g_missing = float(g.sum() - g_sorted.sum())
+            h_missing = float(h.sum() - h_sorted.sum())
+            # Prefix sums: left split of position i contains samples [0, i).
+            g_cum = np.cumsum(g_sorted)
+            h_cum = np.cumsum(h_sorted)
+            # Candidate boundaries between distinct consecutive values.
+            distinct = vals_sorted[1:] != vals_sorted[:-1]
+            positions = np.nonzero(distinct)[0] + 1
+            if len(positions) == 0:
+                continue
+            g_left = g_cum[positions - 1]
+            h_left = h_cum[positions - 1]
+            g_right = g_cum[-1] - g_left
+            h_right = h_cum[-1] - h_left
+            thresholds = 0.5 * (vals_sorted[positions - 1] + vals_sorted[positions])
+            lam = params.reg_lambda
+            # Evaluate both default directions for the missing values.
+            for default_left in (True, False):
+                gl = g_left + (g_missing if default_left else 0.0)
+                hl = h_left + (h_missing if default_left else 0.0)
+                gr = g_right + (0.0 if default_left else g_missing)
+                hr = h_right + (0.0 if default_left else h_missing)
+                gains = (
+                    0.5 * (gl * gl / (hl + lam) + gr * gr / (hr + lam) - parent_score)
+                    - params.gamma
+                )
+                valid = (hl >= params.min_child_weight) & (
+                    hr >= params.min_child_weight
+                )
+                if not valid.any():
+                    continue
+                gains = np.where(valid, gains, -np.inf)
+                pick = int(np.argmax(gains))
+                gain = float(gains[pick])
+                if best is None or gain > best.gain:
+                    best = _SplitResult(
+                        gain=gain,
+                        feature=feature,
+                        threshold=float(thresholds[pick]),
+                        default_left=default_left,
+                    )
+        return best
+
+    # -- prediction -----------------------------------------------------------
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Leaf weights for each row of ``X`` (vectorized traversal)."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        out = np.zeros(len(X))
+        self._predict_into(self._root, X, np.arange(len(X)), out)
+        return out
+
+    def _predict_into(
+        self, node: _Node, X: np.ndarray, indices: np.ndarray, out: np.ndarray
+    ) -> None:
+        if node.is_leaf:
+            out[indices] = node.value
+            return
+        values = X[indices, node.feature]
+        missing = np.isnan(values)
+        goes_left = values < node.threshold
+        if node.default_left:
+            goes_left = goes_left | missing
+        else:
+            goes_left = goes_left & ~missing
+        assert node.left is not None and node.right is not None
+        left_idx = indices[goes_left]
+        right_idx = indices[~goes_left]
+        if len(left_idx):
+            self._predict_into(node.left, X, left_idx, out)
+        if len(right_idx):
+            self._predict_into(node.right, X, right_idx, out)
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Actual depth of the grown tree (0 for a stump)."""
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    def feature_usage(self) -> List[int]:
+        """How many splits use each feature (crude importance measure)."""
+        counts = [0] * self.n_features
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            if node is None or node.is_leaf:
+                continue
+            counts[node.feature] += 1
+            stack.append(node.left)
+            stack.append(node.right)
+        return counts

@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel.
+
+A tiny but complete event-driven simulator: a priority queue of timestamped
+events, a clock, and helpers for periodic timers.  Every time-dependent
+component of the reproduction (the DFS, the replication monitor, the task
+scheduler, the workload replayer) is driven off one shared
+:class:`Simulator` instance so that causality is globally consistent.
+"""
+
+from repro.sim.clock import Clock, ManualClock
+from repro.sim.simulator import Event, PeriodicTimer, Simulator
+
+__all__ = ["Clock", "ManualClock", "Event", "PeriodicTimer", "Simulator"]

@@ -1,0 +1,38 @@
+"""Clock abstractions.
+
+Components that only need to *read* the current time depend on the
+:class:`Clock` protocol rather than the full simulator, which keeps them
+testable with a :class:`ManualClock`.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Read-only view of simulated time (seconds since simulation start)."""
+
+    def now(self) -> float:
+        """Return the current simulation time in seconds."""
+        raise NotImplementedError
+
+
+class ManualClock(Clock):
+    """A clock advanced explicitly by tests."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds (must be >= 0)."""
+        if delta < 0:
+            raise ValueError("cannot move time backwards")
+        self._now += delta
+
+    def set(self, timestamp: float) -> None:
+        """Jump the clock to ``timestamp`` (must not go backwards)."""
+        if timestamp < self._now:
+            raise ValueError("cannot move time backwards")
+        self._now = float(timestamp)

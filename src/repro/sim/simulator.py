@@ -1,0 +1,161 @@
+"""The discrete-event simulator.
+
+Events are ``(time, sequence, callback)`` triples in a binary heap; the
+sequence number breaks ties so same-timestamp events run in scheduling
+order (FIFO), which makes runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.clock import Clock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering is by (time, seq)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator(Clock):
+    """Event loop with a simulated clock.
+
+    The simulator is also a :class:`Clock`, so components can hold a
+    reference to it purely for ``now()``.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    # -- Clock ------------------------------------------------------------
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for tests/diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    # -- scheduling --------------------------------------------------------
+    def at(self, time: float, callback: Callable[[], Any], name: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self._now}"
+            )
+        event = Event(time=time, seq=next(self._seq), callback=callback, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(
+        self, delay: float, callback: Callable[[], Any], name: str = ""
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds (>= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.at(self._now + delay, callback, name)
+
+    # -- running ------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event queue.
+
+        ``until`` stops the loop once the next event would be later than the
+        given time (the clock is then advanced exactly to ``until``).
+        ``max_events`` guards against runaway loops in tests.
+        """
+        executed = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            self.step()
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+
+
+class PeriodicTimer:
+    """Re-schedules a callback every ``interval`` seconds until stopped.
+
+    Mirrors daemon threads in the real system (e.g. the Replication
+    Monitor's periodic scan).  The callback runs first at
+    ``start_delay`` (default: one full interval) after creation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        name: str = "timer",
+        start_delay: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        self._sim = sim
+        self._interval = float(interval)
+        self._callback = callback
+        self._name = name
+        self._stopped = False
+        self._event: Optional[Event] = None
+        delay = interval if start_delay is None else start_delay
+        self._schedule(delay)
+
+    def _schedule(self, delay: float) -> None:
+        self._event = self._sim.after(delay, self._fire, name=self._name)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._schedule(self._interval)
+
+    def stop(self) -> None:
+        """Cancel the timer; the callback will not run again."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

@@ -1,0 +1,38 @@
+"""Workload substrate: FB/CMU trace synthesis and DFSIO.
+
+The original Facebook and CMU OpenCloud traces are proprietary;
+:mod:`repro.workload.synthesis` regenerates workloads from every
+statistic the paper publishes about them (see DESIGN.md for the
+substitution rationale).
+"""
+
+from repro.workload.bins import BINS, BIN_NAMES, SizeBin, bin_for_size
+from repro.workload.dfsio import DfsioSpec
+from repro.workload.jobs import FileCreation, OutputSpec, Trace, TraceJob
+from repro.workload.profiles import (
+    CMU_PROFILE,
+    FB_PROFILE,
+    PROFILES,
+    WorkloadProfile,
+    scaled_profile,
+)
+from repro.workload.synthesis import TraceSynthesizer, synthesize_trace
+
+__all__ = [
+    "BINS",
+    "BIN_NAMES",
+    "SizeBin",
+    "bin_for_size",
+    "FileCreation",
+    "OutputSpec",
+    "TraceJob",
+    "Trace",
+    "WorkloadProfile",
+    "FB_PROFILE",
+    "CMU_PROFILE",
+    "PROFILES",
+    "scaled_profile",
+    "TraceSynthesizer",
+    "synthesize_trace",
+    "DfsioSpec",
+]

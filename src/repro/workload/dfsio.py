@@ -1,0 +1,32 @@
+"""DFSIO-style sequential I/O workload (paper Sec 3.1, Fig 2).
+
+DFSIO writes a set of large files and then reads them back, reporting
+throughput.  The paper writes and reads 84GB on the 12-node cluster and
+plots average per-node throughput as a function of cumulative data
+volume, which exposes the moment the aggregate memory tier fills (~42GB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.units import GB
+
+
+@dataclass(frozen=True)
+class DfsioSpec:
+    """Total volume and per-file size of a DFSIO run."""
+
+    total_bytes: int = 84 * GB
+    file_size: int = 1 * GB
+    path_prefix: str = "/dfsio"
+
+    @property
+    def num_files(self) -> int:
+        return self.total_bytes // self.file_size
+
+    def file_paths(self) -> List[str]:
+        return [
+            f"{self.path_prefix}/part-{i:05d}" for i in range(self.num_files)
+        ]

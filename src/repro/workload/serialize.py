@@ -1,0 +1,75 @@
+"""Trace import/export as JSON.
+
+Synthesized workloads are deterministic given a seed, but exporting a
+trace pins the exact event sequence for sharing, regression baselines,
+or replaying through external systems.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.workload.jobs import FileCreation, OutputSpec, Trace, TraceJob
+
+FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": trace.name,
+        "duration": trace.duration,
+        "creations": [
+            {"path": c.path, "size": c.size, "time": c.time}
+            for c in trace.creations
+        ],
+        "jobs": [
+            {
+                "job_id": j.job_id,
+                "submit_time": j.submit_time,
+                "input_paths": list(j.input_paths),
+                "input_size": j.input_size,
+                "outputs": [
+                    {"path": o.path, "size": o.size} for o in j.outputs
+                ],
+                "cpu_seconds_per_byte": j.cpu_seconds_per_byte,
+            }
+            for j in trace.jobs
+        ],
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> Trace:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version: {version!r}")
+    trace = Trace(name=data["name"], duration=float(data["duration"]))
+    trace.creations = [
+        FileCreation(c["path"], int(c["size"]), float(c["time"]))
+        for c in data["creations"]
+    ]
+    trace.jobs = [
+        TraceJob(
+            job_id=int(j["job_id"]),
+            submit_time=float(j["submit_time"]),
+            input_paths=list(j["input_paths"]),
+            input_size=int(j["input_size"]),
+            outputs=[OutputSpec(o["path"], int(o["size"])) for o in j["outputs"]],
+            cpu_seconds_per_byte=float(j["cpu_seconds_per_byte"]),
+        )
+        for j in data["jobs"]
+    ]
+    return trace
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write the trace to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(trace_to_dict(trace), handle)
+
+
+def load_trace(path: str) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    with open(path) as handle:
+        return trace_from_dict(json.load(handle))

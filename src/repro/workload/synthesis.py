@@ -1,0 +1,394 @@
+"""Trace synthesis: generate FB/CMU-shaped workloads from their statistics.
+
+The synthesizer reproduces, per :class:`WorkloadProfile`:
+
+* the Table 3 bin distribution of job counts and the heavy-tailed job
+  input sizes (log-uniform within each bin);
+* the dominant structure of production MapReduce traces: **recurring job
+  series** — the same job re-running every N minutes over the same input
+  files.  FB mixes short periods (15-120min: report/ETL pipelines whose
+  temporal locality favours LRU); CMU uses long periods (75-140min:
+  scientific parameter sweeps whose cyclic re-reads defeat LRU but are
+  learnable from the consecutive-access-delta features);
+* skewed file popularity for the ad-hoc (non-recurring) jobs (Zipf
+  within per-bin pools, plus a hot set in periodic mode) with the
+  published re-access fractions;
+* the never-read file fraction (outputs nobody consumes plus cold
+  data-load files);
+* **pattern drift** when ``drift=True``: the popularity ranking rotates
+  hourly and series starting later in the trace run with stretched
+  periods, so the feature→label relationship the models learn keeps
+  shifting — which is what makes one-shot learners decay in Fig 16.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.rng import make_rng, zipf_probabilities
+from repro.common.units import MB
+from repro.workload.bins import BINS
+from repro.workload.jobs import FileCreation, OutputSpec, Trace, TraceJob
+from repro.workload.profiles import WorkloadProfile
+
+
+@dataclass
+class _PoolEntry:
+    """One (lazily materialized) input file inside a bin pool."""
+
+    index: int
+    path: Optional[str] = None
+    size: int = 0
+    creation_time: float = 0.0
+    last_access: float = -math.inf
+    access_count: int = 0
+
+
+@dataclass
+class _Pool:
+    """Per-bin pool of reusable input files."""
+
+    bin_name: str
+    entries: List[_PoolEntry] = field(default_factory=list)
+    cursor: int = 0
+    #: Next entry to hand to a new recurring series.  Series take
+    #: consecutive entries so each input file belongs to (at most) one
+    #: series — these become the workload's "popular" files.
+    series_cursor: int = 0
+    #: Zipf probabilities over entries (recomputed on rotation).
+    popularity: Optional[np.ndarray] = None
+
+
+@dataclass
+class _JobSlot:
+    """One planned job occurrence (a series run or an ad-hoc job)."""
+
+    time: float
+    bin_idx: int
+    entries: Optional[List[_PoolEntry]]  # fixed inputs for series runs
+    #: Period class of the owning series (None for ad-hoc jobs).  Series
+    #: of the same period class read characteristically sized inputs
+    #: (parameter sweeps process uniform chunks), so file size is an
+    #: informative predictor of re-access behaviour — mirroring the
+    #: paper's Fig 15 finding that size is individually important.
+    period_idx: Optional[int] = None
+
+
+def _largest_remainder(fractions: Sequence[float], total: int) -> List[int]:
+    """Integer apportionment of ``total`` by ``fractions`` (sums exactly)."""
+    raw = [f * total for f in fractions]
+    counts = [int(math.floor(r)) for r in raw]
+    remainder = total - sum(counts)
+    order = sorted(range(len(raw)), key=lambda i: raw[i] - counts[i], reverse=True)
+    for i in order[:remainder]:
+        counts[i] += 1
+    return counts
+
+
+class TraceSynthesizer:
+    """Generates a :class:`Trace` from a :class:`WorkloadProfile`."""
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        seed: int = 42,
+        drift: bool = True,
+        start_time: float = 0.0,
+    ) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.drift = drift
+        self.start_time = start_time
+        self._rng = make_rng(seed)
+
+    # -- public API ---------------------------------------------------------
+    def synthesize(self) -> Trace:
+        profile = self.profile
+        trace = Trace(name=profile.name, duration=profile.duration)
+        counts = _largest_remainder(profile.bin_fractions, profile.num_jobs)
+        pools = self._build_pools(counts)
+        slots = self._plan_slots(counts, pools)
+        recent_outputs: List[Tuple[OutputSpec, float]] = []
+        next_rotation = 3600.0
+        for job_id, slot in enumerate(slots):
+            if self.drift and slot.time >= next_rotation:
+                self._rotate_popularity(pools)
+                next_rotation += 3600.0
+            job = self._make_job(job_id, slot, pools, recent_outputs, trace)
+            trace.jobs.append(job)
+        self._add_cold_files(trace)
+        trace.creations.sort(key=lambda c: c.time)
+        return trace
+
+    # -- planning ------------------------------------------------------------------
+    def _plan_slots(self, counts: List[int], pools: List[_Pool]) -> List[_JobSlot]:
+        """Lay out recurring series and ad-hoc jobs on the time axis."""
+        rng = self._rng
+        profile = self.profile
+        slots: List[_JobSlot] = []
+        for bin_idx, n_jobs in enumerate(counts):
+            remaining = n_jobs
+            while remaining > 0:
+                if remaining >= 3 and rng.random() < profile.recurring_frac:
+                    planned = self._plan_series(bin_idx, remaining, pools[bin_idx])
+                    if planned:
+                        slots.extend(planned)
+                        remaining -= len(planned)
+                        continue
+                slots.append(
+                    _JobSlot(
+                        time=float(rng.uniform(0, profile.duration)),
+                        bin_idx=bin_idx,
+                        entries=None,
+                    )
+                )
+                remaining -= 1
+        slots.sort(key=lambda s: s.time)
+        for slot in slots:
+            slot.time += self.start_time
+        return slots
+
+    def _plan_series(
+        self, bin_idx: int, budget: int, pool: _Pool
+    ) -> List[_JobSlot]:
+        """One recurring series: fixed inputs, one run per period."""
+        rng = self._rng
+        profile = self.profile
+        period_idx = int(rng.integers(len(profile.period_choices)))
+        period = float(profile.period_choices[period_idx])
+        start = float(rng.uniform(0, profile.duration * 0.85))
+        if self.drift:
+            # Series launched later in the trace run slower: re-access
+            # timescales stretch as the workload evolves.
+            period *= 1.0 + 0.8 * (start / profile.duration)
+        span = min(profile.duration - start, profile.series_span)
+        max_runs = int(span // period) + 1
+        runs = min(max_runs, budget, profile.max_series_runs)
+        if runs < 2:
+            return []
+        k_lo, k_hi = profile.files_per_job[bin_idx]
+        k = int(rng.integers(k_lo, k_hi + 1))
+        # Series own consecutive pool entries taken from the *tail* of the
+        # pool, keeping them disjoint from the Zipf head the ad-hoc jobs
+        # favour: series files keep clean periodic access patterns, and
+        # they accumulate the high access counts that form the popular
+        # head of the frequency distribution (Fig 5c).
+        entries = []
+        n = len(pool.entries)
+        for i in range(min(k, n)):
+            entries.append(pool.entries[n - 1 - ((pool.series_cursor + i) % n)])
+        pool.series_cursor += len(entries)
+        # Shared reference data: some series re-read one hot-set file on
+        # every run, concentrating accesses on the frequency head (Fig 5c).
+        if profile.series_ref_prob > 0 and rng.random() < profile.series_ref_prob:
+            assert pool.popularity is not None
+            head = min(profile.hot_head, n)
+            top = np.argsort(-pool.popularity, kind="stable")[:head]
+            ref = pool.entries[int(rng.choice(top))]
+            if ref not in entries:
+                entries.append(ref)
+        slots = []
+        for i in range(runs):
+            jitter = float(rng.normal(0.0, profile.period_jitter * period))
+            t = min(max(start + i * period + jitter, 0.0), profile.duration)
+            slots.append(
+                _JobSlot(
+                    time=t, bin_idx=bin_idx, entries=entries, period_idx=period_idx
+                )
+            )
+        return slots
+
+    # -- pools ------------------------------------------------------------------
+    def _build_pools(self, counts: List[int]) -> List[_Pool]:
+        pools = []
+        for bin_idx, size_bin in enumerate(BINS):
+            n_jobs = counts[bin_idx]
+            ratio = self.profile.pool_ratio[bin_idx]
+            pool_size = max(2, int(round(n_jobs * ratio))) if n_jobs else 2
+            pool = _Pool(
+                bin_name=size_bin.name,
+                entries=[_PoolEntry(index=i) for i in range(pool_size)],
+            )
+            pool.popularity = zipf_probabilities(
+                pool_size, self.profile.popularity_skew
+            )
+            pools.append(pool)
+        return pools
+
+    def _rotate_popularity(self, pools: List[_Pool]) -> None:
+        """Re-rank file popularity (workload evolution, Sec 7.6)."""
+        for pool in pools:
+            assert pool.popularity is not None
+            self._rng.shuffle(pool.popularity)
+
+    # -- entry selection ----------------------------------------------------------
+    def _burst_window(self, t_rel: float) -> float:
+        """Burst window, stretching over the trace when drift is on."""
+        base = self.profile.burst_window
+        if not self.drift:
+            return base
+        progress = min(max(t_rel / self.profile.duration, 0.0), 1.0)
+        return base * (1.0 + 2.0 * progress)
+
+    def _pick_entries(
+        self, pool: _Pool, k: int, t: float, t_rel: float
+    ) -> List[_PoolEntry]:
+        rng = self._rng
+        k = min(k, len(pool.entries))
+        if self.profile.reuse_mode == "periodic":
+            # Cyclic scan plus a small hot set of reference datasets: hot
+            # picks concentrate on the ``hot_head`` most popular entries,
+            # producing the heavy frequency head of Fig 5c (the head
+            # itself rotates hourly under drift).
+            picked: List[_PoolEntry] = []
+            for _ in range(k):
+                if rng.random() < self.profile.hot_pick_prob:
+                    assert pool.popularity is not None
+                    head = min(self.profile.hot_head, len(pool.entries))
+                    top = np.argsort(-pool.popularity, kind="stable")[:head]
+                    idx = int(rng.choice(top))
+                else:
+                    idx = pool.cursor % len(pool.entries)
+                    pool.cursor += 1
+                entry = pool.entries[idx]
+                if entry not in picked:
+                    picked.append(entry)
+            return picked
+        # Temporal mode: Zipf popularity boosted for recently read files.
+        assert pool.popularity is not None
+        weights = pool.popularity.copy()
+        window = self._burst_window(t_rel)
+        for i, entry in enumerate(pool.entries):
+            if t - entry.last_access <= window:
+                weights[i] *= self.profile.burst_boost
+        weights /= weights.sum()
+        picks = rng.choice(len(pool.entries), size=k, replace=False, p=weights)
+        return [pool.entries[int(i)] for i in picks]
+
+    # -- job construction ----------------------------------------------------------
+    def _make_job(
+        self,
+        job_id: int,
+        slot: _JobSlot,
+        pools: List[_Pool],
+        recent_outputs: List[Tuple[OutputSpec, float]],
+        trace: Trace,
+    ) -> TraceJob:
+        rng = self._rng
+        profile = self.profile
+        pool = pools[slot.bin_idx]
+        size_bin = BINS[slot.bin_idx]
+        t = slot.time
+        t_rel = t - self.start_time
+        lo = max(size_bin.low, 4 * MB)
+        if slot.entries is not None and slot.period_idx is not None:
+            # Series inputs: sizes are quantized by period class — each
+            # class processes chunks centered on a characteristic size
+            # (log-spaced across the bin) with small jitter, so the file
+            # size feature genuinely encodes the re-access period.
+            n_classes = max(len(profile.period_choices), 1)
+            frac = (slot.period_idx + 0.5) / n_classes
+            center = lo * (size_bin.high / lo) ** frac
+            target_size = int(center * float(np.exp(rng.normal(0.0, 0.08))))
+            entries = slot.entries
+        elif slot.entries is not None:
+            target_size = int(
+                np.exp(rng.uniform(np.log(lo), np.log(size_bin.high)))
+            )
+            entries = slot.entries
+        else:
+            target_size = int(
+                np.exp(rng.uniform(np.log(lo), np.log(size_bin.high)))
+            )
+            k_lo, k_hi = profile.files_per_job[slot.bin_idx]
+            k = int(rng.integers(k_lo, k_hi + 1))
+            entries = self._pick_entries(pool, k, t, t_rel)
+        input_paths: List[str] = []
+        input_size = 0
+        per_file = max(int(target_size) // max(len(entries), 1), 1 * MB)
+        for entry in entries:
+            if entry.path is None:
+                entry.path = f"/data/{pool.bin_name}/in{entry.index:05d}"
+                entry.size = per_file
+                lead = rng.exponential(profile.creation_lead_mean)
+                entry.creation_time = max(self.start_time, t - lead)
+                trace.creations.append(
+                    FileCreation(entry.path, entry.size, entry.creation_time)
+                )
+            entry.last_access = t
+            entry.access_count += 1
+            input_paths.append(entry.path)
+            input_size += entry.size
+        # Job chains: occasionally read a recently produced output.  Only
+        # outputs of jobs submitted a while ago qualify — the producer
+        # must have finished writing by the time the consumer reads.
+        mature = [
+            o for o, t_out in recent_outputs if t_out <= t - 15 * 60.0
+        ]
+        if mature and rng.random() < profile.chain_prob:
+            chained = mature[int(rng.integers(len(mature)))]
+            if chained.path not in input_paths:
+                input_paths.append(chained.path)
+                input_size += chained.size
+        outputs: List[OutputSpec] = []
+        if rng.random() < profile.output_prob:
+            lo_r, hi_r = profile.output_ratio
+            ratio = float(np.exp(rng.uniform(np.log(lo_r), np.log(hi_r))))
+            out_size = max(int(input_size * ratio), 1 * MB)
+            output = OutputSpec(path=f"/out/job{job_id:05d}", size=out_size)
+            outputs.append(output)
+            recent_outputs.append((output, t))
+            if len(recent_outputs) > 50:
+                recent_outputs.pop(0)
+        cpu_lo, cpu_hi = profile.cpu_per_mb
+        cpu_per_byte = (
+            float(np.exp(rng.uniform(np.log(cpu_lo), np.log(cpu_hi)))) / MB
+        )
+        return TraceJob(
+            job_id=job_id,
+            submit_time=t,
+            input_paths=input_paths,
+            input_size=input_size,
+            outputs=outputs,
+            cpu_seconds_per_byte=cpu_per_byte,
+        )
+
+    # -- cold files ---------------------------------------------------------------
+    def _add_cold_files(self, trace: Trace) -> None:
+        """Top up never-read files and total bytes toward the targets.
+
+        Cold files model data loaded but never consumed during the window
+        (23% of files in FB, 18% in CMU).
+        """
+        target_never_read = {"FB": 0.23, "CMU": 0.18}.get(self.profile.name, 0.20)
+        counts = trace.access_counts()
+        never_read = sum(1 for c in counts.values() if c == 0)
+        total_files = len(counts)
+        # Solve (never_read + x) / (total + x) = target.
+        needed = (target_never_read * total_files - never_read) / (
+            1.0 - target_never_read
+        )
+        needed = max(int(round(needed)), 0)
+        remaining_bytes = max(self.profile.total_bytes - trace.total_bytes, 0)
+        rng = self._rng
+        for i in range(needed):
+            if remaining_bytes > 0:
+                mean = remaining_bytes / needed
+                size = int(np.clip(rng.exponential(mean), 1 * MB, 4096 * MB))
+            else:
+                size = int(rng.uniform(1 * MB, 64 * MB))
+            time = self.start_time + float(rng.uniform(0, self.profile.duration))
+            trace.creations.append(
+                FileCreation(f"/data/cold/cold{i:05d}", size, time)
+            )
+
+
+def synthesize_trace(
+    profile: WorkloadProfile, seed: int = 42, drift: bool = True
+) -> Trace:
+    """Convenience wrapper: build and run a :class:`TraceSynthesizer`."""
+    return TraceSynthesizer(profile, seed=seed, drift=drift).synthesize()

@@ -1,0 +1,42 @@
+"""Shared fixtures: small clusters and assembled DFS stacks."""
+
+import pytest
+
+from repro.cluster import build_local_cluster
+from repro.common.config import Configuration
+from repro.dfs import (
+    DFSClient,
+    Master,
+    NodeManager,
+    OctopusPlacementPolicy,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def topology():
+    return build_local_cluster(num_workers=4)
+
+
+@pytest.fixture
+def octopus_stack(sim, topology):
+    """A Master + Client on a 4-worker cluster with Octopus placement."""
+    node_manager = NodeManager(topology)
+    placement = OctopusPlacementPolicy(topology, node_manager, Configuration())
+    master = Master(topology, placement, sim)
+    return master, DFSClient(master)
+
+
+@pytest.fixture
+def master(octopus_stack):
+    return octopus_stack[0]
+
+
+@pytest.fixture
+def client(octopus_stack):
+    return octopus_stack[1]

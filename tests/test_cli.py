@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.workload == "FB"
+        assert args.placement == "octopus"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--workload", "nope"])
+
+
+class TestCommands:
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig02", "fig06", "table03", "fig14", "overheads"):
+            assert name in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_simulate_small(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--workload",
+                "FB",
+                "--scale",
+                "0.05",
+                "--downgrade",
+                "lru",
+                "--upgrade",
+                "osa",
+                "--workers",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit ratio" in out
+        assert "jobs finished" in out
+
+    def test_synthesize_writes_json(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "synthesize",
+                "--workload",
+                "CMU",
+                "--scale",
+                "0.05",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert data["name"] == "CMU"
+        assert data["jobs"]
+
+
+class TestSimulateExtensions:
+    def test_cache_mode_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "simulate",
+                "--workload",
+                "FB",
+                "--scale",
+                "0.03",
+                "--placement",
+                "hdfs",
+                "--downgrade",
+                "lru",
+                "--upgrade",
+                "osa",
+                "--cache-mode",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jobs finished" in out
+
+    def test_outages_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "simulate",
+                "--workload",
+                "FB",
+                "--scale",
+                "0.03",
+                "--downgrade",
+                "lru",
+                "--upgrade",
+                "osa",
+                "--outages",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outages:" in out

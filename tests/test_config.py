@@ -1,0 +1,79 @@
+"""Tests for the typed Configuration."""
+
+import pytest
+
+from repro.common.config import Configuration
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, MINUTES
+
+
+class TestBasics:
+    def test_get_with_default(self):
+        conf = Configuration()
+        assert conf.get("missing", 7) == 7
+
+    def test_set_and_get(self):
+        conf = Configuration()
+        conf.set("a.b", 1)
+        assert conf.get("a.b") == 1
+        assert "a.b" in conf
+
+    def test_init_from_mapping_and_len(self):
+        conf = Configuration({"x": 1, "y": 2})
+        assert len(conf) == 2
+        assert sorted(conf) == ["x", "y"]
+
+    def test_copy_is_independent(self):
+        conf = Configuration({"x": 1})
+        clone = conf.copy()
+        clone.set("x", 2)
+        assert conf.get("x") == 1
+
+    def test_update_and_as_dict(self):
+        conf = Configuration()
+        conf.update({"a": 1, "b": 2})
+        assert conf.as_dict() == {"a": 1, "b": 2}
+
+
+class TestTypedGetters:
+    def test_get_int_coerces_string(self):
+        conf = Configuration({"n": "42"})
+        assert conf.get_int("n") == 42
+
+    def test_get_float(self):
+        conf = Configuration({"f": "2.5"})
+        assert conf.get_float("f") == 2.5
+
+    @pytest.mark.parametrize("raw,expected", [
+        (True, True), ("true", True), ("YES", True), ("1", True), ("on", True),
+        (False, False), ("false", False), ("no", False), ("0", False), ("off", False),
+    ])
+    def test_get_bool(self, raw, expected):
+        conf = Configuration({"flag": raw})
+        assert conf.get_bool("flag") is expected
+
+    def test_get_bool_malformed(self):
+        conf = Configuration({"flag": "maybe"})
+        with pytest.raises(ConfigurationError):
+            conf.get_bool("flag")
+
+    def test_get_bytes_parses_suffix(self):
+        conf = Configuration({"size": "4GB"})
+        assert conf.get_bytes("size") == 4 * GB
+
+    def test_get_bytes_plain_int(self):
+        conf = Configuration({"size": 1024})
+        assert conf.get_bytes("size") == 1024
+
+    def test_get_duration_parses_suffix(self):
+        conf = Configuration({"w": "30min"})
+        assert conf.get_duration("w") == 30 * MINUTES
+
+    def test_missing_required_raises(self):
+        conf = Configuration()
+        with pytest.raises(ConfigurationError):
+            conf.get_int("absent")
+
+    def test_default_used_when_missing(self):
+        conf = Configuration()
+        assert conf.get_duration("absent", 60.0) == 60.0

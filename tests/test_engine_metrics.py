@@ -1,0 +1,88 @@
+"""Tests for the metrics collector and derived figures."""
+
+import pytest
+
+from repro.cluster import StorageTier
+from repro.common.units import MB
+from repro.engine.metrics import (
+    MetricsCollector,
+    completion_reduction,
+    efficiency_improvement,
+)
+
+
+class TestRecording:
+    def test_hit_ratios(self):
+        metrics = MetricsCollector()
+        metrics.record_task_read("A", StorageTier.MEMORY, 100 * MB)
+        metrics.record_task_read("A", StorageTier.HDD, 300 * MB)
+        assert metrics.hit_ratio() == pytest.approx(0.5)
+        assert metrics.byte_hit_ratio() == pytest.approx(0.25)
+
+    def test_location_ratios(self):
+        metrics = MetricsCollector()
+        metrics.record_file_access(True, 100 * MB)
+        metrics.record_file_access(False, 100 * MB)
+        metrics.record_file_access(False, 200 * MB)
+        assert metrics.location_hit_ratio() == pytest.approx(1 / 3)
+        assert metrics.location_byte_hit_ratio() == pytest.approx(0.25)
+
+    def test_empty_ratios_zero(self):
+        metrics = MetricsCollector()
+        assert metrics.hit_ratio() == 0.0
+        assert metrics.byte_hit_ratio() == 0.0
+        assert metrics.location_hit_ratio() == 0.0
+
+    def test_completion_accounting(self):
+        metrics = MetricsCollector()
+        metrics.record_job_completion("B", 10.0)
+        metrics.record_job_completion("B", 30.0)
+        assert metrics.bins["B"].mean_completion_time == 20.0
+        assert metrics.jobs_completed == 2
+
+    def test_task_time_per_bin(self):
+        metrics = MetricsCollector()
+        metrics.record_task_time("A", 5.0)
+        metrics.record_task_time("F", 7.0)
+        assert metrics.total_task_seconds() == 12.0
+
+    def test_tier_access_distribution_normalized(self):
+        metrics = MetricsCollector()
+        metrics.record_task_read("C", StorageTier.MEMORY, 300 * MB)
+        metrics.record_task_read("C", StorageTier.SSD, 100 * MB)
+        dist = metrics.tier_access_distribution()
+        assert dist["C"][StorageTier.MEMORY] == pytest.approx(0.75)
+        assert dist["C"][StorageTier.SSD] == pytest.approx(0.25)
+        assert dist["A"][StorageTier.MEMORY] == 0.0
+
+
+class TestDerivedFigures:
+    def baseline_and_candidate(self):
+        base = MetricsCollector()
+        cand = MetricsCollector()
+        for _ in range(4):
+            base.record_job_completion("D", 100.0)
+            cand.record_job_completion("D", 75.0)
+        base.record_task_time("D", 1000.0)
+        cand.record_task_time("D", 600.0)
+        return base, cand
+
+    def test_completion_reduction(self):
+        base, cand = self.baseline_and_candidate()
+        assert completion_reduction(base, cand)["D"] == pytest.approx(25.0)
+
+    def test_efficiency_improvement(self):
+        base, cand = self.baseline_and_candidate()
+        assert efficiency_improvement(base, cand)["D"] == pytest.approx(40.0)
+
+    def test_zero_baseline_guarded(self):
+        base, cand = MetricsCollector(), MetricsCollector()
+        assert completion_reduction(base, cand)["A"] == 0.0
+        assert efficiency_improvement(base, cand)["A"] == 0.0
+
+    def test_regression_shows_negative(self):
+        base = MetricsCollector()
+        cand = MetricsCollector()
+        base.record_job_completion("E", 50.0)
+        cand.record_job_completion("E", 100.0)
+        assert completion_reduction(base, cand)["E"] == pytest.approx(-100.0)

@@ -1,0 +1,130 @@
+"""Smoke tests for the experiment runners (reduced scale).
+
+The benchmark harness exercises the full-scale versions; these tests
+verify the runners' mechanics and renderers quickly.
+"""
+
+import pytest
+
+from repro.common.units import GB
+from repro.experiments.common import ExperimentScale, format_table, make_trace
+from repro.experiments.fig02_dfsio import render_fig02, run_fig02
+from repro.experiments.fig05_cdfs import render_fig05, run_fig05
+from repro.experiments.learning_modes import hourly_accuracy
+from repro.experiments.model_eval import FIG15_VARIANTS
+from repro.experiments.overheads import render_overheads, run_overheads
+from repro.experiments.table03_bins import render_table03, run_table03
+
+SMOKE = ExperimentScale(workload_scale=0.08, seed=9)
+
+
+class TestCommon:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        # title + header + separator + 2 data rows
+        assert len(lines) == 5
+        assert lines[1].startswith("a")
+
+    def test_make_trace_scales(self):
+        trace = make_trace("FB", SMOKE)
+        assert len(trace.jobs) == 80
+
+    def test_scale_profile_names(self):
+        assert SMOKE.profile("FB").name == "FB"
+        with pytest.raises(KeyError):
+            SMOKE.profile("nope")
+
+
+class TestTable03:
+    def test_rows_cover_all_bins(self):
+        result = run_table03(SMOKE)
+        assert len(result.rows["FB"]) == 6
+        assert len(result.rows["CMU"]) == 6
+        total = sum(r.pct_jobs for r in result.rows["FB"])
+        assert total == pytest.approx(100.0, abs=0.5)
+        assert "Table 3" in render_table03(result)
+
+
+class TestFig05:
+    def test_cdfs_built_for_both_workloads(self):
+        result = run_fig05(SMOKE)
+        assert set(result.job_sizes) == {"FB", "CMU"}
+        values, probs = result.job_sizes["FB"]
+        assert len(values) == len(probs) > 0
+        assert "Fig 5" in render_fig05(result)
+
+
+class TestFig02:
+    def test_small_dfsio_run(self):
+        result = run_fig02(total_bytes=6 * GB, workers=3)
+        assert set(result.write_curves) == {
+            "Original HDFS",
+            "HDFS with Cache",
+            "OctopusFS",
+            "Octopus++",
+        }
+        assert "WRITE" in render_fig02(result)
+
+
+class TestOverheads:
+    def test_measurements_positive(self):
+        result = run_overheads(SMOKE)
+        assert result.train_ms_per_sample > 0
+        assert result.predict_us_per_sample > 0
+        assert result.model_size_kb > 0
+        assert result.n_samples > 0
+        assert "overheads" in render_overheads(result)
+
+
+class TestLearningHelpers:
+    def test_hourly_accuracy_buckets(self):
+        history = [(600.0, True), (1800.0, False), (7200.0, True)]
+        series = hourly_accuracy(history, horizon=3 * 3600.0)
+        assert series[0] == pytest.approx(50.0)
+        assert series[2] == pytest.approx(100.0)
+
+    def test_empty_bucket_is_nan(self):
+        import numpy as np
+
+        series = hourly_accuracy([(100.0, True)], horizon=2 * 3600.0)
+        assert np.isnan(series[1])
+
+
+class TestFig15Variants:
+    def test_variant_specs_differ(self):
+        default_spec, _ = FIG15_VARIANTS["With 12 Accesses (Def)"]
+        no_size, _ = FIG15_VARIANTS["W/out Filesize"]
+        assert default_spec.include_size and not no_size.include_size
+        assert FIG15_VARIANTS["With 6 Accesses"][0].k == 6
+
+
+class TestExtendedPolicies:
+    def test_small_run_covers_all_policies(self):
+        from repro.experiments.extended_policies import (
+            render_extended_policies,
+            run_extended_policies,
+        )
+
+        result = run_extended_policies(
+            "FB", scale=SMOKE, policies=("random", "slru-k")
+        )
+        assert set(result.runs) == {"HDFS", "LRU", "XGB", "RANDOM", "SLRU-K"}
+        table = render_extended_policies(result)
+        assert "SLRU-K" in table and "RANDOM" in table
+
+
+class TestFaultToleranceExperiment:
+    def test_small_run_repairs_everything(self):
+        from repro.experiments.fault_tolerance import (
+            render_fault_tolerance,
+            run_fault_tolerance,
+        )
+
+        result = run_fault_tolerance("FB", scale=SMOKE, downtime=600.0)
+        assert set(result.runs) == {"no failures", "1 outage", "3 outages"}
+        worst = result.runs["3 outages"]
+        assert worst.failures == 3
+        assert worst.under_replicated_at_end == 0
+        assert "Fault tolerance" in render_fault_tolerance(result)

@@ -1,0 +1,116 @@
+"""Tests for the Sec 4.1 feature pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import DAYS, GB, HOURS, MB, MINUTES
+from repro.ml.features import (
+    FeatureSpec,
+    build_feature_vector,
+    feature_names,
+    label_for_window,
+)
+
+
+class TestFeatureSpec:
+    def test_default_dimensions(self):
+        spec = FeatureSpec()  # k=12
+        assert spec.num_features == 2 + 11 + 1 + 1  # deltas + anchors + size + creation
+
+    def test_ablation_dimensions(self):
+        assert FeatureSpec(include_size=False).num_features == FeatureSpec().num_features - 1
+        assert FeatureSpec(include_creation=False).num_features == FeatureSpec().num_features - 1
+        assert FeatureSpec(k=6).num_features == FeatureSpec().num_features - 6
+
+    def test_names_align_with_vector(self):
+        spec = FeatureSpec(k=4)
+        names = feature_names(spec)
+        vector = build_feature_vector(spec, 10 * MB, 0.0, [10.0, 20.0], 100.0)
+        assert len(names) == len(vector) == spec.num_features
+
+
+class TestBuildFeatureVector:
+    def test_worked_example_structure(self):
+        # Mirrors the paper's Fig 4: creation 8:00, accesses 9:20/9:50/11:10,
+        # reference 11:30, size 200MB.
+        spec = FeatureSpec(k=12, norm_interval=2 * DAYS, max_file_size=4 * GB)
+        h = HOURS
+        creation = 8 * h
+        accesses = [9 * h + 20 * MINUTES, 9 * h + 50 * MINUTES, 11 * h + 10 * MINUTES]
+        reference = 11 * h + 30 * MINUTES
+        vector = build_feature_vector(spec, 200 * MB, creation, accesses, reference)
+        # size normalized by 4GB
+        assert vector[0] == pytest.approx(200 * MB / (4 * GB))
+        # reference - creation = 3.5h
+        assert vector[1] == pytest.approx(3.5 * h / (2 * DAYS))
+        # reference - last access = 20min
+        assert vector[2] == pytest.approx(20 * MINUTES / (2 * DAYS))
+        # oldest access - creation = 80min
+        assert vector[3] == pytest.approx(80 * MINUTES / (2 * DAYS))
+        # most recent gap first: 11:10-9:50 = 80min, then 9:50-9:20 = 30min
+        assert vector[4] == pytest.approx(80 * MINUTES / (2 * DAYS))
+        assert vector[5] == pytest.approx(30 * MINUTES / (2 * DAYS))
+        # remaining delta slots missing
+        assert np.isnan(vector[6:]).all()
+
+    def test_never_accessed_file(self):
+        spec = FeatureSpec(k=4)
+        vector = build_feature_vector(spec, MB, 0.0, [], 100.0)
+        assert not np.isnan(vector[0])  # size
+        assert not np.isnan(vector[1])  # ref - creation
+        assert np.isnan(vector[2])  # ref - last access
+        assert np.isnan(vector[3])  # oldest - creation
+        assert np.isnan(vector[4:]).all()
+
+    def test_future_accesses_excluded(self):
+        spec = FeatureSpec(k=4)
+        with_future = build_feature_vector(spec, MB, 0.0, [10.0, 50.0], 20.0)
+        without = build_feature_vector(spec, MB, 0.0, [10.0], 20.0)
+        assert np.allclose(with_future, without, equal_nan=True)
+
+    def test_only_last_k_accesses_used(self):
+        spec = FeatureSpec(k=3)
+        accesses = [float(i) for i in range(10)]
+        vector = build_feature_vector(spec, MB, 0.0, accesses, 20.0)
+        # k=3 -> 2 delta slots, both present (from accesses 7,8,9)
+        assert not np.isnan(vector[4])
+
+    def test_normalization_clips_to_one(self):
+        spec = FeatureSpec(k=4, norm_interval=60.0)
+        vector = build_feature_vector(spec, 100 * GB, 0.0, [10.0], 1000.0)
+        assert vector[0] == 1.0  # size clipped
+        assert vector[1] == 1.0  # huge delta clipped
+
+    def test_unsorted_accesses_handled(self):
+        spec = FeatureSpec(k=4)
+        a = build_feature_vector(spec, MB, 0.0, [30.0, 10.0, 20.0], 50.0)
+        b = build_feature_vector(spec, MB, 0.0, [10.0, 20.0, 30.0], 50.0)
+        assert np.allclose(a, b, equal_nan=True)
+
+    def test_reference_before_creation_rejected(self):
+        spec = FeatureSpec()
+        with pytest.raises(ValueError):
+            build_feature_vector(spec, MB, 100.0, [], 50.0)
+
+    def test_ablation_flags_drop_columns(self):
+        spec = FeatureSpec(k=4, include_size=False)
+        vector = build_feature_vector(spec, MB, 0.0, [10.0], 20.0)
+        # First entry is now ref-creation, not size.
+        assert vector[0] == pytest.approx(20.0 / spec.norm_interval)
+
+
+class TestLabelForWindow:
+    def test_access_inside_window(self):
+        assert label_for_window([105.0], 100.0, 10.0) == 1
+
+    def test_access_at_boundary_included(self):
+        assert label_for_window([110.0], 100.0, 10.0) == 1
+
+    def test_access_at_reference_excluded(self):
+        assert label_for_window([100.0], 100.0, 10.0) == 0
+
+    def test_access_after_window_excluded(self):
+        assert label_for_window([111.0], 100.0, 10.0) == 0
+
+    def test_no_accesses(self):
+        assert label_for_window([], 100.0, 10.0) == 0

@@ -1,0 +1,111 @@
+"""Tests for storage tiers, media profiles, and devices."""
+
+import pytest
+
+from repro.cluster.hardware import (
+    DEFAULT_MEDIA_PROFILES,
+    MediaProfile,
+    StorageDevice,
+    StorageTier,
+    make_device,
+)
+from repro.common.errors import InsufficientSpaceError
+from repro.common.units import GB, MB
+
+
+class TestStorageTier:
+    def test_ordering_fastest_first(self):
+        assert StorageTier.MEMORY < StorageTier.SSD < StorageTier.HDD
+        assert min(StorageTier) is StorageTier.MEMORY
+
+    def test_higher_and_lower_tiers(self):
+        assert StorageTier.HDD.higher_tiers() == (
+            StorageTier.MEMORY,
+            StorageTier.SSD,
+        )
+        assert StorageTier.MEMORY.lower_tiers() == (
+            StorageTier.SSD,
+            StorageTier.HDD,
+        )
+        assert StorageTier.MEMORY.higher_tiers() == ()
+        assert StorageTier.HDD.lower_tiers() == ()
+
+    def test_extremes(self):
+        assert StorageTier.MEMORY.is_highest
+        assert StorageTier.HDD.is_lowest
+        assert not StorageTier.SSD.is_highest
+
+
+class TestMediaProfile:
+    def test_read_faster_than_write_for_defaults(self):
+        for profile in DEFAULT_MEDIA_PROFILES.values():
+            assert profile.read_bw >= profile.write_bw
+
+    def test_memory_fastest(self):
+        profiles = DEFAULT_MEDIA_PROFILES
+        assert (
+            profiles[StorageTier.MEMORY].read_bw
+            > profiles[StorageTier.SSD].read_bw
+            > profiles[StorageTier.HDD].read_bw
+        )
+
+    def test_read_time_scales_with_size(self):
+        profile = DEFAULT_MEDIA_PROFILES[StorageTier.HDD]
+        assert profile.read_time(256 * MB) > profile.read_time(128 * MB)
+
+    def test_times_include_latency(self):
+        profile = MediaProfile(StorageTier.SSD, 100.0, 100.0, seek_latency=1.0)
+        assert profile.read_time(0) == pytest.approx(1.0)
+        assert profile.write_time(100) == pytest.approx(2.0)
+
+
+class TestStorageDevice:
+    def make(self, capacity=1 * GB):
+        return make_device("n0:mem0", StorageTier.MEMORY, capacity)
+
+    def test_allocate_and_release(self):
+        device = self.make()
+        device.allocate(1, 128 * MB)
+        assert device.used == 128 * MB
+        assert device.free == 1 * GB - 128 * MB
+        assert device.holds(1)
+        device.release(1, 128 * MB)
+        assert device.used == 0
+        assert not device.holds(1)
+
+    def test_over_allocation_raises(self):
+        device = self.make(capacity=100 * MB)
+        with pytest.raises(InsufficientSpaceError):
+            device.allocate(1, 200 * MB)
+
+    def test_duplicate_replica_rejected(self):
+        device = self.make()
+        device.allocate(1, MB)
+        with pytest.raises(ValueError):
+            device.allocate(1, MB)
+
+    def test_release_unknown_rejected(self):
+        device = self.make()
+        with pytest.raises(ValueError):
+            device.release(99, MB)
+
+    def test_utilization(self):
+        device = self.make(capacity=100 * MB)
+        device.allocate(1, 25 * MB)
+        assert device.utilization == pytest.approx(0.25)
+
+    def test_has_space_exact_fit(self):
+        device = self.make(capacity=64 * MB)
+        assert device.has_space(64 * MB)
+        device.allocate(1, 64 * MB)
+        assert not device.has_space(1)
+
+    def test_replica_count(self):
+        device = self.make()
+        for i in range(3):
+            device.allocate(i, MB)
+        assert device.replica_count == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            make_device("x", StorageTier.SSD, 0)

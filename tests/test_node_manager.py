@@ -1,0 +1,66 @@
+"""Tests for per-node I/O statistics."""
+
+import pytest
+
+from repro.cluster import StorageTier, build_local_cluster
+from repro.common.units import MB
+from repro.dfs.node_manager import NodeManager
+
+
+@pytest.fixture
+def manager():
+    return NodeManager(build_local_cluster(num_workers=3))
+
+
+def node_id(manager, index=0):
+    return manager.topology.nodes[index].node_id
+
+
+class TestCounters:
+    def test_read_write_accounting(self, manager):
+        n = node_id(manager)
+        manager.record_read(n, StorageTier.MEMORY, 10 * MB)
+        manager.record_write(n, StorageTier.HDD, 20 * MB)
+        stats = manager.stats(n)
+        assert stats.bytes_read[StorageTier.MEMORY] == 10 * MB
+        assert stats.bytes_written[StorageTier.HDD] == 20 * MB
+        assert stats.total_bytes_read == 10 * MB
+        assert stats.total_bytes_written == 20 * MB
+
+    def test_cluster_aggregates(self, manager):
+        manager.record_read(node_id(manager, 0), StorageTier.SSD, 5 * MB)
+        manager.record_read(node_id(manager, 1), StorageTier.SSD, 7 * MB)
+        assert manager.cluster_bytes_read(StorageTier.SSD) == 12 * MB
+        assert manager.cluster_bytes_written(StorageTier.SSD) == 0
+
+
+class TestTransfers:
+    def test_active_transfer_lifecycle(self, manager):
+        n = node_id(manager)
+        manager.transfer_started(n)
+        manager.transfer_started(n)
+        assert manager.stats(n).active_transfers == 2
+        assert manager.stats(n).total_transfers == 2
+        manager.transfer_finished(n)
+        assert manager.stats(n).active_transfers == 1
+
+    def test_underflow_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.transfer_finished(node_id(manager))
+
+    def test_load_score_monotone(self, manager):
+        n = node_id(manager)
+        idle = manager.load_score(n)
+        manager.transfer_started(n)
+        busy = manager.load_score(n)
+        assert idle == 0.0
+        assert 0.0 < busy < 1.0
+
+    def test_least_loaded(self, manager):
+        a, b = node_id(manager, 0), node_id(manager, 1)
+        manager.transfer_started(a)
+        assert manager.least_loaded([a, b]) == b
+
+    def test_least_loaded_empty_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.least_loaded([])

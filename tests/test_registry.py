@@ -1,0 +1,82 @@
+"""Tests for the policy registry and end-to-end pair definitions."""
+
+import pytest
+
+from repro.cluster import build_local_cluster
+from repro.common.units import GB
+from repro.core import (
+    DOWNGRADE_POLICY_NAMES,
+    END_TO_END_PAIRS,
+    ReplicationManager,
+    UPGRADE_POLICY_NAMES,
+    configure_policies,
+)
+from repro.core.registry import EXTRA_DOWNGRADE_POLICY_NAMES
+from repro.dfs import Master, NodeManager, OctopusPlacementPolicy
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def manager():
+    sim = Simulator()
+    topo = build_local_cluster(num_workers=2, memory_per_node=1 * GB)
+    nm = NodeManager(topo)
+    master = Master(topo, OctopusPlacementPolicy(topo, nm), sim)
+    return ReplicationManager(master, sim)
+
+
+class TestNames:
+    def test_table1_policies_all_constructible(self, manager):
+        for name in DOWNGRADE_POLICY_NAMES:
+            configure_policies(manager, downgrade=name)
+            assert manager.downgrade_policy.name == name
+
+    def test_table2_policies_all_constructible(self, manager):
+        for name in UPGRADE_POLICY_NAMES:
+            configure_policies(manager, upgrade=name)
+            assert manager.upgrade_policy.name == name
+
+    def test_extension_policies_all_constructible(self, manager):
+        for name in EXTRA_DOWNGRADE_POLICY_NAMES:
+            configure_policies(manager, downgrade=name)
+            assert manager.downgrade_policy.name == name
+
+    def test_case_insensitive(self, manager):
+        configure_policies(manager, downgrade="LRU", upgrade="OSA")
+        assert manager.downgrade_policy.name == "lru"
+        assert manager.upgrade_policy.name == "osa"
+
+    def test_none_leaves_side_unset(self, manager):
+        configure_policies(manager, downgrade="lru")
+        assert manager.upgrade_policy is None
+
+
+class TestSharing:
+    def test_lrfu_pair_shares_tracker(self, manager):
+        configure_policies(manager, downgrade="lrfu", upgrade="lrfu")
+        assert manager.downgrade_policy.weights is manager.upgrade_policy.weights
+
+    def test_exd_pair_shares_tracker(self, manager):
+        configure_policies(manager, downgrade="exd", upgrade="exd")
+        assert manager.downgrade_policy.weights is manager.upgrade_policy.weights
+
+    def test_xgb_pair_shares_trainer_models(self, manager):
+        configure_policies(manager, downgrade="xgb", upgrade="xgb")
+        trainer = manager.trainer
+        assert trainer is not None
+        assert manager.downgrade_policy.model is trainer.downgrade_model
+        assert manager.upgrade_policy.model is trainer.upgrade_model
+        assert trainer.downgrade_model is not trainer.upgrade_model
+
+    def test_marker_uses_downgrade_model(self, manager):
+        configure_policies(manager, downgrade="marker")
+        assert manager.downgrade_policy.model is manager.trainer.downgrade_model
+
+
+class TestEndToEndPairs:
+    def test_pairs_match_paper_labels(self):
+        assert set(END_TO_END_PAIRS) == {"LRU-OSA", "LRFU", "EXD", "XGB"}
+        assert END_TO_END_PAIRS["LRU-OSA"] == ("lru", "osa")
+        for label, (down, up) in END_TO_END_PAIRS.items():
+            assert down in DOWNGRADE_POLICY_NAMES
+            assert up in UPGRADE_POLICY_NAMES

@@ -1,0 +1,104 @@
+"""Tests for model and trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gbt import GBTParams, GradientBoostedTrees
+from repro.ml.serialize import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.workload import FB_PROFILE, scaled_profile, synthesize_trace
+from repro.workload.serialize import (
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+def fitted_model(seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((300, 5))
+    X[rng.random((300, 5)) < 0.1] = np.nan
+    y = (np.nan_to_num(X[:, 0], nan=0.8) > 0.5).astype(int)
+    model = GradientBoostedTrees(GBTParams(num_rounds=4, max_depth=4)).fit(X, y)
+    return model, X
+
+
+class TestModelSerialization:
+    def test_roundtrip_predictions_identical(self):
+        model, X = fitted_model()
+        clone = model_from_dict(model_to_dict(model))
+        assert np.allclose(model.predict_proba(X), clone.predict_proba(X))
+
+    def test_roundtrip_preserves_params(self):
+        model, _ = fitted_model()
+        clone = model_from_dict(model_to_dict(model))
+        assert clone.params == model.params
+        assert clone.num_trees == model.num_trees
+
+    def test_file_roundtrip(self, tmp_path):
+        model, X = fitted_model()
+        path = str(tmp_path / "model.json")
+        save_model(model, path)
+        loaded = load_model(path)
+        assert np.allclose(model.predict_proba(X), loaded.predict_proba(X))
+
+    def test_missing_value_routing_survives(self):
+        model, _ = fitted_model()
+        clone = model_from_dict(model_to_dict(model))
+        probe = np.full((1, 5), np.nan)
+        assert model.predict_proba(probe)[0] == pytest.approx(
+            clone.predict_proba(probe)[0]
+        )
+
+    def test_unfitted_rejected(self):
+        from repro.ml.serialize import tree_to_dict
+        from repro.ml.tree import RegressionTree
+
+        with pytest.raises(ValueError):
+            tree_to_dict(RegressionTree())
+
+    def test_bad_version_rejected(self):
+        model, _ = fitted_model()
+        data = model_to_dict(model)
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            model_from_dict(data)
+
+
+class TestTraceSerialization:
+    def test_roundtrip_equality(self):
+        trace = synthesize_trace(scaled_profile(FB_PROFILE, 0.05), seed=3)
+        clone = trace_from_dict(trace_to_dict(trace))
+        assert clone.name == trace.name
+        assert clone.duration == trace.duration
+        assert len(clone.jobs) == len(trace.jobs)
+        assert [c.path for c in clone.creations] == [c.path for c in trace.creations]
+        for a, b in zip(clone.jobs, trace.jobs):
+            assert a.input_paths == b.input_paths
+            assert a.outputs == b.outputs
+            assert a.submit_time == b.submit_time
+
+    def test_statistics_preserved(self):
+        trace = synthesize_trace(scaled_profile(FB_PROFILE, 0.05), seed=3)
+        clone = trace_from_dict(trace_to_dict(trace))
+        assert clone.total_bytes == trace.total_bytes
+        assert clone.never_read_fraction() == trace.never_read_fraction()
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = synthesize_trace(scaled_profile(FB_PROFILE, 0.05), seed=4)
+        path = str(tmp_path / "trace.json")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.file_count == trace.file_count
+
+    def test_bad_version_rejected(self):
+        trace = synthesize_trace(scaled_profile(FB_PROFILE, 0.05), seed=5)
+        data = trace_to_dict(trace)
+        data["format_version"] = 0
+        with pytest.raises(ValueError):
+            trace_from_dict(data)

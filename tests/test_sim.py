@@ -1,0 +1,160 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import ManualClock, PeriodicTimer, Simulator
+
+
+class TestManualClock:
+    def test_advance(self):
+        clock = ManualClock()
+        clock.advance(5.0)
+        assert clock.now() == 5.0
+
+    def test_set_forward_only(self):
+        clock = ManualClock(10.0)
+        clock.set(12.0)
+        assert clock.now() == 12.0
+        with pytest.raises(ValueError):
+            clock.set(1.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(5.0, lambda: log.append("b"))
+        sim.at(1.0, lambda: log.append("a"))
+        sim.at(9.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_run_fifo(self):
+        sim = Simulator()
+        log = []
+        for name in "xyz":
+            sim.at(3.0, lambda n=name: log.append(n))
+        sim.run()
+        assert log == ["x", "y", "z"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.at(7.5, lambda: None)
+        sim.run()
+        assert sim.now() == 7.5
+
+    def test_after_is_relative(self):
+        sim = Simulator(start=100.0)
+        seen = []
+        sim.after(3.0, lambda: seen.append(sim.now()))
+        sim.run()
+        assert seen == [103.0]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator(start=10.0)
+        with pytest.raises(SimulationError):
+            sim.at(5.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.after(-1.0, lambda: None)
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append(1))
+        sim.at(10.0, lambda: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now() == 5.0
+        sim.run()
+        assert log == [1, 10]
+
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        event = sim.at(1.0, lambda: log.append("no"))
+        event.cancel()
+        sim.at(2.0, lambda: log.append("yes"))
+        sim.run()
+        assert log == ["yes"]
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        log = []
+
+        def chain():
+            log.append(sim.now())
+            if sim.now() < 3:
+                sim.after(1.0, chain)
+
+        sim.after(1.0, chain)
+        sim.run()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.after(0.0, forever)
+
+        sim.after(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestPeriodicTimer:
+    def test_fires_every_interval(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTimer(sim, 10.0, lambda: ticks.append(sim.now()))
+        sim.run(until=35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_stop_prevents_future_fires(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 5.0, lambda: ticks.append(sim.now()))
+        sim.run(until=12.0)
+        timer.stop()
+        sim.run(until=100.0)
+        assert ticks == [5.0, 10.0]
+        assert timer.stopped
+
+    def test_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTimer(sim, 10.0, lambda: ticks.append(sim.now()), start_delay=1.0)
+        sim.run(until=22.0)
+        assert ticks == [1.0, 11.0, 21.0]
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            PeriodicTimer(Simulator(), 0.0, lambda: None)
+
+    def test_stop_from_within_callback(self):
+        sim = Simulator()
+        ticks = []
+        holder = {}
+
+        def tick():
+            ticks.append(sim.now())
+            if len(ticks) == 2:
+                holder["t"].stop()
+
+        holder["t"] = PeriodicTimer(sim, 1.0, tick)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]

@@ -1,0 +1,57 @@
+"""Tests for the scheduler's tier-awareness knob."""
+
+from repro.common.units import MB
+from repro.engine import SystemConfig, WorkloadRunner
+from repro.workload import FileCreation, Trace, TraceJob
+
+
+def single_read_trace():
+    trace = Trace(name="t", duration=100.0)
+    trace.creations = [FileCreation("/in", 128 * MB, 0.0)]
+    trace.jobs = [
+        TraceJob(0, 1.0, ["/in"], 128 * MB, [], cpu_seconds_per_byte=0.0)
+    ]
+    return trace
+
+
+class TestTierAwareness:
+    def test_tier_aware_reads_from_memory_on_idle_cluster(self):
+        runner = WorkloadRunner(
+            single_read_trace(),
+            SystemConfig(label="aware", placement="octopus", workers=6,
+                         tier_aware_scheduler=True),
+        )
+        result = runner.run()
+        assert result.metrics.task_reads_memory == 1
+
+    def test_tier_unaware_still_achieves_locality(self):
+        runner = WorkloadRunner(
+            single_read_trace(),
+            SystemConfig(label="stock", placement="octopus", workers=6,
+                         tier_aware_scheduler=False),
+        )
+        result = runner.run()
+        # The task lands on *a* replica node (local read), though not
+        # necessarily the memory one.
+        assert result.metrics.task_reads == 1
+        assert result.metrics.bytes_read == 128 * MB
+
+    def test_aware_memory_hits_dominate_unaware(self):
+        # Many single-block files: aware scheduling should read from
+        # memory at least as often as the stock scheduler.
+        trace = Trace(name="t", duration=300.0)
+        trace.creations = [FileCreation(f"/f{i}", 128 * MB, 0.0) for i in range(12)]
+        trace.jobs = [
+            TraceJob(i, 1.0 + i * 0.1, [f"/f{i}"], 128 * MB, [],
+                     cpu_seconds_per_byte=1e-7)
+            for i in range(12)
+        ]
+        results = {}
+        for aware in (True, False):
+            runner = WorkloadRunner(
+                trace,
+                SystemConfig(label=str(aware), placement="octopus", workers=4,
+                             task_slots=2, tier_aware_scheduler=aware),
+            )
+            results[aware] = runner.run().metrics.hit_ratio()
+        assert results[True] >= results[False]

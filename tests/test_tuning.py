@@ -1,0 +1,78 @@
+"""Tests for the Sec 4.3 hyperparameter grid-search harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.tuning import (
+    GridCell,
+    TuningResult,
+    render_tuning,
+    run_tuning,
+    select_operating_point,
+)
+
+SMALL = ExperimentScale(workload_scale=0.2)
+
+
+def cell(workload, d, r, auc_value, cost):
+    return GridCell(
+        workload=workload,
+        max_depth=d,
+        num_rounds=r,
+        auc=auc_value,
+        accuracy=0.9,
+        train_seconds=cost,
+        trees_nodes=100,
+    )
+
+
+class TestSelection:
+    def test_prefers_cheapest_within_tolerance(self):
+        result = TuningResult(
+            cells=[
+                cell("FB", 20, 10, 0.970, 2.0),
+                cell("FB", 8, 10, 0.968, 0.5),
+                cell("FB", 4, 5, 0.900, 0.1),
+            ]
+        )
+        assert select_operating_point(result, tolerance=0.005) == (8, 10)
+
+    def test_strict_tolerance_takes_the_best(self):
+        result = TuningResult(
+            cells=[
+                cell("FB", 20, 10, 0.970, 2.0),
+                cell("FB", 8, 10, 0.960, 0.5),
+            ]
+        )
+        assert select_operating_point(result, tolerance=0.0) == (20, 10)
+
+    def test_means_average_over_workloads(self):
+        result = TuningResult(
+            cells=[
+                cell("FB", 20, 10, 0.90, 1.0),
+                cell("CMU", 20, 10, 0.80, 3.0),
+            ]
+        )
+        assert result.mean_auc()[(20, 10)] == pytest.approx(0.85)
+        assert result.mean_cost()[(20, 10)] == pytest.approx(2.0)
+
+
+class TestGridRun:
+    def test_small_grid_runs_and_renders(self):
+        result = run_tuning(depths=(4, 12), rounds=(5,), scale=SMALL)
+        # 2 workloads x 2 depths x 1 rounds.
+        assert len(result.cells) == 4
+        assert all(0.0 <= c.auc <= 1.0 for c in result.cells)
+        assert all(c.train_seconds > 0 for c in result.cells)
+        assert result.selected in {(4, 5), (12, 5)}
+        table = render_tuning(result)
+        assert "selected" in table
+        assert "Sec 4.3" in table
+
+    def test_deeper_trees_have_more_nodes(self):
+        result = run_tuning(depths=(2, 12), rounds=(5,), scale=SMALL)
+        by_depth = {}
+        for c in result.cells:
+            by_depth.setdefault(c.max_depth, []).append(c.trees_nodes)
+        assert np.mean(by_depth[2]) <= np.mean(by_depth[12])

@@ -1,0 +1,95 @@
+"""Tests for byte/duration unit parsing and formatting."""
+
+import pytest
+
+from repro.common.units import (
+    DAYS,
+    GB,
+    HOURS,
+    KB,
+    MB,
+    MINUTES,
+    TB,
+    format_bytes,
+    format_duration,
+    parse_bytes,
+    parse_duration,
+)
+
+
+class TestConstants:
+    def test_byte_ladder(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+    def test_duration_ladder(self):
+        assert MINUTES == 60.0
+        assert HOURS == 60 * MINUTES
+        assert DAYS == 24 * HOURS
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("128MB", 128 * MB),
+            ("128mb", 128 * MB),
+            ("4g", 4 * GB),
+            ("1.5k", int(1.5 * KB)),
+            ("512", 512),
+            ("0.5tb", int(0.5 * TB)),
+            ("7b", 7),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "abc", "12qb", "-5m", "1 2 m"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_bytes(text)
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("30min", 30 * MINUTES),
+            ("6h", 6 * HOURS),
+            ("90s", 90.0),
+            ("1.5hr", 1.5 * HOURS),
+            ("250ms", 0.25),
+            ("42", 42.0),
+            ("2d", 2 * DAYS),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_duration(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["", "fast", "10 parsecs"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_duration(text)
+
+
+class TestFormat:
+    def test_format_bytes_picks_suffix(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2 * KB) == "2.00KB"
+        assert format_bytes(128 * MB) == "128.00MB"
+        assert format_bytes(3 * GB) == "3.00GB"
+        assert format_bytes(2 * TB) == "2.00TB"
+
+    def test_format_duration_styles(self):
+        assert format_duration(12.5) == "12.50s"
+        assert format_duration(90) == "1m30.0s"
+        assert format_duration(3725) == "1h02m05.0s"
+
+    def test_format_duration_negative(self):
+        assert format_duration(-30).startswith("-")
+
+    def test_roundtrip(self):
+        for value in (1, KB, 3 * MB, 7 * GB):
+            assert parse_bytes(format_bytes(value)) == value

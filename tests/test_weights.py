@@ -1,0 +1,114 @@
+"""Tests for LRFU and EXD weight trackers (Formulas 1 and 2)."""
+
+import math
+
+import pytest
+
+from repro.common.units import HOURS
+from repro.core.weights import ExdWeights, LrfuWeights
+from repro.dfs.namespace import FSDirectory
+
+
+_FS = FSDirectory()
+_COUNTER = [0]
+
+
+def make_file(path=None):
+    # One shared namespace so every file gets a distinct inode id (the
+    # weight trackers key by inode id).
+    _COUNTER[0] += 1
+    path = path or f"/f{_COUNTER[0]}"
+    return _FS.create_file(f"{path}.{_COUNTER[0]}", creation_time=0.0)
+
+
+class TestLrfuWeights:
+    def test_initial_weight_is_one(self):
+        weights = LrfuWeights(half_life=6 * HOURS)
+        file = make_file()
+        weights.on_create(file, 0.0)
+        assert weights.raw_weight(file) == 1.0
+
+    def test_half_life_semantics(self):
+        # Paper example: H=6h, access 6 hours after the last one gives
+        # W = 1 + W/2.
+        weights = LrfuWeights(half_life=6 * HOURS)
+        file = make_file()
+        weights.on_create(file, 0.0)
+        new = weights.on_access(file, 6 * HOURS)
+        assert new == pytest.approx(1.5)
+
+    def test_rapid_accesses_accumulate(self):
+        weights = LrfuWeights(half_life=6 * HOURS)
+        file = make_file()
+        weights.on_create(file, 0.0)
+        for i in range(1, 6):
+            weights.on_access(file, float(i))
+        # Nearly no decay between accesses: W -> ~i+1.
+        assert weights.raw_weight(file) > 4.5
+
+    def test_effective_decays_without_access(self):
+        weights = LrfuWeights(half_life=1 * HOURS)
+        file = make_file()
+        weights.on_create(file, 0.0)
+        weights.on_access(file, 0.0)
+        w_now = weights.effective(file, 0.0)
+        w_later = weights.effective(file, 2 * HOURS)
+        assert w_later < w_now
+        assert weights.effective(file, 1 * HOURS) == pytest.approx(w_now / 2)
+
+    def test_untracked_file_weight_zero(self):
+        weights = LrfuWeights()
+        assert weights.effective(make_file(), 10.0) == 0.0
+
+    def test_access_without_create_initializes(self):
+        weights = LrfuWeights()
+        file = make_file()
+        weights.on_access(file, 5.0)
+        assert weights.raw_weight(file) >= 1.0
+
+    def test_delete_removes_state(self):
+        weights = LrfuWeights()
+        file = make_file()
+        weights.on_create(file, 0.0)
+        weights.on_delete(file)
+        assert weights.effective(file, 1.0) == 0.0
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ValueError):
+            LrfuWeights(half_life=0.0)
+
+
+class TestExdWeights:
+    def test_decay_rate_matches_formula(self):
+        alpha = 1.16e-5
+        weights = ExdWeights(alpha=alpha)
+        file = make_file()
+        weights.on_create(file, 0.0)
+        elapsed = 1000.0
+        new = weights.on_access(file, elapsed)
+        assert new == pytest.approx(1.0 + math.exp(-alpha * elapsed))
+
+    def test_default_alpha_one_day_decay(self):
+        # 1.16e-5 per second ~= e^-1 over one day (Big SQL's constant).
+        weights = ExdWeights()
+        file = make_file()
+        weights.on_create(file, 0.0)
+        weights.on_access(file, 0.0)
+        day = 24 * HOURS
+        assert weights.effective(file, day) == pytest.approx(
+            weights.raw_weight(file) * math.exp(-1.00224), rel=1e-3
+        )
+
+    def test_frequent_access_beats_stale(self):
+        weights = ExdWeights()
+        hot, cold = make_file("/hot"), make_file("/cold")
+        for f in (hot, cold):
+            weights.on_create(f, 0.0)
+        weights.on_access(cold, 0.0)
+        for t in (100.0, 200.0, 300.0):
+            weights.on_access(hot, t)
+        assert weights.effective(hot, 400.0) > weights.effective(cold, 400.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ExdWeights(alpha=-1.0)
