@@ -1,0 +1,87 @@
+"""Record the tier-hierarchy benchmark baseline (BENCH_tiers.json).
+
+Runs the FB workload under the ``default3`` and ``nvme4`` hierarchies
+with the LRU/OSA policy pair and records wall-clock runtime, hit
+ratios, and per-tier movement, so future PRs can track the performance
+trajectory of the simulator and the effect of hierarchy depth.
+
+Usage::
+
+    python benchmarks/bench_tiers.py [--out BENCH_tiers.json] [--scale 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.common.units import GB
+from repro.engine.runner import SystemConfig, run_workload
+from repro.workload.profiles import PROFILES, scaled_profile
+from repro.workload.synthesis import synthesize_trace
+
+TIER_PRESETS = ("default3", "nvme4")
+
+
+def bench_one(trace, tiers: str, seed: int) -> dict:
+    config = SystemConfig(
+        label=f"FB/{tiers}/lru-osa",
+        placement="octopus",
+        downgrade="lru",
+        upgrade="osa",
+        tiers=tiers,
+        seed=seed,
+    )
+    start = time.perf_counter()
+    result = run_workload(trace, config)
+    runtime = time.perf_counter() - start
+    return {
+        "tiers": tiers,
+        "runtime_seconds": round(runtime, 3),
+        "jobs_finished": result.jobs_finished,
+        "hit_ratio": round(result.metrics.hit_ratio(), 4),
+        "byte_hit_ratio": round(result.metrics.byte_hit_ratio(), 4),
+        "location_hit_ratio": round(result.metrics.location_hit_ratio(), 4),
+        "task_hours": round(result.metrics.total_task_seconds() / 3600.0, 3),
+        "bytes_upgraded_gb": {
+            name: round(v / GB, 3)
+            for name, v in result.bytes_upgraded_by_tier.items()
+        },
+        "bytes_downgraded_gb": {
+            name: round(v / GB, 3)
+            for name, v in result.bytes_downgraded_by_tier.items()
+        },
+        "transfers_committed": result.transfers_committed,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_tiers.json")
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    trace = synthesize_trace(
+        scaled_profile(PROFILES["FB"], args.scale), seed=args.seed
+    )
+    report = {
+        "workload": "FB",
+        "scale": args.scale,
+        "seed": args.seed,
+        "policies": "lru/osa",
+        "python": platform.python_version(),
+        "runs": [bench_one(trace, tiers, args.seed) for tiers in TIER_PRESETS],
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

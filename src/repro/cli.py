@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import Callable, Dict, Tuple
 
+from repro.cluster.hardware import get_hierarchy, hierarchy_names
 from repro.common.units import GB
 from repro.engine.runner import SystemConfig, run_workload
 from repro.workload.profiles import PROFILES, scaled_profile
@@ -121,6 +122,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         downgrade=args.downgrade,
         upgrade=args.upgrade,
         workers=args.workers,
+        tiers=args.tiers,
         cache_mode=args.cache_mode,
         tier_aware_scheduler=args.tier_aware,
         conf=conf,
@@ -150,6 +152,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"task hours:       {result.metrics.total_task_seconds() / 3600:.2f}")
     print(f"upgraded to mem:  {result.bytes_upgraded_memory / GB:.2f} GB")
     print(f"downgraded:       {result.bytes_downgraded_memory / GB:.2f} GB")
+    if args.tiers != "default3" and result.bytes_downgraded_by_tier:
+        hierarchy = get_hierarchy(args.tiers)
+        for tier in hierarchy:
+            up = result.bytes_upgraded_by_tier.get(tier.name, 0)
+            down = result.bytes_downgraded_by_tier.get(tier.name, 0)
+            print(
+                f"  tier {tier.name:<7} upgraded-in {up / GB:6.2f} GB, "
+                f"downgraded-out {down / GB:6.2f} GB"
+            )
     for name, bin_metrics in result.metrics.bins.items():
         if bin_metrics.jobs_completed:
             print(
@@ -191,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--downgrade", default=None)
     p_sim.add_argument("--upgrade", default=None)
     p_sim.add_argument("--workers", type=int, default=11)
+    p_sim.add_argument(
+        "--tiers",
+        choices=hierarchy_names(),
+        default="default3",
+        help="tier hierarchy preset (default3 = the paper's memory/SSD/HDD)",
+    )
     p_sim.add_argument("--scale", type=float, default=1.0)
     p_sim.add_argument("--seed", type=int, default=42)
     p_sim.add_argument(

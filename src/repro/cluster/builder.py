@@ -3,15 +3,18 @@
 ``build_local_cluster`` mirrors the 12-node lab cluster of Sec 7 (1 master
 plus 11 workers; 4GB memory / 64GB SSD / 400GB HDD of file-block space per
 worker).  ``build_ec2_cluster`` mirrors the m4.2xlarge EC2 setup of
-Sec 7.5 used for the scalability study.
+Sec 7.5 used for the scalability study.  ``build_tiered_cluster`` builds
+the same shape of cluster over any :class:`TierHierarchy` preset
+(``default3``, ``mem-hdd``, ``nvme4``, ``remote5``, or a custom one),
+provisioning each node from the tier specs' capacity defaults.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
-from repro.cluster.hardware import StorageTier
-from repro.cluster.node import Node, TierSpec
+from repro.cluster.hardware import TierHierarchy, get_hierarchy
+from repro.cluster.node import Node, TierProvision, provision_for
 from repro.cluster.topology import ClusterTopology
 from repro.common.units import GB
 
@@ -21,7 +24,7 @@ DEFAULT_RACK_SIZE = 16
 
 def build_cluster(
     num_workers: int,
-    tier_specs: Sequence[TierSpec],
+    tier_specs: Sequence[TierProvision],
     task_slots: int = 8,
     rack_size: int = DEFAULT_RACK_SIZE,
     name_prefix: str = "worker",
@@ -48,6 +51,31 @@ def build_cluster(
     return topology
 
 
+def build_tiered_cluster(
+    num_workers: int,
+    tiers: Union[str, TierHierarchy] = "default3",
+    capacity_overrides: Optional[Dict[str, int]] = None,
+    task_slots: int = 8,
+    rack_size: int = DEFAULT_RACK_SIZE,
+) -> ClusterTopology:
+    """Build ``num_workers`` identical nodes over any tier hierarchy.
+
+    Per-node capacities come from each tier spec's defaults;
+    ``capacity_overrides`` maps tier names (case-insensitive) to byte
+    capacities for deviations (e.g. ``{"MEMORY": 8 * GB}``).  Unknown
+    override names raise so typos do not silently provision defaults.
+    """
+    hierarchy = get_hierarchy(tiers)
+    overrides = {
+        hierarchy.tier(name).name: capacity
+        for name, capacity in (capacity_overrides or {}).items()
+    }
+    specs = [provision_for(t, capacity=overrides.get(t.name)) for t in hierarchy]
+    return build_cluster(
+        num_workers, specs, task_slots=task_slots, rack_size=rack_size
+    )
+
+
 def build_local_cluster(
     num_workers: int = 11,
     memory_per_node: int = 4 * GB,
@@ -62,10 +90,11 @@ def build_local_cluster(
     rack, like the paper's lab testbed; pass a smaller ``rack_size`` to
     exercise rack-aware behaviour.
     """
+    hierarchy = get_hierarchy("default3")
     specs = [
-        TierSpec(StorageTier.MEMORY, memory_per_node, num_devices=1),
-        TierSpec(StorageTier.SSD, ssd_per_node, num_devices=1),
-        TierSpec(StorageTier.HDD, hdd_per_node, num_devices=3),
+        TierProvision(hierarchy.tier("MEMORY"), memory_per_node, num_devices=1),
+        TierProvision(hierarchy.tier("SSD"), ssd_per_node, num_devices=1),
+        TierProvision(hierarchy.tier("HDD"), hdd_per_node, num_devices=3),
     ]
     return build_cluster(num_workers, specs, task_slots=task_slots, rack_size=rack_size)
 

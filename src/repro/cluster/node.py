@@ -2,7 +2,10 @@
 
 A :class:`Node` corresponds to a Worker in the paper's architecture
 (Fig 3): it stores block replicas on its locally attached media and runs
-map/reduce tasks in a fixed number of slots.
+map/reduce tasks in a fixed number of slots.  Which tiers a node exposes
+— and how much of each — comes from a list of :class:`TierProvision`
+entries, so heterogeneous nodes (e.g. some without SSDs) are expressed
+by provisioning a subset of the cluster's :class:`TierHierarchy`.
 """
 
 from __future__ import annotations
@@ -11,28 +14,44 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.cluster.hardware import (
-    DEFAULT_MEDIA_PROFILES,
     MediaProfile,
     StorageDevice,
-    StorageTier,
+    TierHierarchy,
+    TierSpec,
 )
 
 
 @dataclass(frozen=True)
-class TierSpec:
+class TierProvision:
     """How much of one tier a node exposes, and across how many devices.
 
     The paper's local workers expose 4GB memory, one 64GB SSD, and three
-    HDDs totalling 400GB for file blocks (Sec 7).
+    HDDs totalling 400GB for file blocks (Sec 7).  ``num_devices`` and
+    ``profile`` default to the tier spec's values.
     """
 
-    tier: StorageTier
+    tier: TierSpec
     capacity: int
     num_devices: int = 1
     profile: Optional[MediaProfile] = None
 
     def device_capacity(self) -> int:
         return self.capacity // self.num_devices
+
+
+def provision_for(
+    spec: TierSpec,
+    capacity: Optional[int] = None,
+    num_devices: Optional[int] = None,
+) -> TierProvision:
+    """A provision for ``spec`` using its defaults unless overridden."""
+    return TierProvision(
+        tier=spec,
+        capacity=capacity if capacity is not None else spec.default_capacity,
+        num_devices=(
+            num_devices if num_devices is not None else spec.default_devices
+        ),
+    )
 
 
 class Node:
@@ -42,20 +61,27 @@ class Node:
         self,
         node_id: str,
         rack: str,
-        tier_specs: Sequence[TierSpec],
+        tier_specs: Sequence[TierProvision],
         task_slots: int = 8,
     ) -> None:
+        if not tier_specs:
+            raise ValueError("a node needs at least one tier provision")
         self.node_id = node_id
         self.rack = rack
         self.task_slots = task_slots
         #: Cleared by the fault injector while the node is down; dead
         #: nodes receive no new replicas and no new tasks.
         self.alive = True
-        self._devices: Dict[StorageTier, List[StorageDevice]] = {
-            tier: [] for tier in StorageTier
+        self.hierarchy: TierHierarchy = tier_specs[0].tier.hierarchy
+        self._devices: Dict[TierSpec, List[StorageDevice]] = {
+            tier: [] for tier in self.hierarchy
         }
         for spec in tier_specs:
-            profile = spec.profile or DEFAULT_MEDIA_PROFILES[spec.tier]
+            if spec.tier.hierarchy is not self.hierarchy:
+                raise ValueError(
+                    f"tier {spec.tier.name} belongs to a different hierarchy "
+                    f"than {self.hierarchy.name!r}"
+                )
             base = spec.device_capacity()
             remainder = spec.capacity - base * spec.num_devices
             for i in range(spec.num_devices):
@@ -64,43 +90,48 @@ class Node:
                 capacity = base + (remainder if i == 0 else 0)
                 device = StorageDevice(
                     device_id=f"{node_id}:{spec.tier.name.lower()}{i}",
-                    profile=profile,
+                    tier=spec.tier,
                     capacity=capacity,
+                    profile=spec.profile,
                 )
                 self._devices[spec.tier].append(device)
 
     # -- device access ------------------------------------------------------
-    def devices(self, tier: Optional[StorageTier] = None) -> List[StorageDevice]:
+    def devices(self, tier: Optional[TierSpec] = None) -> List[StorageDevice]:
         """All devices, or only those of ``tier``."""
         if tier is not None:
             return list(self._devices[tier])
         return [d for tier_devs in self._devices.values() for d in tier_devs]
 
-    def tiers(self) -> List[StorageTier]:
+    def tiers(self) -> List[TierSpec]:
         """Tiers this node actually has devices for, fastest first."""
-        return [t for t in StorageTier if self._devices[t]]
+        return [t for t in self.hierarchy if self._devices[t]]
 
-    def has_tier(self, tier: StorageTier) -> bool:
+    def has_tier(self, tier: TierSpec) -> bool:
+        # Plain indexing on purpose: the dict is pre-seeded with every
+        # tier of this node's hierarchy, so a KeyError always means a
+        # spec from a *different* hierarchy leaked in — raising beats
+        # silently reporting an empty tier.
         return bool(self._devices[tier])
 
     # -- capacity accounting -------------------------------------------------
-    def tier_capacity(self, tier: StorageTier) -> int:
+    def tier_capacity(self, tier: TierSpec) -> int:
         return sum(d.capacity for d in self._devices[tier])
 
-    def tier_used(self, tier: StorageTier) -> int:
+    def tier_used(self, tier: TierSpec) -> int:
         return sum(d.used for d in self._devices[tier])
 
-    def tier_free(self, tier: StorageTier) -> int:
+    def tier_free(self, tier: TierSpec) -> int:
         return sum(d.free for d in self._devices[tier])
 
-    def tier_utilization(self, tier: StorageTier) -> float:
+    def tier_utilization(self, tier: TierSpec) -> float:
         """Used fraction of the tier; 1.0 for tiers with no capacity."""
         capacity = self.tier_capacity(tier)
         if capacity == 0:
             return 1.0
         return self.tier_used(tier) / capacity
 
-    def best_device_for(self, tier: StorageTier, num_bytes: int) -> Optional[StorageDevice]:
+    def best_device_for(self, tier: TierSpec, num_bytes: int) -> Optional[StorageDevice]:
         """The emptiest device of ``tier`` that fits ``num_bytes``, if any."""
         candidates = [d for d in self._devices[tier] if d.has_space(num_bytes)]
         if not candidates:
@@ -122,7 +153,7 @@ class Node:
 
 
 def iter_tier_devices(
-    nodes: Iterable[Node], tier: StorageTier
+    nodes: Iterable[Node], tier: TierSpec
 ) -> Iterable[StorageDevice]:
     """Yield every device of ``tier`` across ``nodes``."""
     for node in nodes:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import DEFAULT_HIERARCHY, TierHierarchy, TierSpec
 from repro.cluster.node import Node
 
 
@@ -37,14 +37,27 @@ class ClusterTopology:
     SAME_RACK = 2
     OFF_RACK = 4
 
-    def __init__(self) -> None:
+    def __init__(self, hierarchy: Optional[TierHierarchy] = None) -> None:
         self._racks: Dict[str, Rack] = {}
         self._nodes: Dict[str, Node] = {}
+        self._hierarchy = hierarchy
+
+    @property
+    def hierarchy(self) -> TierHierarchy:
+        """The tier hierarchy shared by every node in the cluster."""
+        return self._hierarchy if self._hierarchy is not None else DEFAULT_HIERARCHY
 
     # -- construction --------------------------------------------------------
     def add_node(self, node: Node) -> None:
         if node.node_id in self._nodes:
             raise ValueError(f"duplicate node id {node.node_id}")
+        if self._hierarchy is None:
+            self._hierarchy = node.hierarchy
+        elif node.hierarchy is not self._hierarchy:
+            raise ValueError(
+                f"node {node.node_id} uses hierarchy {node.hierarchy.name!r}, "
+                f"cluster uses {self._hierarchy.name!r}"
+            )
         self._nodes[node.node_id] = node
         rack = self._racks.setdefault(node.rack, Rack(node.rack))
         rack.add(node)
@@ -80,22 +93,22 @@ class ClusterTopology:
         return self.OFF_RACK
 
     # -- aggregate capacity ------------------------------------------------------
-    def tier_capacity(self, tier: StorageTier) -> int:
+    def tier_capacity(self, tier: TierSpec) -> int:
         return sum(n.tier_capacity(tier) for n in self.nodes)
 
-    def tier_used(self, tier: StorageTier) -> int:
+    def tier_used(self, tier: TierSpec) -> int:
         return sum(n.tier_used(tier) for n in self.nodes)
 
-    def tier_free(self, tier: StorageTier) -> int:
+    def tier_free(self, tier: TierSpec) -> int:
         return sum(n.tier_free(tier) for n in self.nodes)
 
-    def tier_utilization(self, tier: StorageTier) -> float:
+    def tier_utilization(self, tier: TierSpec) -> float:
         capacity = self.tier_capacity(tier)
         if capacity == 0:
             return 1.0
         return self.tier_used(tier) / capacity
 
-    def nodes_with_tier(self, tier: StorageTier) -> List[Node]:
+    def nodes_with_tier(self, tier: TierSpec) -> List[Node]:
         """Alive nodes exposing ``tier`` (placement candidates)."""
         return [n for n in self.nodes if n.alive and n.has_tier(tier)]
 

@@ -9,9 +9,11 @@ movement is already in flight.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, Optional, Sequence, Set
 
-from repro.cluster.hardware import StorageTier
+import numpy as np
+
+from repro.cluster.hardware import TierHierarchy, TierSpec
 from repro.common.config import Configuration
 from repro.dfs.master import Master
 from repro.dfs.namespace import INodeFile
@@ -40,18 +42,28 @@ class PolicyContext:
     def now(self) -> float:
         return self.clock.now()
 
+    @property
+    def hierarchy(self) -> TierHierarchy:
+        """The cluster's tier hierarchy."""
+        return self.master.hierarchy
+
+    @property
+    def highest_tier(self) -> TierSpec:
+        """The fastest tier (the upgrade destination of Sec 6)."""
+        return self.master.hierarchy.highest
+
     def in_flight_files(self) -> Set[int]:
         return self._in_flight()
 
     # -- tier state ----------------------------------------------------------
-    def tier_utilization(self, tier: StorageTier) -> float:
+    def tier_utilization(self, tier: TierSpec) -> float:
         return self.master.tier_utilization(tier)
 
-    def tier_free(self, tier: StorageTier) -> int:
+    def tier_free(self, tier: TierSpec) -> int:
         return self.master.topology.tier_free(tier)
 
     # -- candidate sets ---------------------------------------------------------
-    def files_on_tier(self, tier: StorageTier) -> List[INodeFile]:
+    def files_on_tier(self, tier: TierSpec) -> List[INodeFile]:
         """Files with at least one replica byte on ``tier`` and not in flight.
 
         These are the downgrade candidates: moving such a file off the
@@ -66,7 +78,7 @@ class PolicyContext:
                 result.append(file)
         return result
 
-    def files_below_tier(self, tier: StorageTier) -> List[INodeFile]:
+    def files_below_tier(self, tier: TierSpec) -> List[INodeFile]:
         """Files whose complete copy is only available below ``tier``.
 
         These are the upgrade candidates for ``tier``: files that would
@@ -82,8 +94,39 @@ class PolicyContext:
                 result.append(file)
         return result
 
-    def file_best_tier(self, file: INodeFile) -> Optional[StorageTier]:
+    def file_best_tier(self, file: INodeFile) -> Optional[TierSpec]:
         return self.master.blocks.file_best_tier(file)
 
-    def file_in_tier_or_better(self, file: INodeFile, tier: StorageTier) -> bool:
+    def file_tier_level(self, file: INodeFile) -> Optional[int]:
+        """Level of the file's best tier (0 = fastest), or None."""
+        best = self.master.blocks.file_best_tier(file)
+        return None if best is None else best.level
+
+    def feature_matrix(self, spec, files: Sequence[INodeFile]) -> np.ndarray:
+        """Stacked feature vectors for ``files`` at the current time.
+
+        Shared by the ML policies (XGB up/downgrade, Marker oracle); the
+        per-file tier level is resolved only when ``spec.include_tier``.
+        """
+        from repro.ml.features import build_feature_vector
+
+        now = self.now()
+        stats = self.stats
+        rows = []
+        for file in files:
+            s = stats.get_or_create(file)
+            level = self.file_tier_level(file) if spec.include_tier else None
+            rows.append(
+                build_feature_vector(
+                    spec,
+                    s.size,
+                    s.creation_time,
+                    list(s.access_times),
+                    now,
+                    tier_level=level,
+                )
+            )
+        return np.vstack(rows)
+
+    def file_in_tier_or_better(self, file: INodeFile, tier: TierSpec) -> bool:
         return self.master.blocks.file_has_tier_or_better(file, tier)

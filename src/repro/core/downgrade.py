@@ -23,7 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.common.units import HOURS
 from repro.dfs.namespace import INodeFile
 from repro.core.context import PolicyContext
@@ -31,7 +31,6 @@ from repro.core.policy import DowngradePolicy
 from repro.core.stats import FileStatistics
 from repro.core.weights import ExdWeights, LrfuWeights
 from repro.ml.access_model import FileAccessModel
-from repro.ml.features import build_feature_vector
 
 
 class LruDowngradePolicy(DowngradePolicy):
@@ -39,7 +38,7 @@ class LruDowngradePolicy(DowngradePolicy):
 
     name = "lru"
 
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         candidates = self.ctx.files_on_tier(tier)
         if not candidates:
             return None
@@ -55,7 +54,7 @@ class LfuDowngradePolicy(DowngradePolicy):
 
     name = "lfu"
 
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         candidates = self.ctx.files_on_tier(tier)
         if not candidates:
             return None
@@ -80,7 +79,7 @@ class LrfuDowngradePolicy(DowngradePolicy):
         half_life = ctx.conf.get_duration("lrfu.half_life", 6 * HOURS)
         self.weights = weights or LrfuWeights(half_life=half_life)
 
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         candidates = self.ctx.files_on_tier(tier)
         if not candidates:
             return None
@@ -104,7 +103,7 @@ class _PartitionedDowngradePolicy(DowngradePolicy):
         super().__init__(ctx)
         self.window = ctx.conf.get_duration("life.window", 9 * HOURS)
 
-    def _partitions(self, tier: StorageTier):
+    def _partitions(self, tier: TierSpec):
         now = self.ctx.now()
         stats = self.ctx.stats
         old: List[INodeFile] = []
@@ -130,7 +129,7 @@ class _PartitionedDowngradePolicy(DowngradePolicy):
     def _select_from_new(self, new: List[INodeFile]) -> INodeFile:
         raise NotImplementedError
 
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         old, new = self._partitions(tier)
         if old:
             return self._lfu(old)
@@ -171,7 +170,7 @@ class ExdDowngradePolicy(DowngradePolicy):
         alpha = ctx.conf.get_float("exd.alpha", 1.16e-5)
         self.weights = weights or ExdWeights(alpha=alpha)
 
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         candidates = self.ctx.files_on_tier(tier)
         if not candidates:
             return None
@@ -204,13 +203,13 @@ class XgbDowngradePolicy(DowngradePolicy):
         self._queue: List[int] = []  # inode ids, lowest probability first
         self._queue_set: set = set()
 
-    def start_downgrade(self, tier: StorageTier) -> bool:
+    def start_downgrade(self, tier: TierSpec) -> bool:
         if not super().start_downgrade(tier):
             return False
         self._build_queue(tier)
         return True
 
-    def _build_queue(self, tier: StorageTier) -> None:
+    def _build_queue(self, tier: TierSpec) -> None:
         self._queue = []
         self._queue_set = set()
         stats = self.ctx.stats
@@ -223,26 +222,13 @@ class XgbDowngradePolicy(DowngradePolicy):
             self._queue = [f.inode_id for f in candidates]
             self._queue_set = set(self._queue)
             return
-        now = self.ctx.now()
-        spec = self.model.spec
-        features = np.vstack(
-            [
-                build_feature_vector(
-                    spec,
-                    s.size,
-                    s.creation_time,
-                    list(s.access_times),
-                    now,
-                )
-                for s in (stats.get_or_create(f) for f in candidates)
-            ]
-        )
+        features = self.ctx.feature_matrix(self.model.spec, candidates)
         probs = self.model.model.predict_proba(features)
         order = np.argsort(probs, kind="stable")
         self._queue = [candidates[int(i)].inode_id for i in order]
         self._queue_set = set(self._queue)
 
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         busy = self.ctx.in_flight_files()
         blocks = self.ctx.master.blocks
         while self._queue:

@@ -24,12 +24,11 @@ from typing import Optional, Set
 
 import numpy as np
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.dfs.namespace import INodeFile
 from repro.core.context import PolicyContext
 from repro.core.policy import DowngradePolicy
 from repro.ml.access_model import FileAccessModel
-from repro.ml.features import build_feature_vector
 
 
 class RandomDowngradePolicy(DowngradePolicy):
@@ -41,7 +40,7 @@ class RandomDowngradePolicy(DowngradePolicy):
         super().__init__(ctx)
         self._rng = np.random.default_rng(seed)
 
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         candidates = self.ctx.files_on_tier(tier)
         if not candidates:
             return None
@@ -57,7 +56,7 @@ class SizeDowngradePolicy(DowngradePolicy):
 
     name = "size"
 
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         candidates = self.ctx.files_on_tier(tier)
         if not candidates:
             return None
@@ -120,7 +119,7 @@ class ArcLikeDowngradePolicy(DowngradePolicy):
                 ghosts.popitem(last=False)
 
     # -- selection -----------------------------------------------------------
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         candidates = {f.inode_id: f for f in self.ctx.files_on_tier(tier)}
         if not candidates:
             return None
@@ -177,7 +176,7 @@ class MarkerOracleDowngradePolicy(DowngradePolicy):
     def on_file_deleted(self, file: INodeFile) -> None:
         self._marked.discard(file.inode_id)
 
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         candidates = self.ctx.files_on_tier(tier)
         if not candidates:
             return None
@@ -188,19 +187,6 @@ class MarkerOracleDowngradePolicy(DowngradePolicy):
             unmarked = candidates
         if not self.model.ready:
             return unmarked[int(self._rng.integers(len(unmarked)))]
-        stats = self.ctx.stats
-        now = self.ctx.now()
-        features = np.vstack(
-            [
-                build_feature_vector(
-                    self.model.spec,
-                    s.size,
-                    s.creation_time,
-                    list(s.access_times),
-                    now,
-                )
-                for s in (stats.get_or_create(f) for f in unmarked)
-            ]
-        )
+        features = self.ctx.feature_matrix(self.model.spec, unmarked)
         probs = self.model.model.predict_proba(features)
         return unmarked[int(np.argmin(probs))]

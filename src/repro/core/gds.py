@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.common.units import MB
 from repro.dfs.namespace import INodeFile
 from repro.core.context import PolicyContext
@@ -77,7 +77,7 @@ class GreedyDualSizeDowngradePolicy(DowngradePolicy):
         self._credits.pop(file.inode_id, None)
 
     # -- selection ------------------------------------------------------------
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         candidates = self.ctx.files_on_tier(tier)
         if not candidates:
             return None

@@ -24,7 +24,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.dfs.namespace import INodeFile
 from repro.core.context import PolicyContext
 from repro.core.policy import DowngradePolicy
@@ -121,7 +121,7 @@ class LeCaRDowngradePolicy(DowngradePolicy):
             ghost.popitem(last=False)
 
     # -- selection -------------------------------------------------------------------
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         candidates = self.ctx.files_on_tier(tier)
         if not candidates:
             return None

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Set
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.common.config import Configuration
 from repro.dfs.listeners import FileSystemListener
 from repro.dfs.master import Master
@@ -67,7 +67,7 @@ class ReplicationManager(FileSystemListener):
         # Cache mode (AutoCache, Sec 3.3): upgrades create extra cached
         # replicas instead of moving the existing ones.
         self.cache_mode = self.conf.get_bool("manager.cache_mode", False)
-        self._downgrading: Set[StorageTier] = set()
+        self._downgrading: Set[TierSpec] = set()
         self._proactive_timer: Optional[PeriodicTimer] = None
         interval = self.conf.get_duration("manager.proactive_interval", 60.0)
         if interval > 0:
@@ -91,6 +91,21 @@ class ReplicationManager(FileSystemListener):
     def _in_flight_union(self) -> Set[int]:
         return self.monitor.in_flight_files() | self._temp_excluded
 
+    def _tier_level_for_stats(self, file: INodeFile) -> Optional[int]:
+        """The file's tier level, captured only when the ML feature
+        pipeline consumes it (``FeatureSpec.include_tier``); recorded
+        *before* the upgrade policy reacts to this access so training
+        points built at past reference times stay leakage-free."""
+        trainer = self.trainer
+        if trainer is None:
+            return None
+        if not (
+            trainer.upgrade_model.spec.include_tier
+            or trainer.downgrade_model.spec.include_tier
+        ):
+            return None
+        return self.ctx.file_tier_level(file)
+
     def _policies(self):
         return [p for p in (self.downgrade_policy, self.upgrade_policy) if p]
 
@@ -106,7 +121,7 @@ class ReplicationManager(FileSystemListener):
 
     def on_file_accessed(self, file: INodeFile) -> None:
         now = self.sim.now()
-        self.stats.on_access(file, now)
+        self.stats.on_access(file, now, tier_level=self._tier_level_for_stats(file))
         for tracker in (self.lrfu_weights, self.exd_weights):
             if tracker is not None:
                 tracker.on_access(file, now)
@@ -128,11 +143,11 @@ class ReplicationManager(FileSystemListener):
         for policy in self._policies():
             policy.on_file_deleted(file)
 
-    def on_data_added(self, tier: StorageTier) -> None:
+    def on_data_added(self, tier: TierSpec) -> None:
         self.run_downgrade(tier)
 
     # -- Algorithm 1: the downgrade loop ------------------------------------------
-    def run_downgrade(self, tier: StorageTier) -> int:
+    def run_downgrade(self, tier: TierSpec) -> int:
         """Run one downgrade round for ``tier``; returns files scheduled."""
         policy = self.downgrade_policy
         if policy is None or tier in self._downgrading:
@@ -195,7 +210,7 @@ class ReplicationManager(FileSystemListener):
         self.run_upgrade(None)
         # Safety net: tiers can cross the threshold through transfers that
         # fire no on_data_added for this tier (e.g. pending reservations).
-        for tier in StorageTier:
+        for tier in self.master.hierarchy:
             self.run_downgrade(tier)
 
     # -- shared tracker helpers (used by the registry) -----------------------------

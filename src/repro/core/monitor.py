@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.common.config import Configuration
 from repro.common.units import MB
 from repro.dfs.block import BlockInfo, ReplicaInfo
@@ -32,16 +32,14 @@ DEFAULT_NETWORK_BANDWIDTH = 1250 * MB
 
 def transfer_seconds(
     num_bytes: int,
-    from_tier: StorageTier,
-    to_tier: StorageTier,
+    from_tier: TierSpec,
+    to_tier: TierSpec,
     cross_node: bool,
     network_bandwidth: float = DEFAULT_NETWORK_BANDWIDTH,
 ) -> float:
     """Duration of a replica transfer between two media."""
-    from repro.cluster.hardware import DEFAULT_MEDIA_PROFILES
-
-    src = DEFAULT_MEDIA_PROFILES[from_tier]
-    dst = DEFAULT_MEDIA_PROFILES[to_tier]
+    src = from_tier.media
+    dst = to_tier.media
     bandwidth = min(src.read_bw, dst.write_bw)
     if cross_node:
         bandwidth = min(bandwidth, network_bandwidth)
@@ -69,16 +67,17 @@ class ReplicationMonitor:
         # are cache copies *on top of* the persistent replication factor,
         # so replication-health accounting must not count them.
         self.cache_mode = self.conf.get_bool("manager.cache_mode", False)
+        self.hierarchy = master.hierarchy
         # Pending byte counts per tier (scheduled but uncommitted).
-        self.pending_out: Dict[StorageTier, int] = {t: 0 for t in StorageTier}
-        self.pending_in: Dict[StorageTier, int] = {t: 0 for t in StorageTier}
+        self.pending_out: Dict[TierSpec, int] = {t: 0 for t in self.hierarchy}
+        self.pending_in: Dict[TierSpec, int] = {t: 0 for t in self.hierarchy}
         # inode id -> number of outstanding transfers for that file.
         self._in_flight: Dict[int, int] = {}
         self._in_flight_blocks: Set[int] = set()
         # Cumulative counters (consumed by experiment metrics).
-        self.bytes_downgraded: Dict[StorageTier, int] = {t: 0 for t in StorageTier}
-        self.bytes_upgraded: Dict[StorageTier, int] = {t: 0 for t in StorageTier}
-        self.bytes_deleted: Dict[StorageTier, int] = {t: 0 for t in StorageTier}
+        self.bytes_downgraded: Dict[TierSpec, int] = {t: 0 for t in self.hierarchy}
+        self.bytes_upgraded: Dict[TierSpec, int] = {t: 0 for t in self.hierarchy}
+        self.bytes_deleted: Dict[TierSpec, int] = {t: 0 for t in self.hierarchy}
         self.transfers_committed = 0
         self.transfers_aborted = 0
         self.replicas_repaired = 0
@@ -93,7 +92,7 @@ class ReplicationMonitor:
     def in_flight_files(self) -> Set[int]:
         return set(self._in_flight)
 
-    def effective_utilization(self, tier: StorageTier) -> float:
+    def effective_utilization(self, tier: TierSpec) -> float:
         """Tier utilization net of bytes already scheduled to leave it."""
         capacity = self.master.tier_capacity(tier)
         if capacity == 0:
@@ -105,7 +104,7 @@ class ReplicationMonitor:
     def submit_downgrade(
         self,
         file: INodeFile,
-        from_tier: StorageTier,
+        from_tier: TierSpec,
         action: DowngradeAction,
     ) -> int:
         """Schedule moving (or deleting) ``file``'s replicas off ``from_tier``.
@@ -136,7 +135,7 @@ class ReplicationMonitor:
         return scheduled
 
     def _delete_replica_if_safe(
-        self, replica: ReplicaInfo, tier: StorageTier
+        self, replica: ReplicaInfo, tier: TierSpec
     ) -> int:
         if replica.block.replica_count <= 1:
             return 0
@@ -149,7 +148,7 @@ class ReplicationMonitor:
     def submit_upgrade(
         self,
         file: INodeFile,
-        candidate_tiers: List[StorageTier],
+        candidate_tiers: List[TierSpec],
         copy: bool = False,
     ) -> int:
         """Schedule one replica of each block up to a faster tier.
@@ -255,7 +254,7 @@ class ReplicationMonitor:
         self,
         ticket: TransferTicket,
         file: INodeFile,
-        from_tier: StorageTier,
+        from_tier: TierSpec,
         size: int,
         downgrade: bool,
     ) -> None:
@@ -289,7 +288,7 @@ class ReplicationMonitor:
         """
         count = block.replica_count
         if self.cache_mode:
-            count -= len(block.replicas_on_tier(StorageTier.MEMORY))
+            count -= len(block.replicas_on_tier(self.hierarchy.highest))
         return count
 
     def health_scan(self) -> None:
@@ -313,8 +312,8 @@ class ReplicationMonitor:
         source = block.replicas_on_tier(block.best_tier())[0]
         tiers = [
             t
-            for t in StorageTier
-            if not (self.cache_mode and t is StorageTier.MEMORY)
+            for t in self.hierarchy
+            if not (self.cache_mode and t.is_highest)
         ]
         target = self.placement.select_copy_target(block, tiers)
         if target is None:
@@ -343,8 +342,8 @@ class ReplicationMonitor:
         # cache mode only persistent replicas are candidates for trimming.
         candidates = block.replica_list()
         if self.cache_mode:
-            candidates = [r for r in candidates if r.tier is not StorageTier.MEMORY]
-        extras = sorted(candidates, key=lambda r: (-r.tier, r.replica_id))
+            candidates = [r for r in candidates if not r.tier.is_highest]
+        extras = sorted(candidates, key=lambda r: (-r.tier.level, r.replica_id))
         replication = self.master.get_file_by_id(block.file_id).replication
         excess = self._persistent_count(block) - replication
         for replica in extras[:excess]:

@@ -27,7 +27,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.dfs.namespace import INodeFile
 from repro.core.context import PolicyContext
 
@@ -89,23 +89,23 @@ class DowngradePolicy(Policy):
         self.effective_utilization = ctx.tier_utilization
 
     # Decision point 1 (Sec 5.1): proactive start above the threshold.
-    def start_downgrade(self, tier: StorageTier) -> bool:
+    def start_downgrade(self, tier: TierSpec) -> bool:
         return self.effective_utilization(tier) > self.start_threshold
 
     # Decision point 2 (Sec 5.2): policy-specific.
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         raise NotImplementedError
 
     # Decision point 3 (Sec 5.3): move via the multi-objective placement
     # (the monitor resolves the concrete lower tier) by default; DELETE
     # when configured for cache semantics (``downgrade.action=delete``).
     def how_to_downgrade(
-        self, file: INodeFile, tier: StorageTier
+        self, file: INodeFile, tier: TierSpec
     ) -> DowngradeAction:
         return self.default_action
 
     # Decision point 4 (Sec 5.4): stop once enough space was freed.
-    def stop_downgrade(self, tier: StorageTier) -> bool:
+    def stop_downgrade(self, tier: TierSpec) -> bool:
         return self.effective_utilization(tier) <= self.stop_threshold
 
 
@@ -131,13 +131,14 @@ class UpgradePolicy(Policy):
 
     # Decision point 3 (Sec 6.3): the target tier; the monitor resolves
     # the concrete node/device through the multi-objective placement.
-    def select_upgrade_tier(self, file: INodeFile) -> Optional[StorageTier]:
+    def select_upgrade_tier(self, file: INodeFile) -> Optional[TierSpec]:
         best = self.ctx.file_best_tier(file)
-        if best is None or best is StorageTier.MEMORY:
+        top = self.ctx.highest_tier
+        if best is None or best is top:
             return None
-        return StorageTier.MEMORY
+        return top
 
-    def upgrade_tier_candidates(self, file: INodeFile) -> "list[StorageTier]":
+    def upgrade_tier_candidates(self, file: INodeFile) -> "list[TierSpec]":
         """Acceptable target tiers, fastest first (default: just one)."""
         tier = self.select_upgrade_tier(file)
         return [tier] if tier is not None else []

@@ -70,8 +70,15 @@ END_TO_END_PAIRS = {
 
 def _ensure_trainer(manager: ReplicationManager, seed: int) -> AccessModelTrainer:
     if manager.trainer is None:
+        spec = None
+        if manager.conf.get_bool("features.include_tier", False):
+            # Tier-aware feature spec sized from the cluster's hierarchy;
+            # the trainer and XGB policies feed the tier level through.
+            from repro.ml.features import FeatureSpec
+
+            spec = FeatureSpec.for_hierarchy(manager.master.hierarchy)
         trainer = AccessModelTrainer(
-            manager.sim, manager.stats, manager.conf, seed=seed
+            manager.sim, manager.stats, manager.conf, seed=seed, spec=spec
         )
         manager.set_trainer(trainer)
     assert manager.trainer is not None

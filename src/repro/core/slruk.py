@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Tuple
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.dfs.namespace import INodeFile
 from repro.core.context import PolicyContext
 from repro.core.policy import DowngradePolicy, UpgradePolicy
@@ -74,7 +74,7 @@ class SlruKDowngradePolicy(DowngradePolicy):
                 "the statistics registry retains (raise stats.k)"
             )
 
-    def select_file_to_downgrade(self, tier: StorageTier) -> Optional[INodeFile]:
+    def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
         candidates = self.ctx.files_on_tier(tier)
         if not candidates:
             return None
@@ -111,9 +111,10 @@ class SlruKUpgradePolicy(UpgradePolicy):
     def start_upgrade(self, accessed_file: Optional[INodeFile]) -> bool:
         if accessed_file is None:
             return False
-        if self.ctx.file_in_tier_or_better(accessed_file, StorageTier.MEMORY):
+        top = self.ctx.highest_tier
+        if self.ctx.file_in_tier_or_better(accessed_file, top):
             return False
-        free = self.ctx.tier_free(StorageTier.MEMORY)
+        free = self.ctx.tier_free(top)
         if free >= accessed_file.size:
             return True
         now = self.ctx.now()
@@ -131,7 +132,7 @@ class SlruKUpgradePolicy(UpgradePolicy):
         stats = self.ctx.stats
         blocks = self.ctx.master.blocks
         residents = sorted(
-            self.ctx.files_on_tier(StorageTier.MEMORY),
+            self.ctx.files_on_tier(self.ctx.highest_tier),
             key=lambda f: (
                 eviction_rank(stats.get_or_create(f), now, self.k),
                 -f.inode_id,
@@ -143,7 +144,7 @@ class SlruKUpgradePolicy(UpgradePolicy):
         for resident in residents:
             rank = eviction_rank(stats.get_or_create(resident), now, self.k)
             victims.append((resident, rank))
-            reclaimed += blocks.file_bytes_on_tier(resident, StorageTier.MEMORY)
+            reclaimed += blocks.file_bytes_on_tier(resident, self.ctx.highest_tier)
             if reclaimed >= needed:
                 return victims
         return None

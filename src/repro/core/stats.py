@@ -17,13 +17,27 @@ from repro.dfs.namespace import INodeFile
 class FileStatistics:
     """Recency/frequency/size statistics for one file."""
 
-    __slots__ = ("file", "size", "creation_time", "access_times", "total_accesses")
+    __slots__ = (
+        "file",
+        "size",
+        "creation_time",
+        "access_times",
+        "tier_levels",
+        "total_accesses",
+    )
 
     def __init__(self, file: INodeFile, k: int = 12) -> None:
         self.file = file
         self.size = file.size
         self.creation_time = file.creation_time
         self.access_times: Deque[float] = deque(maxlen=k)
+        #: Tier level of the file at each tracked access (recorded before
+        #: the policies react to that access), aligned with
+        #: ``access_times``.  None when the level was not captured.  Lets
+        #: the ML feature pipeline use a *historically consistent* tier
+        #: feature instead of leaking the current tier into training
+        #: points whose reference time lies in the past.
+        self.tier_levels: Deque[Optional[int]] = deque(maxlen=k)
         self.total_accesses = 0
 
     @property
@@ -39,9 +53,28 @@ class FileStatistics:
         """Recency anchor: last access, or creation for never-read files."""
         return self.access_times[-1] if self.access_times else self.creation_time
 
-    def record_access(self, timestamp: float) -> None:
+    def record_access(
+        self, timestamp: float, tier_level: Optional[int] = None
+    ) -> None:
         self.access_times.append(timestamp)
+        self.tier_levels.append(tier_level)
         self.total_accesses += 1
+
+    def tier_level_at(self, reference: float) -> Optional[int]:
+        """Tier level recorded at the last access at or before ``reference``.
+
+        Temporally safe for training-point generation: levels are
+        captured before the policies react to the access, so a level at
+        ``t <= reference`` carries no information from the label window
+        after ``reference``.
+        """
+        result: Optional[int] = None
+        for t, level in zip(self.access_times, self.tier_levels):
+            if t > reference:
+                break
+            if level is not None:
+                result = level
+        return result
 
     def idle_time(self, now: float) -> float:
         """Seconds since the last access (or creation)."""
@@ -69,12 +102,17 @@ class StatisticsRegistry:
         self._stats[file.inode_id] = stats
         return stats
 
-    def on_access(self, file: INodeFile, timestamp: float) -> FileStatistics:
+    def on_access(
+        self,
+        file: INodeFile,
+        timestamp: float,
+        tier_level: Optional[int] = None,
+    ) -> FileStatistics:
         stats = self._stats.get(file.inode_id)
         if stats is None:
             # Files created before the registry attached still get tracked.
             stats = self.on_create(file)
-        stats.record_access(timestamp)
+        stats.record_access(timestamp, tier_level)
         return stats
 
     def on_delete(self, file: INodeFile) -> None:

@@ -21,8 +21,9 @@ import numpy as np
 from repro.common.config import Configuration
 from repro.common.units import MINUTES, HOURS
 from repro.dfs.namespace import INodeFile
-from repro.core.stats import StatisticsRegistry
+from repro.core.stats import FileStatistics, StatisticsRegistry
 from repro.ml.access_model import FileAccessModel
+from repro.ml.features import FeatureSpec
 from repro.sim.simulator import PeriodicTimer, Simulator
 
 
@@ -37,6 +38,7 @@ class AccessModelTrainer:
         upgrade_model: Optional[FileAccessModel] = None,
         downgrade_model: Optional[FileAccessModel] = None,
         seed: int = 11,
+        spec: Optional[FeatureSpec] = None,
     ) -> None:
         conf = conf if conf is not None else Configuration()
         self.sim = sim
@@ -48,9 +50,11 @@ class AccessModelTrainer:
         # precede every file's creation); 1 hour preserves the intent —
         # "will this file stay cold for a while" — at trace scale.
         downgrade_window = conf.get_duration("xgb.downgrade_window", 1 * HOURS)
-        self.upgrade_model = upgrade_model or FileAccessModel(window=upgrade_window)
+        self.upgrade_model = upgrade_model or FileAccessModel(
+            window=upgrade_window, spec=spec
+        )
         self.downgrade_model = downgrade_model or FileAccessModel(
-            window=downgrade_window
+            window=downgrade_window, spec=spec
         )
         self.sample_size = conf.get_int("trainer.sample_size", 100)
         self.interval = conf.get_duration("trainer.interval", 5 * MINUTES)
@@ -69,7 +73,8 @@ class AccessModelTrainer:
         now = self.sim.now()
         for model in (self.upgrade_model, self.downgrade_model):
             point = model.add_observation(
-                stats.size, stats.creation_time, list(stats.access_times), now
+                stats.size, stats.creation_time, list(stats.access_times), now,
+                tier_level=self._tier_level_at(model, stats, now),
             )
             if point is not None:
                 self.points_generated += 1
@@ -87,10 +92,26 @@ class AccessModelTrainer:
             stats = all_stats[int(index)]
             for model in (self.upgrade_model, self.downgrade_model):
                 point = model.add_observation(
-                    stats.size, stats.creation_time, list(stats.access_times), now
+                    stats.size, stats.creation_time, list(stats.access_times), now,
+                    tier_level=self._tier_level_at(model, stats, now),
                 )
                 if point is not None:
                     self.points_generated += 1
+
+    @staticmethod
+    def _tier_level_at(
+        model: FileAccessModel, stats: FileStatistics, now: float
+    ) -> Optional[int]:
+        """Tier level as of the model's reference time ``now - window``.
+
+        Uses the level recorded at the last access at or before the
+        reference time, so the feature carries no information from the
+        label window — feeding the *current* tier would leak the upgrade
+        policy's own reaction to in-window accesses into the label.
+        """
+        if not model.spec.include_tier:
+            return None
+        return stats.tier_level_at(now - model.window)
 
     def stop(self) -> None:
         self._timer.stop()

@@ -21,14 +21,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.common.units import GB, HOURS
 from repro.dfs.namespace import INodeFile
 from repro.core.context import PolicyContext
 from repro.core.policy import UpgradePolicy
 from repro.core.weights import ExdWeights, LrfuWeights
 from repro.ml.access_model import FileAccessModel
-from repro.ml.features import build_feature_vector
 
 
 class OsaUpgradePolicy(UpgradePolicy):
@@ -44,11 +43,11 @@ class OsaUpgradePolicy(UpgradePolicy):
         if accessed_file is None:
             return False
         return not self.ctx.file_in_tier_or_better(
-            accessed_file, StorageTier.MEMORY
+            accessed_file, self.ctx.highest_tier
         )
 
-    def select_upgrade_tier(self, file: INodeFile) -> Optional[StorageTier]:
-        return StorageTier.MEMORY
+    def select_upgrade_tier(self, file: INodeFile) -> Optional[TierSpec]:
+        return self.ctx.highest_tier
 
 
 class LrfuUpgradePolicy(UpgradePolicy):
@@ -65,7 +64,7 @@ class LrfuUpgradePolicy(UpgradePolicy):
     def start_upgrade(self, accessed_file: Optional[INodeFile]) -> bool:
         if accessed_file is None:
             return False
-        if self.ctx.file_in_tier_or_better(accessed_file, StorageTier.MEMORY):
+        if self.ctx.file_in_tier_or_better(accessed_file, self.ctx.highest_tier):
             return False
         weight = self.weights.effective(accessed_file, self.ctx.now())
         return weight > self.threshold
@@ -90,15 +89,16 @@ class ExdUpgradePolicy(UpgradePolicy):
     def start_upgrade(self, accessed_file: Optional[INodeFile]) -> bool:
         if accessed_file is None:
             return False
-        if self.ctx.file_in_tier_or_better(accessed_file, StorageTier.MEMORY):
+        top = self.ctx.highest_tier
+        if self.ctx.file_in_tier_or_better(accessed_file, top):
             return False
-        free = self.ctx.tier_free(StorageTier.MEMORY)
+        free = self.ctx.tier_free(top)
         if free >= accessed_file.size:
             return True
         now = self.ctx.now()
         needed = accessed_file.size - free
         victims = sorted(
-            self.ctx.files_on_tier(StorageTier.MEMORY),
+            self.ctx.files_on_tier(top),
             key=lambda f: (self.weights.effective(f, now), f.inode_id),
         )
         victim_weight = 0.0
@@ -106,7 +106,7 @@ class ExdUpgradePolicy(UpgradePolicy):
         blocks = self.ctx.master.blocks
         for victim in victims:
             victim_weight += self.weights.effective(victim, now)
-            reclaimed += blocks.file_bytes_on_tier(victim, StorageTier.MEMORY)
+            reclaimed += blocks.file_bytes_on_tier(victim, top)
             if reclaimed >= needed:
                 break
         if reclaimed < needed:
@@ -150,16 +150,17 @@ class XgbUpgradePolicy(UpgradePolicy):
     def start_upgrade(self, accessed_file: Optional[INodeFile]) -> bool:
         self._scheduled_bytes = 0
         self._queue = []
+        top = self.ctx.highest_tier
         if not self.model.ready:
             # Warm-up fallback: behave like OSA (no proactive scans).
             if accessed_file is None:
                 return False
-            if self.ctx.file_in_tier_or_better(accessed_file, StorageTier.MEMORY):
+            if self.ctx.file_in_tier_or_better(accessed_file, top):
                 return False
             self._queue = [accessed_file.inode_id]
             return True
         if accessed_file is not None:
-            if self.ctx.file_in_tier_or_better(accessed_file, StorageTier.MEMORY):
+            if self.ctx.file_in_tier_or_better(accessed_file, top):
                 return False
             prob = self._probabilities([accessed_file])[0]
             if prob > self.threshold:
@@ -170,27 +171,13 @@ class XgbUpgradePolicy(UpgradePolicy):
         return bool(self._queue)
 
     def _probabilities(self, files: List[INodeFile]) -> np.ndarray:
-        now = self.ctx.now()
-        stats = self.ctx.stats
-        spec = self.model.spec
-        features = np.vstack(
-            [
-                build_feature_vector(
-                    spec,
-                    s.size,
-                    s.creation_time,
-                    list(s.access_times),
-                    now,
-                )
-                for s in (stats.get_or_create(f) for f in files)
-            ]
-        )
+        features = self.ctx.feature_matrix(self.model.spec, files)
         return self.model.model.predict_proba(features)
 
     def _build_queue(self) -> None:
         stats = self.ctx.stats
         candidates = stats.mru_order(
-            self.ctx.files_below_tier(StorageTier.MEMORY)
+            self.ctx.files_below_tier(self.ctx.highest_tier)
         )[: self.candidate_limit]
         if not candidates:
             return
@@ -215,20 +202,21 @@ class XgbUpgradePolicy(UpgradePolicy):
                 continue
             if file.inode_id in busy:
                 continue
-            if self.ctx.file_in_tier_or_better(file, StorageTier.MEMORY):
+            if self.ctx.file_in_tier_or_better(file, self.ctx.highest_tier):
                 continue
             return file
         return None
 
     # -- decision point 3 -----------------------------------------------------
-    def select_upgrade_tier(self, file: INodeFile) -> Optional[StorageTier]:
+    def select_upgrade_tier(self, file: INodeFile) -> Optional[TierSpec]:
         best = self.ctx.file_best_tier(file)
-        if best is None or best is StorageTier.MEMORY:
+        top = self.ctx.highest_tier
+        if best is None or best is top:
             return None
-        return StorageTier.MEMORY
+        return top
 
-    def upgrade_tier_candidates(self, file: INodeFile) -> List[StorageTier]:
-        """Memory first; SSD acceptable for HDD-resident files."""
+    def upgrade_tier_candidates(self, file: INodeFile) -> List[TierSpec]:
+        """Fastest tiers first; any tier above the file's best is acceptable."""
         best = self.ctx.file_best_tier(file)
         if best is None:
             return []

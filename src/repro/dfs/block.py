@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 
 
 class ReplicaInfo:
@@ -22,7 +22,7 @@ class ReplicaInfo:
         replica_id: int,
         block: "BlockInfo",
         node_id: str,
-        tier: StorageTier,
+        tier: TierSpec,
         device_id: str,
     ) -> None:
         self.replica_id = replica_id
@@ -64,11 +64,11 @@ class BlockInfo:
     def replica_list(self) -> List[ReplicaInfo]:
         return list(self.replicas.values())
 
-    def tiers(self) -> List[StorageTier]:
+    def tiers(self) -> List[TierSpec]:
         """Distinct tiers holding a replica, fastest first."""
         return sorted({r.tier for r in self.replicas.values()})
 
-    def best_tier(self) -> Optional[StorageTier]:
+    def best_tier(self) -> Optional[TierSpec]:
         """The fastest tier holding a replica, or None if no replicas."""
         tiers = self.tiers()
         return tiers[0] if tiers else None
@@ -77,13 +77,13 @@ class BlockInfo:
         """Distinct node ids holding a replica."""
         return sorted({r.node_id for r in self.replicas.values()})
 
-    def replicas_on_tier(self, tier: StorageTier) -> List[ReplicaInfo]:
+    def replicas_on_tier(self, tier: TierSpec) -> List[ReplicaInfo]:
         return [r for r in self.replicas.values() if r.tier == tier]
 
     def replicas_on_node(self, node_id: str) -> List[ReplicaInfo]:
         return [r for r in self.replicas.values() if r.node_id == node_id]
 
-    def has_replica_on(self, node_id: str, tier: Optional[StorageTier] = None) -> bool:
+    def has_replica_on(self, node_id: str, tier: Optional[TierSpec] = None) -> bool:
         for replica in self.replicas.values():
             if replica.node_id == node_id and (tier is None or replica.tier == tier):
                 return True

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.cluster.topology import ClusterTopology
 from repro.common.errors import ReplicaNotFoundError
 from repro.dfs.block import BlockInfo, ReplicaInfo
@@ -56,7 +56,7 @@ class BlockManager:
 
     # -- replica lifecycle -------------------------------------------------------
     def add_replica(
-        self, block: BlockInfo, node_id: str, tier: StorageTier, device_id: str
+        self, block: BlockInfo, node_id: str, tier: TierSpec, device_id: str
     ) -> ReplicaInfo:
         """Record a new replica and charge its space to the device.
 
@@ -109,7 +109,7 @@ class BlockManager:
             raise ReplicaNotFoundError(f"unknown replica {replica_id}")
         return self._replicas[replica_id]
 
-    def replicas_on(self, node_id: str, tier: StorageTier) -> List[ReplicaInfo]:
+    def replicas_on(self, node_id: str, tier: TierSpec) -> List[ReplicaInfo]:
         ids = self._by_node_tier.get((node_id, tier), set())
         return [self._replicas[rid] for rid in ids]
 
@@ -120,7 +120,7 @@ class BlockManager:
         return len(self._replicas)
 
     # -- file-level tier queries (all-or-nothing semantics, Sec 3.2) --------------
-    def file_tiers(self, file: INodeFile) -> Set[StorageTier]:
+    def file_tiers(self, file: INodeFile) -> Set[TierSpec]:
         """Tiers on which *every* block of the file has a replica.
 
         The paper's policies act at file granularity because performance
@@ -133,19 +133,19 @@ class BlockManager:
         tier_sets = [set(b.tiers()) for b in blocks]
         return set.intersection(*tier_sets)
 
-    def file_best_tier(self, file: INodeFile) -> Optional[StorageTier]:
+    def file_best_tier(self, file: INodeFile) -> Optional[TierSpec]:
         """Fastest tier holding the complete file, or None."""
         tiers = self.file_tiers(file)
         return min(tiers) if tiers else None
 
-    def file_has_tier(self, file: INodeFile, tier: StorageTier) -> bool:
+    def file_has_tier(self, file: INodeFile, tier: TierSpec) -> bool:
         return tier in self.file_tiers(file)
 
-    def file_has_tier_or_better(self, file: INodeFile, tier: StorageTier) -> bool:
+    def file_has_tier_or_better(self, file: INodeFile, tier: TierSpec) -> bool:
         best = self.file_best_tier(file)
         return best is not None and best <= tier
 
-    def file_bytes_on_tier(self, file: INodeFile, tier: StorageTier) -> int:
+    def file_bytes_on_tier(self, file: INodeFile, tier: TierSpec) -> int:
         """Total replica bytes of ``file`` stored on ``tier``."""
         total = 0
         for block in self.blocks_of(file):

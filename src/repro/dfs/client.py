@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.dfs.master import Master, ReadPlan
 from repro.dfs.namespace import INodeFile
 
@@ -100,7 +100,7 @@ class DFSClient:
     def list_status(self, path: str) -> List[FileStatus]:
         return [self.file_status(child.path) for child in self._master.fs.list_dir(path)]
 
-    def file_tiers(self, path: str) -> List[StorageTier]:
+    def file_tiers(self, path: str) -> List[TierSpec]:
         """Tiers holding the complete file, fastest first."""
         file = self._master.get_file(path)
         return sorted(self._master.blocks.file_tiers(file))

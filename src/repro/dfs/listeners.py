@@ -8,7 +8,7 @@ downgrade check of Algorithm 1).
 
 from __future__ import annotations
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.dfs.namespace import INodeFile
 
 
@@ -31,5 +31,5 @@ class FileSystemListener:
     def on_file_deleted(self, file: INodeFile) -> None:
         """A file is being removed (replicas already released)."""
 
-    def on_data_added(self, tier: StorageTier) -> None:
+    def on_data_added(self, tier: TierSpec) -> None:
         """Some replica bytes were added to ``tier`` (create or move)."""

@@ -12,7 +12,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierHierarchy, TierSpec
 from repro.cluster.topology import ClusterTopology
 from repro.common.config import Configuration
 from repro.common.errors import InsufficientSpaceError, InvalidPathError
@@ -54,17 +54,20 @@ class ReadPlan:
     def total_bytes(self) -> int:
         return sum(r.block.size for r in self.reads)
 
-    def bytes_by_tier(self) -> Dict[StorageTier, int]:
-        result = {tier: 0 for tier in StorageTier}
+    def bytes_by_tier(self) -> Dict[TierSpec, int]:
+        if not self.reads:
+            return {}
+        hierarchy = self.reads[0].replica.tier.hierarchy
+        result = {tier: 0 for tier in hierarchy}
         for read in self.reads:
             result[read.replica.tier] += read.block.size
         return result
 
     @property
     def memory_access(self) -> bool:
-        """True when every block was served from the memory tier."""
+        """True when every block was served from the highest tier."""
         return bool(self.reads) and all(
-            r.replica.tier is StorageTier.MEMORY for r in self.reads
+            r.replica.tier.is_highest for r in self.reads
         )
 
 
@@ -97,6 +100,8 @@ class Master:
         self.topology = topology
         self.clock = clock
         self.conf = conf if conf is not None else Configuration()
+        #: The cluster's tier hierarchy (shared with topology/placement).
+        self.hierarchy: TierHierarchy = topology.hierarchy
         self.fs = FSDirectory()
         self.node_manager = placement.node_manager
         self.blocks = BlockManager(topology)
@@ -150,7 +155,7 @@ class Master:
         file = self.fs.create_file(
             path, creation_time=self.clock.now(), size=size, replication=replication
         )
-        tiers_touched: Set[StorageTier] = set()
+        tiers_touched: Set[TierSpec] = set()
         try:
             for index, block_size in enumerate(
                 split_into_block_sizes(size, self.block_size)
@@ -192,7 +197,7 @@ class Master:
         because transfers are asynchronous.
         """
         file = self.fs.get_file(path)
-        memory_location = self.blocks.file_has_tier(file, StorageTier.MEMORY)
+        memory_location = self.blocks.file_has_tier(file, self.hierarchy.highest)
         self._notify("on_file_accessed", file)
         plan = ReadPlan(file=file, memory_location=memory_location)
         for block in self.blocks.blocks_of(file):
@@ -262,7 +267,7 @@ class Master:
             raise InvalidPathError("append size must be positive")
         file = self.fs.get_file(path)
         start_index = len(file.block_ids)
-        tiers_touched: Set[StorageTier] = set()
+        tiers_touched: Set[TierSpec] = set()
         for offset, block_size in enumerate(
             split_into_block_sizes(additional_bytes, self.block_size)
         ):
@@ -386,20 +391,20 @@ class Master:
         health scan re-replicates the affected blocks.
         """
         lost = 0
-        for tier in StorageTier:
+        for tier in self.hierarchy:
             for replica in list(self.blocks.replicas_on(node_id, tier)):
                 self.blocks.remove_replica(replica)
                 lost += 1
         return lost
 
     # -- capacity ------------------------------------------------------------------------
-    def tier_utilization(self, tier: StorageTier) -> float:
+    def tier_utilization(self, tier: TierSpec) -> float:
         return self.topology.tier_utilization(tier)
 
-    def tier_used(self, tier: StorageTier) -> int:
+    def tier_used(self, tier: TierSpec) -> int:
         return self.topology.tier_used(tier)
 
-    def tier_capacity(self, tier: StorageTier) -> int:
+    def tier_capacity(self, tier: TierSpec) -> int:
         return self.topology.tier_capacity(tier)
 
     def files(self) -> List[INodeFile]:

@@ -8,10 +8,11 @@ load-balancing term consumes.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.cluster.topology import ClusterTopology
 
 
@@ -19,11 +20,12 @@ from repro.cluster.topology import ClusterTopology
 class NodeStats:
     """Running I/O counters for one node."""
 
-    bytes_read: Dict[StorageTier, int] = field(
-        default_factory=lambda: {t: 0 for t in StorageTier}
+    # Lazily keyed by TierSpec so one NodeStats works for any hierarchy.
+    bytes_read: Dict[TierSpec, int] = field(
+        default_factory=lambda: defaultdict(int)
     )
-    bytes_written: Dict[StorageTier, int] = field(
-        default_factory=lambda: {t: 0 for t in StorageTier}
+    bytes_written: Dict[TierSpec, int] = field(
+        default_factory=lambda: defaultdict(int)
     )
     active_transfers: int = 0
     total_transfers: int = 0
@@ -54,10 +56,10 @@ class NodeManager:
         return self._stats[node_id]
 
     # -- recording --------------------------------------------------------
-    def record_read(self, node_id: str, tier: StorageTier, num_bytes: int) -> None:
+    def record_read(self, node_id: str, tier: TierSpec, num_bytes: int) -> None:
         self._stats[node_id].bytes_read[tier] += num_bytes
 
-    def record_write(self, node_id: str, tier: StorageTier, num_bytes: int) -> None:
+    def record_write(self, node_id: str, tier: TierSpec, num_bytes: int) -> None:
         self._stats[node_id].bytes_written[tier] += num_bytes
 
     def transfer_started(self, node_id: str) -> None:
@@ -88,8 +90,8 @@ class NodeManager:
         return min(node_ids, key=lambda n: (self.load_score(n), n))
 
     # -- aggregates ------------------------------------------------------------
-    def cluster_bytes_read(self, tier: StorageTier) -> int:
-        return sum(s.bytes_read[tier] for s in self._stats.values())
+    def cluster_bytes_read(self, tier: TierSpec) -> int:
+        return sum(s.bytes_read.get(tier, 0) for s in self._stats.values())
 
-    def cluster_bytes_written(self, tier: StorageTier) -> int:
-        return sum(s.bytes_written[tier] for s in self._stats.values())
+    def cluster_bytes_written(self, tier: TierSpec) -> int:
+        return sum(s.bytes_written.get(tier, 0) for s in self._stats.values())

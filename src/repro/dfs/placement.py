@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.cluster.node import Node
 from repro.cluster.topology import ClusterTopology
 from repro.common.config import Configuration
@@ -37,7 +37,7 @@ class PlacementTarget:
     """A concrete location for one replica."""
 
     node_id: str
-    tier: StorageTier
+    tier: TierSpec
     device_id: str
 
 
@@ -53,6 +53,9 @@ class PlacementPolicy:
         self.topology = topology
         self.node_manager = node_manager
         self.conf = conf if conf is not None else Configuration()
+        #: The cluster's tier hierarchy; all tier-ordered decisions
+        #: (downgrade targets, diversity preferences) derive from it.
+        self.hierarchy = topology.hierarchy
 
     def place_block(
         self,
@@ -71,7 +74,7 @@ class PlacementPolicy:
         self,
         block: BlockInfo,
         from_replica: ReplicaInfo,
-        candidate_tiers: Sequence[StorageTier],
+        candidate_tiers: Sequence[TierSpec],
     ) -> Optional[PlacementTarget]:
         """Choose where to move ``from_replica`` (downgrade/upgrade step).
 
@@ -87,7 +90,7 @@ class PlacementPolicy:
     def select_copy_target(
         self,
         block: BlockInfo,
-        candidate_tiers: Sequence[StorageTier],
+        candidate_tiers: Sequence[TierSpec],
     ) -> Optional[PlacementTarget]:
         """Choose where to place an *additional* replica (re-replication).
 
@@ -114,7 +117,7 @@ class PlacementPolicy:
     def select_cache_target(
         self,
         block: BlockInfo,
-        tier: StorageTier,
+        tier: TierSpec,
     ) -> Optional[PlacementTarget]:
         """Choose where to place a *cached* copy of ``block`` on ``tier``.
 
@@ -169,7 +172,7 @@ class PlacementPolicy:
         self,
         block: BlockInfo,
         from_replica: ReplicaInfo,
-        tier: StorageTier,
+        tier: TierSpec,
     ) -> Optional[PlacementTarget]:
         excluded = self._nodes_excluded_for(block, from_replica)
         # Prefer the same node (no network hop), then least-utilized.
@@ -189,12 +192,18 @@ class PlacementPolicy:
 
 
 class HdfsPlacementPolicy(PlacementPolicy):
-    """Original HDFS: every replica on the HDD tier, rack-aware spread.
+    """Original HDFS: every replica on the base tier, rack-aware spread.
 
-    First replica goes to the writer node when possible, the second to a
-    different rack, the third to the second's rack — the classic HDFS
-    default, simplified to node-distinctness plus rack diversity.
+    The base tier is the hierarchy's lowest node-local tier (HDD in the
+    paper's testbed).  First replica goes to the writer node when
+    possible, the second to a different rack, the third to the second's
+    rack — the classic HDFS default, simplified to node-distinctness
+    plus rack diversity.
     """
+
+    @property
+    def base_tier(self) -> TierSpec:
+        return self.hierarchy.lowest_local
 
     def place_block(
         self,
@@ -205,14 +214,15 @@ class HdfsPlacementPolicy(PlacementPolicy):
         targets: List[PlacementTarget] = []
         used_nodes: Set[str] = set()
         used_racks: List[str] = []
+        base = self.base_tier
         for i in range(replication):
             node = self._pick_node(size, used_nodes, used_racks, writer_node, i)
             if node is None:
                 break
-            device = node.best_device_for(StorageTier.HDD, size)
+            device = node.best_device_for(base, size)
             assert device is not None  # _pick_node guarantees space
             targets.append(
-                PlacementTarget(node.node_id, StorageTier.HDD, device.device_id)
+                PlacementTarget(node.node_id, base, device.device_id)
             )
             used_nodes.add(node.node_id)
             used_racks.append(node.rack)
@@ -226,11 +236,12 @@ class HdfsPlacementPolicy(PlacementPolicy):
         writer_node: Optional[str],
         replica_index: int,
     ) -> Optional[Node]:
+        base = self.base_tier
         candidates = [
             n
-            for n in self.topology.nodes_with_tier(StorageTier.HDD)
+            for n in self.topology.nodes_with_tier(base)
             if n.node_id not in used_nodes
-            and n.best_device_for(StorageTier.HDD, size) is not None
+            and n.best_device_for(base, size) is not None
         ]
         if not candidates:
             return None
@@ -248,7 +259,7 @@ class HdfsPlacementPolicy(PlacementPolicy):
                 candidates = same_rack
         return min(
             candidates,
-            key=lambda n: (n.tier_utilization(StorageTier.HDD), n.node_id),
+            key=lambda n: (n.tier_utilization(base), n.node_id),
         )
 
 
@@ -268,19 +279,20 @@ class HdfsCachePlacementPolicy(HdfsPlacementPolicy):
         writer_node: Optional[str] = None,
     ) -> List[PlacementTarget]:
         targets = super().place_block(size, replication, writer_node)
+        cache_tier = self.hierarchy.highest
         for target in targets:
             node = self.topology.node(target.node_id)
-            device = node.best_device_for(StorageTier.MEMORY, size)
+            device = node.best_device_for(cache_tier, size)
             if device is not None:
                 targets.append(
-                    PlacementTarget(node.node_id, StorageTier.MEMORY, device.device_id)
+                    PlacementTarget(node.node_id, cache_tier, device.device_id)
                 )
                 break
         return targets
 
 
 class SingleTierPlacementPolicy(PlacementPolicy):
-    """All replicas pinned to one tier (default HDD), distinct nodes.
+    """All replicas pinned to one tier (default: lowest local), distinct nodes.
 
     Used to isolate upgrade policies (Sec 7.4: "initially place all file
     replicas on the HDD tier and let the upgrade policies decide").
@@ -291,10 +303,10 @@ class SingleTierPlacementPolicy(PlacementPolicy):
         topology: ClusterTopology,
         node_manager: NodeManager,
         conf: Optional[Configuration] = None,
-        tier: StorageTier = StorageTier.HDD,
+        tier: Optional[TierSpec] = None,
     ) -> None:
         super().__init__(topology, node_manager, conf)
-        self.tier = tier
+        self.tier = tier if tier is not None else self.hierarchy.lowest_local
 
     def place_block(
         self,
@@ -324,12 +336,7 @@ class SingleTierPlacementPolicy(PlacementPolicy):
         return targets
 
 
-#: Relative throughput attractiveness of each tier for placement scoring.
-DEFAULT_TIER_SCORES: Dict[StorageTier, float] = {
-    StorageTier.MEMORY: 1.0,
-    StorageTier.SSD: 0.55,
-    StorageTier.HDD: 0.25,
-}
+
 
 
 class OctopusPlacementPolicy(PlacementPolicy):
@@ -357,10 +364,16 @@ class OctopusPlacementPolicy(PlacementPolicy):
         topology: ClusterTopology,
         node_manager: NodeManager,
         conf: Optional[Configuration] = None,
-        tier_scores: Optional[Dict[StorageTier, float]] = None,
+        tier_scores: Optional[Dict[TierSpec, float]] = None,
     ) -> None:
         super().__init__(topology, node_manager, conf)
-        self.tier_scores = dict(tier_scores or DEFAULT_TIER_SCORES)
+        # Throughput attractiveness comes from each tier's spec (the
+        # default3 scores reproduce the paper's calibration exactly).
+        self.tier_scores = dict(
+            tier_scores
+            if tier_scores is not None
+            else {t: t.score for t in self.hierarchy}
+        )
         conf = self.conf
         self.w_throughput = conf.get_float("placement.weight.throughput", 1.0)
         self.w_data_balance = conf.get_float("placement.weight.data_balance", 0.4)
@@ -374,10 +387,10 @@ class OctopusPlacementPolicy(PlacementPolicy):
     def _score(
         self,
         node: Node,
-        tier: StorageTier,
+        tier: TierSpec,
         size: int,
         used_racks: Set[str],
-        used_tiers: Set[StorageTier],
+        used_tiers: Set[TierSpec],
         prefer_node: Optional[str],
     ) -> Optional[float]:
         device = node.best_device_for(tier, size)
@@ -403,10 +416,10 @@ class OctopusPlacementPolicy(PlacementPolicy):
     def _best_candidate(
         self,
         size: int,
-        tiers: Sequence[StorageTier],
+        tiers: Sequence[TierSpec],
         excluded_nodes: Set[str],
         used_racks: Set[str],
-        used_tiers: Set[StorageTier],
+        used_tiers: Set[TierSpec],
         prefer_node: Optional[str],
     ) -> Optional[PlacementTarget]:
         best: Optional[PlacementTarget] = None
@@ -444,13 +457,13 @@ class OctopusPlacementPolicy(PlacementPolicy):
         targets: List[PlacementTarget] = []
         used_nodes: Set[str] = set()
         used_racks: Set[str] = set()
-        used_tiers: Set[StorageTier] = set()
+        used_tiers: Set[TierSpec] = set()
         for i in range(replication):
             prefer = writer_node if i == 0 else None
             # Strict tier-diversity preference: OctopusFS puts the replicas
             # of one block on *different* tiers while space lasts (Sec 3.1),
             # falling back to reusing tiers only when the fresh ones are full.
-            fresh_tiers = [t for t in StorageTier if t not in used_tiers]
+            fresh_tiers = [t for t in self.hierarchy if t not in used_tiers]
             target = None
             if fresh_tiers:
                 target = self._best_candidate(
@@ -458,7 +471,7 @@ class OctopusPlacementPolicy(PlacementPolicy):
                 )
             if target is None:
                 target = self._best_candidate(
-                    size, list(StorageTier), used_nodes, used_racks, used_tiers, prefer
+                    size, list(self.hierarchy), used_nodes, used_racks, used_tiers, prefer
                 )
             if target is None:
                 break
@@ -472,7 +485,7 @@ class OctopusPlacementPolicy(PlacementPolicy):
         self,
         block: BlockInfo,
         from_replica: ReplicaInfo,
-        candidate_tiers: Sequence[StorageTier],
+        candidate_tiers: Sequence[TierSpec],
     ) -> Optional[PlacementTarget]:
         """Multi-objective choice of where a moved replica should land.
 

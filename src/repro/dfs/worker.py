@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.cluster.hardware import DEFAULT_MEDIA_PROFILES, StorageTier
+from repro.cluster.hardware import TierSpec
 from repro.cluster.node import Node
 from repro.common.units import MB
 from repro.dfs.block import ReplicaInfo
@@ -38,22 +38,22 @@ class Worker:
     def node_id(self) -> str:
         return self.node.node_id
 
-    def block_report(self, tier: Optional[StorageTier] = None) -> List[ReplicaInfo]:
+    def block_report(self, tier: Optional[TierSpec] = None) -> List[ReplicaInfo]:
         """All replicas this worker stores (optionally one tier)."""
-        tiers = [tier] if tier is not None else list(StorageTier)
+        tiers = [tier] if tier is not None else list(self.node.hierarchy)
         report: List[ReplicaInfo] = []
         for t in tiers:
             report.extend(self._blocks.replicas_on(self.node_id, t))
         return report
 
-    def stored_bytes(self, tier: StorageTier) -> int:
+    def stored_bytes(self, tier: TierSpec) -> int:
         return self.node.tier_used(tier)
 
     def transfer_time(
         self,
         num_bytes: int,
-        from_tier: StorageTier,
-        to_tier: StorageTier,
+        from_tier: TierSpec,
+        to_tier: TierSpec,
         cross_node: bool,
     ) -> float:
         """Seconds to move ``num_bytes`` from ``from_tier`` to ``to_tier``.
@@ -62,8 +62,8 @@ class Worker:
         the destination write bandwidth, and (for cross-node moves) the
         network bandwidth.
         """
-        src = DEFAULT_MEDIA_PROFILES[from_tier]
-        dst = DEFAULT_MEDIA_PROFILES[to_tier]
+        src = from_tier.media
+        dst = to_tier.media
         bandwidth = min(src.read_bw, dst.write_bw)
         if cross_node:
             bandwidth = min(bandwidth, self.network_bandwidth)

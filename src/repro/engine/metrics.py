@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.cluster.hardware import StorageTier
+from repro.cluster.hardware import DEFAULT_HIERARCHY, TierHierarchy, TierSpec
 from repro.workload.bins import BIN_NAMES
 
 
@@ -28,9 +28,9 @@ class BinMetrics:
     jobs_completed: int = 0
     completion_time_sum: float = 0.0
     task_seconds: float = 0.0
-    bytes_by_tier: Dict[StorageTier, int] = field(
-        default_factory=lambda: {t: 0 for t in StorageTier}
-    )
+    # Lazily keyed by TierSpec so the same accumulator works for any
+    # hierarchy depth; readers zero-fill from the collector's hierarchy.
+    bytes_by_tier: Dict[TierSpec, int] = field(default_factory=dict)
 
     @property
     def mean_completion_time(self) -> float:
@@ -46,6 +46,9 @@ class MetricsCollector:
     bins: Dict[str, BinMetrics] = field(
         default_factory=lambda: {name: BinMetrics() for name in BIN_NAMES}
     )
+    #: The tier hierarchy of the run (controls per-tier breakdowns and
+    #: which tier counts as the "memory" hit target: the highest).
+    hierarchy: TierHierarchy = field(default_factory=lambda: DEFAULT_HIERARCHY)
     # Access-based hits: which tier served each task read.
     task_reads: int = 0
     task_reads_memory: int = 0
@@ -62,12 +65,13 @@ class MetricsCollector:
 
     # -- recording ----------------------------------------------------------
     def record_task_read(
-        self, bin_name: str, tier: StorageTier, num_bytes: int
+        self, bin_name: str, tier: TierSpec, num_bytes: int
     ) -> None:
         self.task_reads += 1
         self.bytes_read += num_bytes
-        self.bins[bin_name].bytes_by_tier[tier] += num_bytes
-        if tier is StorageTier.MEMORY:
+        by_tier = self.bins[bin_name].bytes_by_tier
+        by_tier[tier] = by_tier.get(tier, 0) + num_bytes
+        if tier.is_highest:
             self.task_reads_memory += 1
             self.bytes_read_memory += num_bytes
 
@@ -120,17 +124,15 @@ class MetricsCollector:
     def mean_completion_times(self) -> Dict[str, float]:
         return {name: b.mean_completion_time for name, b in self.bins.items()}
 
-    def tier_access_distribution(self) -> Dict[str, Dict[StorageTier, float]]:
+    def tier_access_distribution(self) -> Dict[str, Dict[TierSpec, float]]:
         """Per-bin fraction of bytes served from each tier (Fig 8)."""
-        result: Dict[str, Dict[StorageTier, float]] = {}
+        result: Dict[str, Dict[TierSpec, float]] = {}
         for name, bin_metrics in self.bins.items():
             total = sum(bin_metrics.bytes_by_tier.values())
-            if total == 0:
-                result[name] = {t: 0.0 for t in StorageTier}
-            else:
-                result[name] = {
-                    t: v / total for t, v in bin_metrics.bytes_by_tier.items()
-                }
+            result[name] = {
+                t: (bin_metrics.bytes_by_tier.get(t, 0) / total if total else 0.0)
+                for t in self.hierarchy
+            }
         return result
 
 

@@ -23,8 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from repro.cluster.builder import build_local_cluster
-from repro.cluster.hardware import StorageTier
+from repro.cluster.builder import build_tiered_cluster
+from repro.cluster.hardware import get_hierarchy
 from repro.common.config import Configuration
 from repro.common.units import GB
 from repro.core.manager import ReplicationManager
@@ -57,6 +57,10 @@ class SystemConfig:
     downgrade: Optional[str] = None
     upgrade: Optional[str] = None
     workers: int = 11
+    #: Tier hierarchy preset (see repro.cluster.hardware.hierarchy_names):
+    #: "default3" reproduces the paper's memory/SSD/HDD testbed;
+    #: "mem-hdd", "nvme4", and "remote5" open other regimes.
+    tiers: str = "default3"
     memory_per_node: int = 4 * GB
     task_slots: int = 8
     conf: Dict[str, Any] = field(default_factory=dict)
@@ -95,6 +99,9 @@ class RunResult:
     jobs_finished: int
     bytes_upgraded_memory: int = 0
     bytes_downgraded_memory: int = 0
+    #: Per-tier movement totals keyed by tier name (JSON-friendly).
+    bytes_upgraded_by_tier: Dict[str, int] = field(default_factory=dict)
+    bytes_downgraded_by_tier: Dict[str, int] = field(default_factory=dict)
     transfers_committed: int = 0
     downgrade_model_accuracy: list = field(default_factory=list)
     upgrade_model_accuracy: list = field(default_factory=list)
@@ -121,9 +128,8 @@ def make_placement(
     if name == "octopus":
         return OctopusPlacementPolicy(topology, node_manager, conf)
     if name == "single-hdd":
-        return SingleTierPlacementPolicy(
-            topology, node_manager, conf, tier=StorageTier.HDD
-        )
+        # Pins to the hierarchy's lowest local tier (HDD in default3).
+        return SingleTierPlacementPolicy(topology, node_manager, conf)
     raise ValueError(f"unknown placement {name!r}")
 
 
@@ -135,9 +141,14 @@ class WorkloadRunner:
         self.config = config
         self.sim = Simulator()
         self.conf = Configuration(config.effective_conf())
-        self.topology = build_local_cluster(
+        self.hierarchy = get_hierarchy(config.tiers)
+        overrides = (
+            {"MEMORY": config.memory_per_node} if "MEMORY" in self.hierarchy else {}
+        )
+        self.topology = build_tiered_cluster(
             num_workers=config.workers,
-            memory_per_node=config.memory_per_node,
+            tiers=self.hierarchy,
+            capacity_overrides=overrides,
             task_slots=config.task_slots,
         )
         node_manager = NodeManager(self.topology)
@@ -147,7 +158,7 @@ class WorkloadRunner:
         self.master = Master(self.topology, placement, self.sim, self.conf)
         self.client = DFSClient(self.master)
         self.iomodel = IoModel(self.topology)
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(hierarchy=self.hierarchy)
         self.scheduler = TaskScheduler(
             self.sim,
             self.master,
@@ -219,10 +230,15 @@ class WorkloadRunner:
         )
         if self.manager is not None:
             monitor = self.manager.monitor
-            result.bytes_upgraded_memory = monitor.bytes_upgraded[StorageTier.MEMORY]
-            result.bytes_downgraded_memory = monitor.bytes_downgraded[
-                StorageTier.MEMORY
-            ]
+            top = self.hierarchy.highest
+            result.bytes_upgraded_memory = monitor.bytes_upgraded[top]
+            result.bytes_downgraded_memory = monitor.bytes_downgraded[top]
+            result.bytes_upgraded_by_tier = {
+                t.name: monitor.bytes_upgraded[t] for t in self.hierarchy
+            }
+            result.bytes_downgraded_by_tier = {
+                t.name: monitor.bytes_downgraded[t] for t in self.hierarchy
+            }
             result.transfers_committed = monitor.transfers_committed
             trainer = self.manager.trainer
             if trainer is not None:

@@ -18,7 +18,6 @@ from typing import Callable, Deque, Dict, List, Optional
 
 import numpy as np
 
-from repro.cluster.hardware import StorageTier
 from repro.cluster.topology import ClusterTopology
 from repro.common.errors import InsufficientSpaceError
 from repro.dfs.block import BlockInfo

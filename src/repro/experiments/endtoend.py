@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.cluster.hardware import StorageTier
 from repro.engine.metrics import completion_reduction, efficiency_improvement
 from repro.engine.runner import RunResult, SystemConfig, run_workload
 from repro.experiments.common import (
@@ -90,20 +89,19 @@ def render_fig07(result: EndToEndResult) -> str:
 
 def render_fig08(result: EndToEndResult) -> str:
     rows = []
+    tiers = None
     for label, run in result.runs.items():
         dist = run.metrics.tier_access_distribution()
+        if tiers is None:
+            tiers = list(run.metrics.hierarchy)
         for bin_name in BIN_NAMES:
             rows.append(
-                [
-                    label,
-                    bin_name,
-                    f"{100 * dist[bin_name][StorageTier.MEMORY]:.0f}",
-                    f"{100 * dist[bin_name][StorageTier.SSD]:.0f}",
-                    f"{100 * dist[bin_name][StorageTier.HDD]:.0f}",
-                ]
+                [label, bin_name]
+                + [f"{100 * dist[bin_name][t]:.0f}" for t in tiers]
             )
+    headers = ["System", "Bin"] + [f"{t.name}%" for t in (tiers or [])]
     return format_table(
-        ["System", "Bin", "MEM%", "SSD%", "HDD%"],
+        headers,
         rows,
         title=f"Fig 8 ({result.workload}): storage tier access distribution",
     )

@@ -105,17 +105,20 @@ class FileAccessModel:
         creation_time: float,
         access_times: Sequence[float],
         now: float,
+        tier_level: Optional[int] = None,
     ) -> Optional[TrainingPoint]:
         """Generate a point with reference time ``now - window``.
 
         Returns None when the file did not exist at the reference time
-        (no past to featurize).
+        (no past to featurize).  ``tier_level`` feeds the optional tier
+        feature (ignored unless ``spec.include_tier``).
         """
         reference = now - self.window
         if reference < creation_time:
             return None
         features = build_feature_vector(
-            self.spec, size, creation_time, access_times, reference
+            self.spec, size, creation_time, access_times, reference,
+            tier_level=tier_level,
         )
         label = label_for_window(access_times, reference, self.window)
         return TrainingPoint(features=features, label=label, timestamp=now)
@@ -127,9 +130,12 @@ class FileAccessModel:
         creation_time: float,
         access_times: Sequence[float],
         now: float,
+        tier_level: Optional[int] = None,
     ) -> Optional[TrainingPoint]:
         """Generate and ingest a training point for one file at ``now``."""
-        point = self.make_training_point(size, creation_time, access_times, now)
+        point = self.make_training_point(
+            size, creation_time, access_times, now, tier_level=tier_level
+        )
         if point is not None:
             self.add_point(point)
         return point
@@ -238,6 +244,7 @@ class FileAccessModel:
         creation_time: float,
         access_times: Sequence[float],
         now: float,
+        tier_level: Optional[int] = None,
     ) -> Optional[float]:
         """P(accessed within ``window`` after ``now``), or None if not ready.
 
@@ -246,7 +253,8 @@ class FileAccessModel:
         if not self.ready:
             return None
         features = build_feature_vector(
-            self.spec, size, creation_time, access_times, now
+            self.spec, size, creation_time, access_times, now,
+            tier_level=tier_level,
         )
         return self.model.predict_one(features)
 

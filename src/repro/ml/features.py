@@ -23,7 +23,7 @@ learned default directions (as XGBoost does).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +38,11 @@ class FeatureSpec:
     ablation of Fig 15 varies it to 6 and 18.  ``include_size`` /
     ``include_creation`` support the same ablation's "w/out filesize" and
     "w/out creation" variants.
+
+    ``include_tier`` adds the file's current tier index as a feature,
+    normalized by ``num_tiers`` (sized from the cluster's hierarchy via
+    :meth:`for_hierarchy`).  It is off by default so the paper's
+    feature set — and its experiments — stay bit-identical.
     """
 
     k: int = 12
@@ -45,6 +50,20 @@ class FeatureSpec:
     max_file_size: int = 4 * GB
     include_size: bool = True
     include_creation: bool = True
+    include_tier: bool = False
+    num_tiers: int = 3
+
+    @classmethod
+    def for_hierarchy(cls, hierarchy, **overrides) -> "FeatureSpec":
+        """A spec with the tier feature sized from ``hierarchy``.
+
+        ``hierarchy`` is a :class:`repro.cluster.hardware.TierHierarchy`
+        (anything with ``len()``); extra keyword arguments override the
+        remaining fields.
+        """
+        overrides.setdefault("include_tier", True)
+        overrides.setdefault("num_tiers", len(hierarchy))
+        return cls(**overrides)
 
     @property
     def num_features(self) -> int:
@@ -52,6 +71,8 @@ class FeatureSpec:
         if self.include_size:
             n += 1
         if self.include_creation:
+            n += 1
+        if self.include_tier:
             n += 1
         return n
 
@@ -63,6 +84,8 @@ def feature_names(spec: FeatureSpec) -> List[str]:
         names.append("size")
     if spec.include_creation:
         names.append("ref_minus_creation")
+    if spec.include_tier:
+        names.append("tier_level")
     names.append("ref_minus_last_access")
     names.append("oldest_access_minus_creation")
     # access_delta_1 is the most recent inter-access gap.
@@ -76,12 +99,15 @@ def build_feature_vector(
     creation_time: float,
     access_times: Sequence[float],
     reference_time: float,
+    tier_level: Optional[int] = None,
 ) -> np.ndarray:
     """Build the normalized feature vector at ``reference_time``.
 
     ``access_times`` may be unsorted and may include accesses after the
     reference time; only the last ``k`` accesses at or before it are
     used.  Raises ``ValueError`` if the reference time precedes creation.
+    ``tier_level`` (the file's best tier's level, 0 = fastest) is only
+    consumed when ``spec.include_tier`` is set; NaN when unknown.
     """
     if reference_time < creation_time:
         raise ValueError("reference time before file creation")
@@ -96,6 +122,13 @@ def build_feature_vector(
         values.append(min(size / spec.max_file_size, 1.0))
     if spec.include_creation:
         values.append(norm(reference_time - creation_time))
+    if spec.include_tier:
+        if tier_level is None:
+            values.append(np.nan)
+        else:
+            # Normalize by the deepest level so 2- and 5-tier clusters
+            # both map onto [0, 1].
+            values.append(min(tier_level / max(spec.num_tiers - 1, 1), 1.0))
     if past:
         values.append(norm(reference_time - past[-1]))
         values.append(norm(past[0] - creation_time))

@@ -90,12 +90,16 @@ class Simulator(Clock):
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Drain the event queue.
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.  Returns the number of callbacks executed.
 
         ``until`` stops the loop once the next event would be later than the
         given time (the clock is then advanced exactly to ``until``).
-        ``max_events`` guards against runaway loops in tests.
+        ``max_events`` guards against runaway loops in tests.  The guard
+        counts *executed callbacks* only: cancelled events — whether
+        skipped by this loop or popped inside :meth:`step` — never
+        consume budget, so ``run(max_events=n)`` always permits ``n``
+        real callbacks regardless of how many tombstones the heap holds.
         """
         executed = 0
         while self._heap:
@@ -107,10 +111,11 @@ class Simulator(Clock):
                 break
             if max_events is not None and executed >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
-            self.step()
-            executed += 1
+            if self.step():
+                executed += 1
         if until is not None and until > self._now:
             self._now = until
+        return executed
 
 
 class PeriodicTimer:

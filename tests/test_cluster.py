@@ -6,7 +6,7 @@ from repro.cluster import (
     ClusterTopology,
     Node,
     StorageTier,
-    TierSpec,
+    TierProvision,
     build_cluster,
     build_ec2_cluster,
     build_local_cluster,
@@ -19,8 +19,8 @@ def two_tier_node(node_id="n0", rack="r0"):
         node_id,
         rack,
         [
-            TierSpec(StorageTier.MEMORY, 4 * GB),
-            TierSpec(StorageTier.HDD, 12 * GB, num_devices=3),
+            TierProvision(StorageTier.MEMORY, 4 * GB),
+            TierProvision(StorageTier.HDD, 12 * GB, num_devices=3),
         ],
     )
 
@@ -109,7 +109,7 @@ class TestBuilders:
     def test_racks_filled_in_order(self):
         topo = build_cluster(
             8,
-            [TierSpec(StorageTier.HDD, 1 * GB)],
+            [TierProvision(StorageTier.HDD, 1 * GB)],
             rack_size=3,
         )
         racks = {n.rack for n in topo.nodes}
@@ -121,7 +121,7 @@ class TestBuilders:
 
     def test_invalid_worker_count(self):
         with pytest.raises(ValueError):
-            build_cluster(0, [TierSpec(StorageTier.HDD, GB)])
+            build_cluster(0, [TierProvision(StorageTier.HDD, GB)])
 
     def test_total_slots(self):
         topo = build_local_cluster(num_workers=4, task_slots=6)

@@ -54,7 +54,7 @@ class TestMediaProfile:
         assert profile.read_time(256 * MB) > profile.read_time(128 * MB)
 
     def test_times_include_latency(self):
-        profile = MediaProfile(StorageTier.SSD, 100.0, 100.0, seek_latency=1.0)
+        profile = MediaProfile(100.0, 100.0, seek_latency=1.0)
         assert profile.read_time(0) == pytest.approx(1.0)
         assert profile.write_time(100) == pytest.approx(2.0)
 

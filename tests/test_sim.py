@@ -105,6 +105,39 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             sim.run(max_events=100)
 
+    def test_max_events_counts_executed_callbacks_only(self):
+        # Regression: cancelled events — skipped by run()'s loop or popped
+        # inside step() — must not consume the max_events budget.
+        sim = Simulator()
+        ran = []
+        for i in range(4):
+            sim.at(float(i), lambda i=i: ran.append(i))
+        cancelled = [sim.at(float(i) + 0.5, lambda: ran.append(-1)) for i in range(4)]
+        for event in cancelled:
+            event.cancel()
+        executed = sim.run(max_events=4)  # exactly as many as real callbacks
+        assert executed == 4
+        assert ran == [0, 1, 2, 3]
+
+    def test_max_events_budget_unaffected_by_mid_run_cancellation(self):
+        sim = Simulator()
+        ran = []
+        later = sim.at(2.0, lambda: ran.append("later"))
+        # The first callback cancels a pending event; the tombstone must
+        # not count against the remaining budget.
+        sim.at(1.0, lambda: (ran.append("first"), later.cancel()))
+        sim.at(3.0, lambda: ran.append("last"))
+        executed = sim.run(max_events=2)
+        assert executed == 2
+        assert ran == ["first", "last"]
+
+    def test_run_returns_executed_count(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.at(float(i), lambda: None)
+        assert sim.run() == 3
+        assert sim.run() == 0  # empty queue
+
     def test_step_returns_false_when_empty(self):
         assert Simulator().step() is False
 
