@@ -1,13 +1,16 @@
-"""Record the tier-hierarchy benchmark baseline (BENCH_tiers.json).
+"""Record tier-hierarchy / I/O-model benchmarks (BENCH_*.json).
 
-Runs the FB workload under the ``default3`` and ``nvme4`` hierarchies
-with the LRU/OSA policy pair and records wall-clock runtime, hit
-ratios, and per-tier movement, so future PRs can track the performance
-trajectory of the simulator and the effect of hierarchy depth.
+Runs the FB workload across tier-hierarchy presets and I/O pricing
+models with the LRU/OSA policy pair and records wall-clock runtime, hit
+ratios, per-tier movement, and contention / transfer-delay statistics,
+so future PRs can track the performance trajectory of the simulator,
+the effect of hierarchy depth, and the cost of fair-share re-pricing.
 
 Usage::
 
     python benchmarks/bench_tiers.py [--out BENCH_tiers.json] [--scale 1.0]
+    python benchmarks/bench_tiers.py --presets default3 nvme4 remote5 \\
+        --io-models snapshot fairshare --out BENCH_iomodel.json
 """
 
 from __future__ import annotations
@@ -19,27 +22,34 @@ import time
 from pathlib import Path
 
 from repro.common.units import GB
+from repro.engine.iomodel import IO_MODEL_NAMES
 from repro.engine.runner import SystemConfig, run_workload
 from repro.workload.profiles import PROFILES, scaled_profile
 from repro.workload.synthesis import synthesize_trace
 
-TIER_PRESETS = ("default3", "nvme4")
+DEFAULT_PRESETS = ("default3", "nvme4")
 
 
-def bench_one(trace, tiers: str, seed: int) -> dict:
+def bench_one(trace, tiers: str, seed: int, io_model: str = "snapshot") -> dict:
     config = SystemConfig(
-        label=f"FB/{tiers}/lru-osa",
+        label=f"FB/{tiers}/{io_model}/lru-osa",
         placement="octopus",
         downgrade="lru",
         upgrade="osa",
         tiers=tiers,
+        io_model=io_model,
         seed=seed,
     )
     start = time.perf_counter()
     result = run_workload(trace, config)
     runtime = time.perf_counter() - start
+    io_stats = {
+        key: (round(value, 3) if isinstance(value, float) else value)
+        for key, value in result.io_stats.items()
+    }
     return {
         "tiers": tiers,
+        "io_model": io_model,
         "runtime_seconds": round(runtime, 3),
         "jobs_finished": result.jobs_finished,
         "hit_ratio": round(result.metrics.hit_ratio(), 4),
@@ -55,6 +65,16 @@ def bench_one(trace, tiers: str, seed: int) -> dict:
             for name, v in result.bytes_downgraded_by_tier.items()
         },
         "transfers_committed": result.transfers_committed,
+        "io": io_stats,
+        "transfer_ideal_seconds": round(result.transfer_ideal_seconds, 3),
+        "transfer_realized_seconds": round(result.transfer_realized_seconds, 3),
+        "transfer_delay_seconds": round(
+            max(
+                0.0,
+                result.transfer_realized_seconds - result.transfer_ideal_seconds,
+            ),
+            3,
+        ),
     }
 
 
@@ -65,6 +85,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--presets",
+        nargs="+",
+        default=list(DEFAULT_PRESETS),
+        help="tier hierarchy presets to benchmark",
+    )
+    parser.add_argument(
+        "--io-models",
+        nargs="+",
+        choices=IO_MODEL_NAMES,
+        default=["snapshot"],
+        help="I/O pricing models to benchmark each preset under",
+    )
     args = parser.parse_args(argv)
 
     trace = synthesize_trace(
@@ -76,7 +109,11 @@ def main(argv=None) -> int:
         "seed": args.seed,
         "policies": "lru/osa",
         "python": platform.python_version(),
-        "runs": [bench_one(trace, tiers, args.seed) for tiers in TIER_PRESETS],
+        "runs": [
+            bench_one(trace, tiers, args.seed, io_model)
+            for tiers in args.presets
+            for io_model in args.io_models
+        ],
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -20,6 +20,7 @@ from typing import Callable, Dict, Tuple
 
 from repro.cluster.hardware import get_hierarchy, hierarchy_names
 from repro.common.units import GB
+from repro.engine.iomodel import IO_MODEL_NAMES
 from repro.engine.runner import SystemConfig, run_workload
 from repro.workload.profiles import PROFILES, scaled_profile
 from repro.workload.synthesis import synthesize_trace
@@ -123,6 +124,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         upgrade=args.upgrade,
         workers=args.workers,
         tiers=args.tiers,
+        io_model=args.io_model,
         cache_mode=args.cache_mode,
         tier_aware_scheduler=args.tier_aware,
         conf=conf,
@@ -207,6 +209,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=hierarchy_names(),
         default="default3",
         help="tier hierarchy preset (default3 = the paper's memory/SSD/HDD)",
+    )
+    p_sim.add_argument(
+        "--io-model",
+        choices=IO_MODEL_NAMES,
+        default="snapshot",
+        help=(
+            "I/O pricing: snapshot = price once at operation start "
+            "(pre-flow behaviour, bit-identical); fairshare = max-min "
+            "fair re-pricing with shared remote-endpoint/rack resources"
+        ),
     )
     p_sim.add_argument("--scale", type=float, default=1.0)
     p_sim.add_argument("--seed", type=int, default=42)

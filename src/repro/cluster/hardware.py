@@ -241,6 +241,17 @@ class TierHierarchy:
 # Media profiles for the built-in tiers.
 # ---------------------------------------------------------------------------
 
+#: Node-to-node network bandwidth: 10GbE (Fig 2 read throughputs require
+#: more than 1GbE).  This is the single shared definition — the I/O
+#: model, Replication Monitor, and Worker facade all import it.
+DEFAULT_NETWORK_BANDWIDTH = 1250 * MB
+
+#: Aggregate bandwidth of the shared endpoint in front of a rack-remote
+#: cold store (one 10GbE ingress link): the cluster-wide cap the
+#: fair-share I/O model enforces on the REMOTE tier, so cold-tier
+#: throughput no longer scales with worker count.
+DEFAULT_REMOTE_ENDPOINT_BANDWIDTH = 1250 * MB
+
 #: Calibrated against the paper's Fig 2 throughputs.
 MEMORY_MEDIA = MediaProfile(read_bw=3000 * MB, write_bw=2000 * MB, seek_latency=0.0001)
 NVME_MEDIA = MediaProfile(read_bw=2000 * MB, write_bw=1500 * MB, seek_latency=0.0002)
@@ -355,11 +366,11 @@ register_hierarchy(
         "nvme4", [_memory_spec(), _nvme_spec(), _ssd_spec(), _hdd_spec()]
     ),
 )
-#: Known modeling simplification: the REMOTE tier is provisioned as an
-#: independent per-node device, so aggregate remote bandwidth scales
-#: with worker count and remote reads carry no shared network leg.  A
-#: shared remote endpoint with a cluster-wide bandwidth cap is future
-#: work (see ROADMAP).
+#: The REMOTE tier is provisioned as a per-node device (each node's
+#: mover slice of the cold store), but under ``--io-model fairshare``
+#: every REMOTE access additionally crosses the cluster-wide shared
+#: endpoint resource (see :mod:`repro.engine.iomodel`), so aggregate
+#: cold-tier bandwidth is capped regardless of worker count.
 register_hierarchy(
     "remote5",
     lambda: TierHierarchy(

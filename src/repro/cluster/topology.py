@@ -14,11 +14,18 @@ from repro.cluster.node import Node
 
 
 class Rack:
-    """A named group of nodes sharing a top-of-rack switch."""
+    """A named group of nodes sharing a top-of-rack switch.
 
-    def __init__(self, name: str) -> None:
+    ``uplink_bandwidth`` optionally caps the rack's aggregate traffic to
+    the rest of the cluster (bytes/second); ``None`` leaves the uplink
+    unconstrained.  Only the fair-share I/O model enforces it — cross-
+    rack flows then traverse a shared uplink resource per rack.
+    """
+
+    def __init__(self, name: str, uplink_bandwidth: Optional[float] = None) -> None:
         self.name = name
         self.nodes: List[Node] = []
+        self.uplink_bandwidth = uplink_bandwidth
 
     def add(self, node: Node) -> None:
         self.nodes.append(node)
@@ -77,6 +84,15 @@ class ClusterTopology:
 
     def node(self, node_id: str) -> Node:
         return self._nodes[node_id]
+
+    def rack_of(self, node_id: str) -> Rack:
+        """The rack holding ``node_id``."""
+        return self._racks[self._nodes[node_id].rack]
+
+    def set_rack_uplinks(self, bandwidth: Optional[float]) -> None:
+        """Set every rack's uplink cap (None removes the constraint)."""
+        for rack in self._racks.values():
+            rack.uplink_bandwidth = bandwidth
 
     def __contains__(self, node_id: str) -> bool:
         return node_id in self._nodes

@@ -37,12 +37,17 @@ class ReplicationManager(FileSystemListener):
         master: Master,
         sim: Simulator,
         conf: Optional[Configuration] = None,
+        iomodel=None,
     ) -> None:
         self.master = master
         self.sim = sim
         self.conf = conf if conf is not None else Configuration()
         self.stats = StatisticsRegistry(k=self.conf.get_int("stats.k", 12))
-        self.monitor = ReplicationMonitor(master, sim, master.placement, self.conf)
+        # ``iomodel`` (when fair-share) makes monitor transfers contend
+        # with foreground task I/O instead of taking standalone time.
+        self.monitor = ReplicationMonitor(
+            master, sim, master.placement, self.conf, iomodel=iomodel
+        )
         self._temp_excluded: Set[int] = set()
         self.ctx = PolicyContext(
             master,

@@ -14,11 +14,10 @@ Responsibilities (paper Sec 3.3, Fig 3):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
-from repro.cluster.hardware import TierSpec
+from repro.cluster.hardware import DEFAULT_NETWORK_BANDWIDTH, TierSpec
 from repro.common.config import Configuration
-from repro.common.units import MB
 from repro.dfs.block import BlockInfo, ReplicaInfo
 from repro.dfs.master import Master, TransferTicket
 from repro.dfs.namespace import INodeFile
@@ -26,8 +25,8 @@ from repro.dfs.placement import PlacementPolicy
 from repro.core.policy import DowngradeAction
 from repro.sim.simulator import PeriodicTimer, Simulator
 
-#: 10GbE default, matching :mod:`repro.dfs.worker`.
-DEFAULT_NETWORK_BANDWIDTH = 1250 * MB
+if TYPE_CHECKING:  # imported lazily to avoid a core <-> engine cycle
+    from repro.engine.iomodel import IoModel
 
 
 def transfer_seconds(
@@ -55,11 +54,16 @@ class ReplicationMonitor:
         sim: Simulator,
         placement: PlacementPolicy,
         conf: Optional[Configuration] = None,
+        iomodel: Optional["IoModel"] = None,
     ) -> None:
         self.master = master
         self.sim = sim
         self.placement = placement
         self.conf = conf if conf is not None else Configuration()
+        #: Under the fair-share model transfers are flows that contend
+        #: with foreground task I/O; without it (or under snapshot
+        #: pricing) they keep the standalone transfer_seconds() timing.
+        self.iomodel = iomodel if iomodel is not None and iomodel.fairshare else None
         self.network_bandwidth = self.conf.get_float(
             "monitor.network_bandwidth", DEFAULT_NETWORK_BANDWIDTH
         )
@@ -81,6 +85,11 @@ class ReplicationMonitor:
         self.transfers_committed = 0
         self.transfers_aborted = 0
         self.replicas_repaired = 0
+        #: Transfer-delay accounting: ideal = standalone transfer time,
+        #: realized = wall time actually taken (they differ only when
+        #: transfers are priced through the fair-share engine).
+        self.transfer_ideal_seconds = 0.0
+        self.transfer_realized_seconds = 0.0
         self._health_timer: Optional[PeriodicTimer] = None
         if self.conf.get_bool("monitor.health_checks_enabled", False):
             interval = self.conf.get_duration("monitor.health_interval", 30.0)
@@ -189,6 +198,62 @@ class ReplicationMonitor:
                 break
         return scheduled
 
+    def _run_transfer(
+        self,
+        block: BlockInfo,
+        source: ReplicaInfo,
+        target,
+        finish,
+        name: str,
+    ) -> None:
+        """Time one replica transfer and fire ``finish`` when it lands.
+
+        With a fair-share I/O model the transfer becomes a flow through
+        the shared engine (reads the source device, writes the target,
+        crosses NICs/endpoints) and experiences — and causes — real
+        contention; otherwise it takes the standalone duration, exactly
+        as before.
+        """
+        cross_node = source.node_id != target.node_id
+        # Price the ideal against the bandwidth the engine actually
+        # enforces, so realized >= ideal holds whatever the monitor's
+        # own network knob says (under fairshare that knob no longer
+        # governs transfer timing — the shared NIC resources do).
+        network = (
+            self.iomodel.network_bandwidth
+            if self.iomodel is not None
+            else self.network_bandwidth
+        )
+        ideal = transfer_seconds(
+            block.size,
+            source.tier,
+            target.tier,
+            cross_node,
+            network,
+        )
+        started = self.sim.now()
+
+        def timed_finish() -> None:
+            # Both sides accrue together at completion, so transfers
+            # still in flight when a run ends skew neither and the
+            # realized-minus-ideal delay never goes negative.
+            self.transfer_ideal_seconds += ideal
+            self.transfer_realized_seconds += self.sim.now() - started
+            finish()
+
+        if self.iomodel is not None:
+            self.iomodel.transfer(
+                block.size,
+                source.device_id,
+                source.node_id,
+                target.device_id,
+                target.node_id,
+                on_complete=timed_finish,
+                name=name,
+            )
+        else:
+            self.sim.after(ideal, timed_finish, name=name)
+
     def _schedule_copy(
         self,
         file: INodeFile,
@@ -198,14 +263,6 @@ class ReplicationMonitor:
     ) -> int:
         """Create an additional (cache) replica of ``block`` at ``target``."""
         ticket = self.master.begin_transfer(block, None, target)
-        cross_node = source.node_id != target.node_id
-        duration = transfer_seconds(
-            block.size,
-            source.tier,
-            target.tier,
-            cross_node,
-            self.network_bandwidth,
-        )
         size = block.size
         self.pending_in[target.tier] += size
         self._in_flight[file.inode_id] = self._in_flight.get(file.inode_id, 0) + 1
@@ -214,7 +271,7 @@ class ReplicationMonitor:
         def finish() -> None:
             self._finish_move(ticket, file, source.tier, size, downgrade=False)
 
-        self.sim.after(duration, finish, name=f"cache-b{block.block_id}")
+        self._run_transfer(block, source, target, finish, f"cache-b{block.block_id}")
         return size
 
     # -- shared transfer machinery ---------------------------------------------------
@@ -227,14 +284,6 @@ class ReplicationMonitor:
         downgrade: bool,
     ) -> int:
         ticket = self.master.begin_transfer(block, source, target)
-        cross_node = source.node_id != target.node_id
-        duration = transfer_seconds(
-            block.size,
-            source.tier,
-            target.tier,
-            cross_node,
-            self.network_bandwidth,
-        )
         size = block.size
         from_tier = source.tier
         if downgrade:
@@ -247,7 +296,7 @@ class ReplicationMonitor:
         def finish() -> None:
             self._finish_move(ticket, file, from_tier, size, downgrade)
 
-        self.sim.after(duration, finish, name=f"move-b{block.block_id}")
+        self._run_transfer(block, source, target, finish, f"move-b{block.block_id}")
         return size
 
     def _finish_move(
@@ -319,10 +368,6 @@ class ReplicationMonitor:
         if target is None:
             return
         ticket = self.master.begin_transfer(block, None, target)
-        cross_node = source.node_id != target.node_id
-        duration = transfer_seconds(
-            block.size, source.tier, target.tier, cross_node, self.network_bandwidth
-        )
         self._in_flight_blocks.add(block.block_id)
 
         def finish() -> None:
@@ -335,7 +380,7 @@ class ReplicationMonitor:
             self.transfers_committed += 1
             self.replicas_repaired += 1
 
-        self.sim.after(duration, finish, name=f"repair-b{block.block_id}")
+        self._run_transfer(block, source, target, finish, f"repair-b{block.block_id}")
 
     def _trim_over_replicated(self, block: BlockInfo) -> None:
         # Drop the slowest extra replica; ties broken by replica id.  In

@@ -11,14 +11,10 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.cluster.hardware import TierSpec
+from repro.cluster.hardware import DEFAULT_NETWORK_BANDWIDTH, TierSpec
 from repro.cluster.node import Node
-from repro.common.units import MB
 from repro.dfs.block import ReplicaInfo
 from repro.dfs.block_manager import BlockManager
-
-#: Default node-to-node network bandwidth (1GbE, matching the paper's era).
-DEFAULT_NETWORK_BANDWIDTH = 1250 * MB  # 10GbE
 
 
 class Worker:

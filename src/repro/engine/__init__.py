@@ -6,7 +6,8 @@ onto per-node slots, with I/O durations priced by the shared-stream
 bandwidth model of :mod:`repro.engine.iomodel`.
 """
 
-from repro.engine.iomodel import IoModel, WriteLeg
+from repro.engine.flows import FairShareEngine, Flow, Resource, compute_max_min_rates
+from repro.engine.iomodel import IO_MODEL_NAMES, IoModel, WriteLeg
 from repro.engine.metrics import (
     BinMetrics,
     MetricsCollector,
@@ -26,7 +27,12 @@ from repro.engine.dfsio import DfsioResult, DfsioRunner
 
 __all__ = [
     "IoModel",
+    "IO_MODEL_NAMES",
     "WriteLeg",
+    "FairShareEngine",
+    "Flow",
+    "Resource",
+    "compute_max_min_rates",
     "MetricsCollector",
     "BinMetrics",
     "completion_reduction",

@@ -132,19 +132,31 @@ class DfsioRunner:
                             node_id=replica.node_id,
                         )
                     )
-            duration, release = self.runner.iomodel.start_write(
-                size, legs, writer_node=node_id
-            )
-
             def finish() -> None:
-                release()
                 cumulative[0] += size
                 self.result.write_records.append(
                     (cumulative[0], size, sim.now() - start)
                 )
                 start_writer(node_id, queue)
 
-            sim.after(duration, finish, name=f"dfsio-write-{path}")
+            if self.runner.iomodel.fairshare:
+                self.runner.iomodel.write(
+                    size,
+                    legs,
+                    writer_node=node_id,
+                    on_complete=finish,
+                    name=f"dfsio-write-{path}",
+                )
+                return
+            duration, release = self.runner.iomodel.start_write(
+                size, legs, writer_node=node_id
+            )
+
+            def finish_snapshot() -> None:
+                release()
+                finish()
+
+            sim.after(duration, finish_snapshot, name=f"dfsio-write-{path}")
 
         for node_id, queue in zip(nodes, assignments):
             if queue:
@@ -183,6 +195,31 @@ class DfsioRunner:
 
             if not plan.reads:
                 start_reader(node_id, queue)
+                return
+            if self.runner.iomodel.fairshare:
+                # Blocks are read strictly one after another: each flow
+                # starts when the previous one drains, so the client
+                # only ever contends with one in-flight block.
+                def start_block(index: int) -> None:
+                    read = plan.reads[index]
+                    remote = read.replica.node_id != node_id
+
+                    def done() -> None:
+                        block_done()
+                        if index + 1 < len(plan.reads):
+                            start_block(index + 1)
+
+                    self.runner.iomodel.read(
+                        read.block.size,
+                        read.replica.device_id,
+                        remote,
+                        node_id,
+                        read.replica.node_id,
+                        on_complete=done,
+                        name=f"dfsio-read-{path}",
+                    )
+
+                start_block(0)
                 return
             # Blocks of one file are read sequentially by the client.
             delay = 0.0

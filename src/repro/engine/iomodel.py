@@ -1,24 +1,46 @@
-"""Contention-aware I/O timing.
+"""Contention-aware I/O timing: snapshot pricing or fair-share flows.
 
-Durations are computed when an operation starts, using the stream counts
-at that instant (a snapshot approximation of processor sharing): a device
-serving ``n`` concurrent streams gives each ``bw / n``; cross-node
-traffic is additionally capped by the per-node network bandwidth shared
-the same way.  This is what makes the DFSIO experiment (Fig 2) come out
-paper-shaped: writing 3 HDD replicas per block triples the HDD stream
-load and collapses per-node throughput relative to tiered placement.
+Two pricing models share this facade, selected per run with
+``SystemConfig.io_model`` / ``--io-model``:
+
+``snapshot`` (default, the pre-flow behaviour, bit-identical)
+    Durations are computed when an operation starts, using the stream
+    counts at that instant (a snapshot approximation of processor
+    sharing): a device serving ``n`` concurrent streams gives each
+    ``bw / n``; cross-node traffic is additionally capped by the
+    per-node network bandwidth shared the same way.  This is what makes
+    the DFSIO experiment (Fig 2) come out paper-shaped: writing 3 HDD
+    replicas per block triples the HDD stream load and collapses
+    per-node throughput relative to tiered placement.
+
+``fairshare``
+    Every operation becomes a flow with bytes remaining traversing a
+    resource graph (devices, per-node NICs, shared resources); rates are
+    re-solved max-min fair whenever any flow starts or finishes, and
+    completion events are rescheduled (:mod:`repro.engine.flows`).  Two
+    *shared* resources exist only here: a cluster-wide endpoint cap in
+    front of every remote tier (so ``remote5`` cold-tier throughput no
+    longer scales with worker count) and optional per-rack uplinks
+    (``Rack.uplink_bandwidth`` / ``io.rack_uplink_bandwidth``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.cluster.hardware import StorageDevice
+from repro.cluster.hardware import (
+    DEFAULT_NETWORK_BANDWIDTH,
+    DEFAULT_REMOTE_ENDPOINT_BANDWIDTH,
+    StorageDevice,
+    TierSpec,
+)
 from repro.cluster.topology import ClusterTopology
-from repro.common.units import MB
+from repro.common.config import Configuration
+from repro.engine.flows import FairShareEngine, Flow, Resource
+from repro.sim.simulator import Simulator
 
-DEFAULT_NETWORK_BANDWIDTH = 1250 * MB  # 10GbE (Fig 2 read throughputs require > 1GbE)
+IO_MODEL_NAMES = ("snapshot", "fairshare")
 
 
 @dataclass(frozen=True)
@@ -31,15 +53,27 @@ class WriteLeg:
 
 
 class IoModel:
-    """Tracks active streams and prices read/write operations."""
+    """Tracks active streams/flows and prices read/write/transfer ops."""
 
     def __init__(
         self,
         topology: ClusterTopology,
         network_bandwidth: float = DEFAULT_NETWORK_BANDWIDTH,
+        sim: Optional[Simulator] = None,
+        pricing: str = "snapshot",
+        conf: Optional[Configuration] = None,
     ) -> None:
+        if pricing not in IO_MODEL_NAMES:
+            raise ValueError(
+                f"unknown io model {pricing!r}; choose from {IO_MODEL_NAMES}"
+            )
         self.topology = topology
-        self.network_bandwidth = network_bandwidth
+        conf = conf if conf is not None else Configuration()
+        self.network_bandwidth = conf.get_float(
+            "io.network_bandwidth", network_bandwidth
+        )
+        self.pricing = pricing
+        self.sim = sim
         self._device_streams: Dict[str, int] = {}
         self._net_streams: Dict[str, int] = {}
         self._devices: Dict[str, StorageDevice] = {}
@@ -48,11 +82,61 @@ class IoModel:
             for device in node.devices():
                 self._devices[device.device_id] = device
                 self._device_streams[device.device_id] = 0
+        # Snapshot-mode contention accounting (pure bookkeeping).
+        self._ops_priced = 0
+        self._priced_seconds = 0.0
+        self._ideal_seconds = 0.0
+        # -- fair-share resource graph --------------------------------------
+        self.engine: Optional[FairShareEngine] = None
+        self._dev_resource: Dict[str, Resource] = {}
+        self._dev_write_weight: Dict[str, float] = {}
+        self._nic_resource: Dict[str, Resource] = {}
+        self._endpoint_resource: Dict[TierSpec, Resource] = {}
+        self._uplink_resource: Dict[str, Resource] = {}
+        if pricing == "fairshare":
+            if sim is None:
+                raise ValueError("fairshare pricing needs the simulator")
+            self.engine = FairShareEngine(sim)
+            endpoint_bw = conf.get_float(
+                "io.remote_endpoint_bandwidth", DEFAULT_REMOTE_ENDPOINT_BANDWIDTH
+            )
+            for device_id, device in self._devices.items():
+                profile = device.profile
+                self._dev_resource[device_id] = Resource(
+                    f"dev:{device_id}", profile.read_bw
+                )
+                self._dev_write_weight[device_id] = (
+                    profile.read_bw / profile.write_bw
+                )
+            for node in topology.nodes:
+                self._nic_resource[node.node_id] = Resource(
+                    f"nic:{node.node_id}", self.network_bandwidth
+                )
+            for tier in topology.hierarchy:
+                if tier.remote:
+                    self._endpoint_resource[tier] = Resource(
+                        f"endpoint:{tier.name}", endpoint_bw
+                    )
+            uplink_default = conf.get_float("io.rack_uplink_bandwidth", 0.0)
+            for rack in topology.racks:
+                uplink = (
+                    rack.uplink_bandwidth
+                    if rack.uplink_bandwidth is not None
+                    else uplink_default
+                )
+                if uplink and uplink > 0:
+                    self._uplink_resource[rack.name] = Resource(
+                        f"uplink:{rack.name}", uplink
+                    )
+
+    @property
+    def fairshare(self) -> bool:
+        return self.pricing == "fairshare"
 
     def device(self, device_id: str) -> StorageDevice:
         return self._devices[device_id]
 
-    # -- internals ----------------------------------------------------------
+    # -- snapshot internals --------------------------------------------------
     def _device_share(self, device: StorageDevice, write: bool) -> float:
         streams = self._device_streams[device.device_id] + 1
         bw = device.profile.write_bw if write else device.profile.read_bw
@@ -80,7 +164,15 @@ class IoModel:
 
         return release
 
-    # -- reads -------------------------------------------------------------------
+    def _require_snapshot(self) -> None:
+        if self.pricing != "snapshot":
+            raise RuntimeError(
+                "start_read/start_write price a whole operation up front and "
+                "only exist under the snapshot model; use read()/write()/"
+                "transfer() with an on_complete callback under fairshare"
+            )
+
+    # -- reads (snapshot) ----------------------------------------------------
     def start_read(
         self,
         size: int,
@@ -94,23 +186,29 @@ class IoModel:
         The caller must invoke the release callback when the read ends
         (i.e. schedule it on the simulator at start + duration).
         """
+        self._require_snapshot()
         device = self._devices[device_id]
         bandwidth = self._device_share(device, write=False)
+        ideal = device.profile.read_bw
         net_nodes: List[str] = []
         if remote:
             bandwidth = min(
                 bandwidth, self._net_share(source_node), self._net_share(reader_node)
             )
+            ideal = min(ideal, self.network_bandwidth)
             net_nodes = (
                 [source_node, reader_node]
                 if source_node != reader_node
                 else [source_node]
             )
         duration = device.profile.seek_latency + size / bandwidth
+        self._ops_priced += 1
+        self._priced_seconds += duration
+        self._ideal_seconds += device.profile.seek_latency + size / ideal
         release = self._acquire([device_id], net_nodes)
         return duration, release
 
-    # -- writes ------------------------------------------------------------------
+    # -- writes (snapshot) ---------------------------------------------------
     def start_write(
         self, size: int, legs: List[WriteLeg], writer_node: Optional[str]
     ) -> Tuple[float, Callable[[], None]]:
@@ -119,29 +217,241 @@ class IoModel:
         The pipeline streams at the minimum effective bandwidth across
         legs (slowest medium or the network for remote legs).
         """
+        self._require_snapshot()
         if not legs:
             raise ValueError("write needs at least one leg")
         bandwidth = float("inf")
+        ideal = float("inf")
         latency = 0.0
         device_ids = []
         net_nodes = set()
         for leg in legs:
             bandwidth = min(bandwidth, self._device_share(leg.device, write=True))
+            ideal = min(ideal, leg.device.profile.write_bw)
             latency = max(latency, leg.device.profile.seek_latency)
             device_ids.append(leg.device.device_id)
             if leg.remote:
                 bandwidth = min(bandwidth, self._net_share(leg.node_id))
+                ideal = min(ideal, self.network_bandwidth)
                 net_nodes.add(leg.node_id)
                 if writer_node is not None:
                     bandwidth = min(bandwidth, self._net_share(writer_node))
                     net_nodes.add(writer_node)
         duration = latency + size / bandwidth
+        self._ops_priced += 1
+        self._priced_seconds += duration
+        self._ideal_seconds += latency + size / ideal
         release = self._acquire(device_ids, sorted(net_nodes))
         return duration, release
 
-    # -- introspection -------------------------------------------------------------
+    # -- fair-share link assembly --------------------------------------------
+    def _require_fairshare(self) -> FairShareEngine:
+        if self.engine is None:
+            raise RuntimeError(
+                "read()/write()/transfer() schedule completion through the "
+                "flow engine and only exist under the fairshare model; use "
+                "start_read/start_write under snapshot"
+            )
+        return self.engine
+
+    class _LinkSet:
+        """Dedups (resource, weight) pairs, keeping the highest weight."""
+
+        def __init__(self) -> None:
+            self._links: Dict[str, Tuple[Resource, float]] = {}
+
+        def add(self, resource: Optional[Resource], weight: float = 1.0) -> None:
+            if resource is None:
+                return
+            current = self._links.get(resource.name)
+            if current is None or weight > current[1]:
+                self._links[resource.name] = (resource, weight)
+
+        def as_list(self) -> List[Tuple[Resource, float]]:
+            return list(self._links.values())
+
+    def _add_network_legs(
+        self, links: "_LinkSet", src_node: str, dst_node: str
+    ) -> None:
+        """Cross-node traffic: both NICs, plus uplinks across racks."""
+        if src_node == dst_node:
+            return
+        links.add(self._nic_resource.get(src_node))
+        links.add(self._nic_resource.get(dst_node))
+        if self._uplink_resource:
+            src_rack = self.topology.rack_of(src_node).name
+            dst_rack = self.topology.rack_of(dst_node).name
+            if src_rack != dst_rack:
+                links.add(self._uplink_resource.get(src_rack))
+                links.add(self._uplink_resource.get(dst_rack))
+
+    def _add_endpoint_leg(
+        self, links: "_LinkSet", device: StorageDevice, accessing_node: str
+    ) -> None:
+        """Remote-tier access: the shared endpoint plus the accessor's NIC.
+
+        The per-node remote device models this node's slice of the cold
+        store; the data itself always crosses the cluster-wide endpoint
+        and the accessing node's NIC, even for a nominally "local"
+        replica.
+        """
+        endpoint = self._endpoint_resource.get(device.tier)
+        if endpoint is None:
+            return
+        links.add(endpoint)
+        links.add(self._nic_resource.get(accessing_node))
+
+    # -- fair-share operations -----------------------------------------------
+    def read(
+        self,
+        size: int,
+        device_id: str,
+        remote: bool,
+        reader_node: str,
+        source_node: str,
+        on_complete: Callable[[], None],
+        name: str = "read",
+    ) -> Flow:
+        """Start a block-read flow; ``on_complete`` fires when it drains."""
+        engine = self._require_fairshare()
+        device = self._devices[device_id]
+        links = self._LinkSet()
+        links.add(self._dev_resource[device_id])
+        if remote:
+            self._add_network_legs(links, source_node, reader_node)
+        self._add_endpoint_leg(links, device, reader_node)
+        return engine.submit(
+            size,
+            links.as_list(),
+            on_complete,
+            latency=device.profile.seek_latency,
+            name=name,
+        )
+
+    def write(
+        self,
+        size: int,
+        legs: List[WriteLeg],
+        writer_node: Optional[str],
+        on_complete: Callable[[], None],
+        name: str = "write",
+    ) -> Flow:
+        """Start a pipelined write flow to all replica legs."""
+        engine = self._require_fairshare()
+        if not legs:
+            raise ValueError("write needs at least one leg")
+        links = self._LinkSet()
+        latency = 0.0
+        for leg in legs:
+            device_id = leg.device.device_id
+            links.add(self._dev_resource[device_id], self._dev_write_weight[device_id])
+            latency = max(latency, leg.device.profile.seek_latency)
+            if leg.remote and writer_node is not None:
+                self._add_network_legs(links, writer_node, leg.node_id)
+            elif leg.remote:
+                links.add(self._nic_resource.get(leg.node_id))
+            self._add_endpoint_leg(
+                links, leg.device, writer_node if writer_node else leg.node_id
+            )
+        return engine.submit(
+            size, links.as_list(), on_complete, latency=latency, name=name
+        )
+
+    def transfer(
+        self,
+        size: int,
+        source_device_id: str,
+        source_node: str,
+        target_device_id: str,
+        target_node: str,
+        on_complete: Callable[[], None],
+        name: str = "transfer",
+    ) -> Flow:
+        """Start a tier-transfer flow: read source, write target.
+
+        This is how Replication Monitor migrations contend with
+        foreground task I/O under the fair-share model.
+        """
+        engine = self._require_fairshare()
+        src = self._devices[source_device_id]
+        dst = self._devices[target_device_id]
+        links = self._LinkSet()
+        links.add(self._dev_resource[source_device_id])
+        links.add(
+            self._dev_resource[target_device_id],
+            self._dev_write_weight[target_device_id],
+        )
+        self._add_network_legs(links, source_node, target_node)
+        # Reading from a remote tier lands the bytes on the target node;
+        # writing to one sends them from the source node.
+        self._add_endpoint_leg(links, src, target_node)
+        self._add_endpoint_leg(links, dst, source_node)
+        return engine.submit(
+            size,
+            links.as_list(),
+            on_complete,
+            latency=src.profile.seek_latency + dst.profile.seek_latency,
+            name=name,
+        )
+
+    # -- introspection -------------------------------------------------------
     def active_streams(self, device_id: str) -> int:
+        if self.engine is not None:
+            return self.engine.flows_crossing(self._dev_resource[device_id])
         return self._device_streams[device_id]
 
     def active_net_streams(self, node_id: str) -> int:
+        if self.engine is not None:
+            return self.engine.flows_crossing(self._nic_resource[node_id])
         return self._net_streams[node_id]
+
+    def active_endpoint_streams(self, tier: TierSpec) -> int:
+        """Active flows crossing a remote tier's shared endpoint."""
+        if self.engine is None:
+            return 0
+        resource = self._endpoint_resource.get(tier)
+        return 0 if resource is None else self.engine.flows_crossing(resource)
+
+    def assert_drained(self) -> None:
+        """Raise unless every stream count and flow has drained to zero.
+
+        The invariant every end-to-end run must satisfy: leaked streams
+        mean some operation never released its bandwidth share (snapshot)
+        or a flow never completed (fairshare).
+        """
+        if self.engine is not None:
+            if self.engine.active_flows:
+                leaked = list(self.engine._flows.values())
+                raise RuntimeError(f"flows leaked: {leaked[:5]!r}")
+            return
+        leaked_devices = {
+            d: n for d, n in self._device_streams.items() if n != 0
+        }
+        leaked_nics = {n: c for n, c in self._net_streams.items() if c != 0}
+        if leaked_devices or leaked_nics:
+            raise RuntimeError(
+                f"streams leaked: devices={leaked_devices} nics={leaked_nics}"
+            )
+
+    def io_stats(self) -> Dict[str, Any]:
+        """Cumulative contention statistics (benchmark-friendly)."""
+        if self.engine is not None:
+            return {
+                "model": "fairshare",
+                "flows_started": self.engine.flows_started,
+                "flows_completed": self.engine.flows_completed,
+                "recomputes": self.engine.recomputes,
+                "peak_concurrency": self.engine.peak_concurrency,
+                "realized_io_seconds": self.engine.realized_seconds,
+                "ideal_io_seconds": self.engine.ideal_seconds,
+                "contention_seconds": self.engine.contention_seconds,
+            }
+        return {
+            "model": "snapshot",
+            "ops_priced": self._ops_priced,
+            "realized_io_seconds": self._priced_seconds,
+            "ideal_io_seconds": self._ideal_seconds,
+            "contention_seconds": max(
+                0.0, self._priced_seconds - self._ideal_seconds
+            ),
+        }

@@ -61,6 +61,12 @@ class SystemConfig:
     #: "default3" reproduces the paper's memory/SSD/HDD testbed;
     #: "mem-hdd", "nvme4", and "remote5" open other regimes.
     tiers: str = "default3"
+    #: I/O pricing model (see repro.engine.iomodel): "snapshot" prices
+    #: each operation once at start (the pre-flow behaviour, kept
+    #: bit-identical for reproduction); "fairshare" re-solves max-min
+    #: fair rates on every flow start/finish and routes Replication
+    #: Monitor transfers through the same shared resource graph.
+    io_model: str = "snapshot"
     memory_per_node: int = 4 * GB
     task_slots: int = 8
     conf: Dict[str, Any] = field(default_factory=dict)
@@ -103,6 +109,12 @@ class RunResult:
     bytes_upgraded_by_tier: Dict[str, int] = field(default_factory=dict)
     bytes_downgraded_by_tier: Dict[str, int] = field(default_factory=dict)
     transfers_committed: int = 0
+    #: Contention statistics from the I/O model (see IoModel.io_stats).
+    io_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Transfer-delay accounting: standalone vs realized transfer time
+    #: (they differ only under the fair-share model).
+    transfer_ideal_seconds: float = 0.0
+    transfer_realized_seconds: float = 0.0
     downgrade_model_accuracy: list = field(default_factory=list)
     upgrade_model_accuracy: list = field(default_factory=list)
 
@@ -157,7 +169,12 @@ class WorkloadRunner:
         )
         self.master = Master(self.topology, placement, self.sim, self.conf)
         self.client = DFSClient(self.master)
-        self.iomodel = IoModel(self.topology)
+        self.iomodel = IoModel(
+            self.topology,
+            sim=self.sim,
+            pricing=config.io_model,
+            conf=self.conf,
+        )
         self.metrics = MetricsCollector(hierarchy=self.hierarchy)
         self.scheduler = TaskScheduler(
             self.sim,
@@ -169,7 +186,9 @@ class WorkloadRunner:
         )
         self.manager: Optional[ReplicationManager] = None
         if config.uses_manager:
-            self.manager = ReplicationManager(self.master, self.sim, self.conf)
+            self.manager = ReplicationManager(
+                self.master, self.sim, self.conf, iomodel=self.iomodel
+            )
             configure_policies(
                 self.manager,
                 downgrade=config.downgrade,
@@ -227,9 +246,12 @@ class WorkloadRunner:
             metrics=self.metrics,
             elapsed=self.sim.now(),
             jobs_finished=self.scheduler.jobs_finished,
+            io_stats=self.iomodel.io_stats(),
         )
         if self.manager is not None:
             monitor = self.manager.monitor
+            result.transfer_ideal_seconds = monitor.transfer_ideal_seconds
+            result.transfer_realized_seconds = monitor.transfer_realized_seconds
             top = self.hierarchy.highest
             result.bytes_upgraded_memory = monitor.bytes_upgraded[top]
             result.bytes_downgraded_memory = monitor.bytes_downgraded[top]

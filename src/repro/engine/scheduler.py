@@ -208,16 +208,9 @@ class TaskScheduler:
         read = self.master.choose_replica(block, node_id)
         replica = read.replica
         remote = replica.node_id != node_id
-        duration, release = self.iomodel.start_read(
-            block.size, replica.device_id, remote, node_id, replica.node_id
-        )
-        cpu = task.job.trace_job.cpu_seconds_per_byte * block.size
-        overhead = float(self._rng.uniform(*self.task_overhead))
-        total = duration + cpu + overhead
         tier = replica.tier
 
         def finish() -> None:
-            release()
             self._release_slot(node_id)
             elapsed = self.sim.now() - start
             job = task.job
@@ -229,7 +222,37 @@ class TaskScheduler:
                 self._maps_done(job)
             self._dispatch()
 
-        self.sim.after(total, finish, name=f"map-{block.block_id}")
+        cpu = task.job.trace_job.cpu_seconds_per_byte * block.size
+        if self.iomodel.fairshare:
+            # The flow engine owns I/O completion; CPU crunch and task
+            # overhead run after the last byte lands (and no longer hold
+            # the device, unlike the snapshot approximation).
+            overhead = float(self._rng.uniform(*self.task_overhead))
+
+            def io_done() -> None:
+                self.sim.after(cpu + overhead, finish, name=f"map-{block.block_id}")
+
+            self.iomodel.read(
+                block.size,
+                replica.device_id,
+                remote,
+                node_id,
+                replica.node_id,
+                on_complete=io_done,
+                name=f"map-{block.block_id}",
+            )
+            return
+        duration, release = self.iomodel.start_read(
+            block.size, replica.device_id, remote, node_id, replica.node_id
+        )
+        overhead = float(self._rng.uniform(*self.task_overhead))
+        total = duration + cpu + overhead
+
+        def finish_snapshot() -> None:
+            release()
+            finish()
+
+        self.sim.after(total, finish_snapshot, name=f"map-{block.block_id}")
 
     def _maps_done(self, job: JobExecution) -> None:
         if job.outputs_remaining == 0:
@@ -265,6 +288,31 @@ class TaskScheduler:
                         node_id=replica.node_id,
                     )
                 )
+        def finish() -> None:
+            self._release_slot(node_id)
+            self._output_done(job, start)
+            self._dispatch()
+
+        if self.iomodel.fairshare:
+            overhead = float(self._rng.uniform(*self.task_overhead))
+            self.metrics.record_write(total_size)
+            if not legs:
+                self.sim.after(overhead, finish, name=f"out-{file.inode_id}")
+                return
+
+            def io_done() -> None:
+                self.sim.after(overhead, finish, name=f"out-{file.inode_id}")
+
+            # Pipeline all blocks as one flow: replication multiplies
+            # the aggregate device load, the dominant scale effect.
+            self.iomodel.write(
+                total_size,
+                legs,
+                writer_node=node_id,
+                on_complete=io_done,
+                name=f"out-{file.inode_id}",
+            )
+            return
         if legs:
             # Pipeline all blocks as one stream: replication multiplies
             # the aggregate device load, the dominant scale effect.
@@ -276,13 +324,11 @@ class TaskScheduler:
         overhead = float(self._rng.uniform(*self.task_overhead))
         self.metrics.record_write(total_size)
 
-        def finish() -> None:
+        def finish_snapshot() -> None:
             release()
-            self._release_slot(node_id)
-            self._output_done(job, start)
-            self._dispatch()
+            finish()
 
-        self.sim.after(duration + overhead, finish, name=f"out-{file.inode_id}")
+        self.sim.after(duration + overhead, finish_snapshot, name=f"out-{file.inode_id}")
 
     def _output_done(self, job: JobExecution, start: float) -> None:
         elapsed = self.sim.now() - start

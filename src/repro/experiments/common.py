@@ -52,26 +52,33 @@ def make_trace(
     return synthesize_trace(scale.profile(workload), seed=scale.seed, drift=drift)
 
 
-def standard_configs(workers: int = 11) -> List[SystemConfig]:
+def standard_configs(
+    workers: int = 11, io_model: str = "snapshot"
+) -> List[SystemConfig]:
     """The Sec 7.2 comparison set: baselines plus the four policy pairs."""
     return [
-        SystemConfig(label="HDFS", placement="hdfs", workers=workers),
-        SystemConfig(label="OctopusFS", placement="octopus", workers=workers),
+        SystemConfig(
+            label="HDFS", placement="hdfs", workers=workers, io_model=io_model
+        ),
+        SystemConfig(
+            label="OctopusFS", placement="octopus", workers=workers,
+            io_model=io_model,
+        ),
         SystemConfig(
             label="LRU-OSA", placement="octopus", downgrade="lru",
-            upgrade="osa", workers=workers,
+            upgrade="osa", workers=workers, io_model=io_model,
         ),
         SystemConfig(
             label="LRFU", placement="octopus", downgrade="lrfu",
-            upgrade="lrfu", workers=workers,
+            upgrade="lrfu", workers=workers, io_model=io_model,
         ),
         SystemConfig(
             label="EXD", placement="octopus", downgrade="exd",
-            upgrade="exd", workers=workers,
+            upgrade="exd", workers=workers, io_model=io_model,
         ),
         SystemConfig(
             label="XGB", placement="octopus", downgrade="xgb",
-            upgrade="xgb", workers=workers,
+            upgrade="xgb", workers=workers, io_model=io_model,
         ),
     ]
 

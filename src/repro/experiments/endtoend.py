@@ -39,11 +39,12 @@ def run_endtoend(
     workload: str,
     scale: ExperimentScale = FULL_SCALE,
     workers: int = 11,
+    io_model: str = "snapshot",
 ) -> EndToEndResult:
     trace = make_trace(workload, scale)
     result = EndToEndResult(workload=workload)
     baseline = None
-    for config in standard_configs(workers):
+    for config in standard_configs(workers, io_model=io_model):
         run = run_workload(trace, config)
         result.runs[config.label] = run
         if config.label == "HDFS":

@@ -1,0 +1,234 @@
+"""Property and unit tests for the fair-share flow engine."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.flows import (
+    FairShareEngine,
+    Flow,
+    Resource,
+    compute_max_min_rates,
+)
+from repro.sim.simulator import Simulator
+
+
+def make_scenario(seed: int, num_resources: int, num_flows: int):
+    """A random solver scenario: flows over a shared resource pool."""
+    rng = random.Random(seed)
+    resources = [
+        Resource(f"r{i}", rng.uniform(10.0, 2000.0)) for i in range(num_resources)
+    ]
+    flows = []
+    for i in range(num_flows):
+        count = rng.randint(1, min(4, num_resources))
+        picked = rng.sample(resources, count)
+        links = [(r, rng.choice([1.0, 1.5, 2.0, 0.5])) for r in picked]
+        flows.append(Flow(i + 1, 1000.0, links, lambda: None, name=f"f{i}"))
+    return resources, flows
+
+
+class TestSolverProperties:
+    """Invariants of compute_max_min_rates over randomized graphs."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_resources=st.integers(min_value=1, max_value=8),
+        num_flows=st.integers(min_value=1, max_value=25),
+    )
+    def test_rates_never_exceed_capacity(self, seed, num_resources, num_flows):
+        resources, flows = make_scenario(seed, num_resources, num_flows)
+        rates = compute_max_min_rates(flows)
+        for resource in resources:
+            demand = sum(
+                rates[f] * w for f in flows for r, w in f.links if r is resource
+            )
+            assert demand <= resource.capacity * (1 + 1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_resources=st.integers(min_value=1, max_value=8),
+        num_flows=st.integers(min_value=1, max_value=25),
+    )
+    def test_allocation_is_work_conserving(self, seed, num_resources, num_flows):
+        """Every flow is bottlenecked by at least one saturated resource.
+
+        If no resource along a flow's path were saturated, its rate
+        could be raised without hurting anyone — the allocation would
+        not be max-min.
+        """
+        resources, flows = make_scenario(seed, num_resources, num_flows)
+        rates = compute_max_min_rates(flows)
+        demand = {
+            r: sum(rates[f] * w for f in flows for rr, w in f.links if rr is r)
+            for r in resources
+        }
+        for flow in flows:
+            assert any(
+                demand[r] >= r.capacity * (1 - 1e-6) for r, _ in flow.links
+            ), f"flow {flow.name} has slack on every resource"
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_resources=st.integers(min_value=1, max_value=6),
+        num_flows=st.integers(min_value=1, max_value=15),
+    )
+    def test_rates_positive(self, seed, num_resources, num_flows):
+        _, flows = make_scenario(seed, num_resources, num_flows)
+        rates = compute_max_min_rates(flows)
+        assert all(rates[f] > 0 for f in flows)
+
+    def test_deterministic_rates(self):
+        for seed in range(25):
+            _, flows_a = make_scenario(seed, 5, 12)
+            _, flows_b = make_scenario(seed, 5, 12)
+            rates_a = compute_max_min_rates(flows_a)
+            rates_b = compute_max_min_rates(flows_b)
+            assert [rates_a[f] for f in flows_a] == [rates_b[f] for f in flows_b]
+
+
+class TestSolverExamples:
+    """Hand-checkable allocations."""
+
+    def test_equal_split_single_resource(self):
+        r = Resource("dev", 100.0)
+        flows = [Flow(i, 1000, [(r, 1.0)], lambda: None) for i in range(4)]
+        rates = compute_max_min_rates(flows)
+        assert all(rate == pytest.approx(25.0) for rate in rates.values())
+
+    def test_weighted_write_consumes_more(self):
+        # capacity 100 (read); a write with weight 2 (write_bw = 50).
+        r = Resource("dev", 100.0)
+        read = Flow(1, 1000, [(r, 1.0)], lambda: None)
+        write = Flow(2, 1000, [(r, 2.0)], lambda: None)
+        rates = compute_max_min_rates([read, write])
+        # Progressive filling: both freeze when 1*x + 2*x = 100.
+        assert rates[read] == pytest.approx(100.0 / 3)
+        assert rates[write] == pytest.approx(100.0 / 3)
+
+    def test_unbottlenecked_flow_takes_leftover(self):
+        narrow = Resource("narrow", 10.0)
+        wide = Resource("wide", 100.0)
+        constrained = Flow(1, 1000, [(narrow, 1.0), (wide, 1.0)], lambda: None)
+        free = Flow(2, 1000, [(wide, 1.0)], lambda: None)
+        rates = compute_max_min_rates([constrained, free])
+        assert rates[constrained] == pytest.approx(10.0)
+        assert rates[free] == pytest.approx(90.0)
+
+    def test_empty(self):
+        assert compute_max_min_rates([]) == {}
+
+
+class TestFairShareEngine:
+    """Event-driven behaviour: re-pricing and rescheduling."""
+
+    def test_single_flow_runs_at_full_rate(self):
+        sim = Simulator()
+        engine = FairShareEngine(sim)
+        r = Resource("dev", 100.0)
+        done = []
+        engine.submit(1000.0, [(r, 1.0)], lambda: done.append(sim.now()))
+        sim.run()
+        assert done == [pytest.approx(10.0)]
+
+    def test_joining_flow_slows_the_first(self):
+        """A flow that starts alone must NOT keep its initial price.
+
+        First flow: 1000 bytes at 100 B/s.  At t=5 a second identical
+        flow joins; both then run at 50 B/s.  First finishes at
+        5 + 500/50 = 15 (snapshot pricing would have said 10).
+        """
+        sim = Simulator()
+        engine = FairShareEngine(sim)
+        r = Resource("dev", 100.0)
+        done = {}
+        engine.submit(1000.0, [(r, 1.0)], lambda: done.setdefault("a", sim.now()))
+        sim.at(5.0, lambda: engine.submit(
+            1000.0, [(r, 1.0)], lambda: done.setdefault("b", sim.now())
+        ))
+        sim.run()
+        assert done["a"] == pytest.approx(15.0)
+        # b: 500 bytes at 50 B/s until t=15, then 500 at 100 B/s -> t=20.
+        assert done["b"] == pytest.approx(20.0)
+        assert engine.active_flows == 0
+
+    def test_completion_speeds_up_survivors(self):
+        sim = Simulator()
+        engine = FairShareEngine(sim)
+        r = Resource("dev", 100.0)
+        done = {}
+        engine.submit(500.0, [(r, 1.0)], lambda: done.setdefault("small", sim.now()))
+        engine.submit(1500.0, [(r, 1.0)], lambda: done.setdefault("big", sim.now()))
+        sim.run()
+        # Both at 50 B/s; small done at t=10.  Big then has 1000 bytes
+        # left at 100 B/s -> t=20 (not the 30 its start price implied).
+        assert done["small"] == pytest.approx(10.0)
+        assert done["big"] == pytest.approx(20.0)
+
+    def test_latency_defers_contention(self):
+        sim = Simulator()
+        engine = FairShareEngine(sim)
+        r = Resource("dev", 100.0)
+        done = []
+        engine.submit(1000.0, [(r, 1.0)], lambda: done.append(sim.now()), latency=2.0)
+        assert engine.active_flows == 0  # still seeking
+        sim.run()
+        assert done == [pytest.approx(12.0)]
+
+    def test_zero_byte_flow_completes_after_latency(self):
+        sim = Simulator()
+        engine = FairShareEngine(sim)
+        r = Resource("dev", 100.0)
+        done = []
+        engine.submit(0.0, [(r, 1.0)], lambda: done.append(sim.now()), latency=0.5)
+        sim.run()
+        assert done == [pytest.approx(0.5)]
+        assert engine.active_flows == 0
+
+    def test_completion_order_deterministic_under_seed(self):
+        def run_once(seed: int):
+            sim = Simulator()
+            engine = FairShareEngine(sim)
+            rng = random.Random(seed)
+            resources = [Resource(f"r{i}", rng.uniform(50, 500)) for i in range(4)]
+            order = []
+            for i in range(30):
+                links = [
+                    (r, rng.choice([1.0, 2.0]))
+                    for r in rng.sample(resources, rng.randint(1, 3))
+                ]
+                size = rng.uniform(100, 5000)
+                start = rng.uniform(0, 20)
+                sim.at(
+                    start,
+                    lambda s=size, l=links, i=i: engine.submit(
+                        s, l, lambda i=i: order.append(i)
+                    ),
+                )
+            sim.run()
+            assert engine.active_flows == 0
+            return order
+
+        for seed in range(10):
+            assert run_once(seed) == run_once(seed)
+
+    def test_contention_stats_accumulate(self):
+        sim = Simulator()
+        engine = FairShareEngine(sim)
+        r = Resource("dev", 100.0)
+        engine.submit(1000.0, [(r, 1.0)], lambda: None)
+        engine.submit(1000.0, [(r, 1.0)], lambda: None)
+        sim.run()
+        assert engine.flows_completed == 2
+        assert engine.peak_concurrency == 2
+        # Each flow alone would take 10s; together they take 20s each.
+        assert engine.ideal_seconds == pytest.approx(20.0)
+        assert engine.realized_seconds == pytest.approx(40.0)
+        assert engine.contention_seconds == pytest.approx(20.0)

@@ -1,0 +1,107 @@
+"""Stream-leak invariant: every end-to-end run drains the I/O model.
+
+After a run finishes, every device stream count, NIC stream count,
+shared-resource stream count, and active flow must be exactly zero —
+a leak means some operation acquired bandwidth and never released it
+(snapshot) or a flow never completed (fairshare).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import GB
+from repro.engine.dfsio import DfsioRunner
+from repro.engine.runner import SystemConfig, WorkloadRunner
+from repro.workload.dfsio import DfsioSpec
+from repro.workload.jobs import Trace
+from repro.workload.profiles import PROFILES, scaled_profile
+from repro.workload.synthesis import synthesize_trace
+
+IO_MODELS = ("snapshot", "fairshare")
+
+#: (tiers preset, memory_per_node) — the 2-, 3-, 4-, and 5-tier runs the
+#: invariant must hold for.
+TIER_RUNS = (
+    ("mem-hdd", 1 * GB),
+    ("default3", 4 * GB),
+    ("nvme4", 2 * GB),
+    ("remote5", 2 * GB),
+)
+
+
+@pytest.fixture(scope="module")
+def fb_trace():
+    return synthesize_trace(scaled_profile(PROFILES["FB"], 0.15), seed=42)
+
+
+def assert_fully_drained(runner: WorkloadRunner) -> None:
+    """Drain leftover transfers, then require zero everywhere."""
+    # Transfers scheduled near the end may still be in flight when
+    # WorkloadRunner.run() returns; give them bounded extra time.
+    for _ in range(20):
+        iomodel = runner.iomodel
+        busy = (
+            iomodel.engine.active_flows
+            if iomodel.engine is not None
+            else sum(iomodel._device_streams.values())
+        )
+        if not busy:
+            break
+        runner.sim.run(until=runner.sim.now() + 600.0)
+    runner.iomodel.assert_drained()
+    for device_id in runner.iomodel._devices:
+        assert runner.iomodel.active_streams(device_id) == 0
+    for node in runner.topology.nodes:
+        assert runner.iomodel.active_net_streams(node.node_id) == 0
+    for tier in runner.hierarchy:
+        if tier.remote:
+            assert runner.iomodel.active_endpoint_streams(tier) == 0
+    if runner.iomodel.engine is not None:
+        assert runner.iomodel.engine.active_flows == 0
+        assert (
+            runner.iomodel.engine.flows_completed
+            == runner.iomodel.engine.flows_started
+        )
+
+
+@pytest.mark.parametrize("io_model", IO_MODELS)
+@pytest.mark.parametrize("tiers,memory", TIER_RUNS, ids=[t for t, _ in TIER_RUNS])
+def test_endtoend_run_drains_all_streams(fb_trace, tiers, memory, io_model):
+    config = SystemConfig(
+        label=f"{tiers}/{io_model}",
+        placement="octopus",
+        downgrade="lru",
+        upgrade="osa",
+        tiers=tiers,
+        memory_per_node=memory,
+        io_model=io_model,
+    )
+    runner = WorkloadRunner(fb_trace, config)
+    result = runner.run()
+    assert result.jobs_finished > 0
+    assert_fully_drained(runner)
+
+
+@pytest.mark.parametrize("io_model", IO_MODELS)
+def test_dfsio_run_drains_all_streams(io_model):
+    config = SystemConfig(
+        label=f"dfsio/{io_model}", placement="octopus", io_model=io_model
+    )
+    spec = DfsioSpec(total_bytes=8 * GB, file_size=1 * GB)
+    dfsio = DfsioRunner(config, spec)
+    result = dfsio.run()
+    assert result.write_records
+    assert result.read_records
+    assert_fully_drained(dfsio.runner)
+
+
+@pytest.mark.parametrize("io_model", IO_MODELS)
+def test_baseline_run_without_policies_drains(io_model):
+    trace = synthesize_trace(scaled_profile(PROFILES["FB"], 0.1), seed=7)
+    config = SystemConfig(
+        label=f"hdfs/{io_model}", placement="hdfs", io_model=io_model
+    )
+    runner = WorkloadRunner(trace, config)
+    runner.run()
+    assert_fully_drained(runner)
