@@ -1,0 +1,199 @@
+"""Simulation-engine throughput benchmark (BENCH_engine.json).
+
+Measures the discrete-event core under load: wall-clock runtime and
+events/second across cluster sizes and workload scales (job counts),
+under both I/O pricing models, plus heap/solver internals (tombstone
+compactions, flow recomputes, component sizes, vectorized solves).  The
+headline gate is the fair-share re-pricing overhead at full FB scale:
+``fairshare_over_snapshot`` must stay at or below the budget recorded in
+the report (1.25x).
+
+Usage::
+
+    python benchmarks/bench_engine.py [--out BENCH_engine.json]
+    python benchmarks/bench_engine.py --smoke          # CI-sized subset
+    python benchmarks/bench_engine.py --scales 1 10    # add a 10x FB run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.engine.runner import SystemConfig, WorkloadRunner
+from repro.workload.profiles import PROFILES, scaled_profile
+from repro.workload.synthesis import synthesize_trace
+
+#: (cluster workers, workload scale, io models) rows of the full matrix.
+FULL_MATRIX = (
+    {"workers": 11, "scale": 1.0, "io_models": ("snapshot", "fairshare")},
+    {"workers": 33, "scale": 1.0, "io_models": ("snapshot", "fairshare")},
+    {"workers": 11, "scale": 3.0, "io_models": ("snapshot", "fairshare")},
+    {"workers": 33, "scale": 10.0, "io_models": ("snapshot", "fairshare")},
+)
+SMOKE_MATRIX = (
+    {"workers": 11, "scale": 0.15, "io_models": ("snapshot", "fairshare")},
+    {"workers": 22, "scale": 0.3, "io_models": ("snapshot", "fairshare")},
+)
+
+
+def bench_one(
+    workload: str, scale: float, workers: int, io_model: str, seed: int
+) -> dict:
+    trace = synthesize_trace(
+        scaled_profile(PROFILES[workload], scale), seed=seed
+    )
+    config = SystemConfig(
+        label=f"{workload}x{scale:g}/w{workers}/{io_model}",
+        placement="octopus",
+        downgrade="lru",
+        upgrade="osa",
+        workers=workers,
+        io_model=io_model,
+        seed=seed,
+    )
+    runner = WorkloadRunner(trace, config)
+    start = time.perf_counter()
+    result = runner.run()
+    runtime = time.perf_counter() - start
+    sim = runner.sim
+    row = {
+        "workload": workload,
+        "scale": scale,
+        "workers": workers,
+        "io_model": io_model,
+        "seed": seed,
+        "runtime_seconds": round(runtime, 3),
+        "events_processed": sim.events_processed,
+        "events_per_second": round(sim.events_processed / runtime, 1),
+        "events_cancelled": sim.events_cancelled,
+        "heap_compactions": sim.heap_compactions,
+        "live_pending_at_end": sim.pending,
+        # Simulated-result metrics: deterministic, compared exactly by
+        # the CI regression gate.
+        "jobs_finished": result.jobs_finished,
+        "hit_ratio": round(result.metrics.hit_ratio(), 6),
+        "byte_hit_ratio": round(result.metrics.byte_hit_ratio(), 6),
+        "task_hours": round(result.metrics.total_task_seconds() / 3600.0, 4),
+        "transfers_committed": result.transfers_committed,
+    }
+    io_stats = result.io_stats
+    if io_model == "fairshare":
+        row["flow_recomputes"] = io_stats["recomputes"]
+        row["max_component"] = io_stats["max_component"]
+        row["vector_solves"] = io_stats["vector_solves"]
+        row["peak_concurrency"] = io_stats["peak_concurrency"]
+    return row
+
+
+def run_matrix(matrix, workload: str, seed: int, repeats: int) -> list:
+    rows = []
+    for spec in matrix:
+        for io_model in spec["io_models"]:
+            best = None
+            for _ in range(repeats):
+                row = bench_one(
+                    workload, spec["scale"], spec["workers"], io_model, seed
+                )
+                if best is None or row["runtime_seconds"] < best["runtime_seconds"]:
+                    best = row
+            rows.append(best)
+            print(
+                f"  {best['workload']}x{best['scale']:g} w={best['workers']} "
+                f"{best['io_model']}: {best['runtime_seconds']}s, "
+                f"{best['events_per_second']} ev/s"
+            )
+    return rows
+
+
+def headline_ratio(rows) -> dict:
+    """Fair-share wall-clock over snapshot at the reference point.
+
+    The 1.25x budget is defined at full FB scale (11 workers, scale
+    1.0); smaller smoke runs still report the ratio, but fixed
+    per-process overheads dominate there, so no verdict is attached.
+    """
+    candidates = [r for r in rows if r["workers"] == 11]
+    if not candidates:
+        return {}
+    scales = {r["scale"] for r in candidates}
+    # The budget is defined at the paper's full FB scale; fall back to
+    # the largest scale present for reduced (smoke) matrices.
+    reference_scale = 1.0 if 1.0 in scales else max(scales)
+    by_model = {
+        r["io_model"]: r for r in candidates if r["scale"] == reference_scale
+    }
+    if "snapshot" not in by_model or "fairshare" not in by_model:
+        return {}
+    ratio = (
+        by_model["fairshare"]["runtime_seconds"]
+        / by_model["snapshot"]["runtime_seconds"]
+    )
+    headline = {
+        "scale": reference_scale,
+        "snapshot_seconds": by_model["snapshot"]["runtime_seconds"],
+        "fairshare_seconds": by_model["fairshare"]["runtime_seconds"],
+        "fairshare_over_snapshot": round(ratio, 3),
+    }
+    if reference_scale >= 1.0:
+        headline["budget"] = 1.25
+        headline["within_budget"] = ratio <= 1.25
+    return headline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
+    )
+    parser.add_argument("--workload", choices=sorted(PROFILES), default="FB")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="benchmark repetitions per cell (fastest wins)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized subset: small scales, no 10x run",
+    )
+    parser.add_argument(
+        "--scales",
+        nargs="+",
+        type=float,
+        default=None,
+        help="override workload scales (11 workers each; replaces the matrix)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scales is not None:
+        matrix = tuple(
+            {"workers": 11, "scale": s, "io_models": ("snapshot", "fairshare")}
+            for s in args.scales
+        )
+    else:
+        matrix = SMOKE_MATRIX if args.smoke else FULL_MATRIX
+    print(f"engine benchmark: {args.workload}, seed {args.seed}")
+    rows = run_matrix(matrix, args.workload, args.seed, args.repeats)
+    report = {
+        "benchmark": "engine",
+        "workload": args.workload,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "headline": headline_ratio(rows),
+        "runs": rows,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["headline"], indent=2))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

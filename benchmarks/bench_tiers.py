@@ -81,7 +81,8 @@ def bench_one(trace, tiers: str, seed: int, io_model: str = "snapshot") -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_tiers.json")
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_tiers.json"),
     )
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=42)

@@ -1,0 +1,198 @@
+"""CI benchmark-regression gate.
+
+Compares freshly produced ``BENCH_*_ci.json`` reports against the
+committed baselines in ``benchmarks/baselines/`` and fails (exit 1) on
+drift:
+
+* **Simulated-result metrics** (hit ratios, jobs finished, bytes moved,
+  events processed, flow/transfer counts, ...) are deterministic given
+  the seed, so they must match the baseline *exactly* — any difference
+  means the simulation semantics changed and the baseline must be
+  consciously re-recorded.
+* **Wall-clock metrics** (``runtime_seconds``, ``events_per_second``)
+  vary with the host, so they get a tolerance band: the measured value
+  may be at most ``--wall-tolerance`` times the baseline (default 3.0;
+  CI runners are slower and noisier than the machines that record
+  baselines, so only order-of-magnitude regressions trip the gate).
+
+A markdown diff table is appended to ``$GITHUB_STEP_SUMMARY`` when that
+variable is set (i.e. inside GitHub Actions), and always printed to
+stdout.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_engine_ci.json [more...]
+    python benchmarks/check_regression.py --wall-tolerance 4 BENCH_*.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+#: Host-dependent metrics: banded comparison instead of exact.
+WALL_CLOCK_KEYS = frozenset(
+    {"runtime_seconds", "snapshot_seconds", "fairshare_seconds"}
+)
+#: Shown in the diff table but never gating: throughput and ratios are
+#: too host-sensitive for a pass/fail band on shared CI runners.
+INFORMATIONAL_KEYS = frozenset(
+    {"events_per_second", "fairshare_over_snapshot", "within_budget"}
+)
+#: Metrics excluded from comparison entirely (environment descriptors).
+SKIPPED_KEYS = frozenset({"python", "label"})
+
+#: Wall-clock baselines below this many seconds are dominated by fixed
+#: process overhead and scheduler noise; they carry no regression signal.
+WALL_CLOCK_FLOOR_SECONDS = 0.5
+
+
+def run_key(run: dict) -> str:
+    """Identity of one benchmark row inside a report."""
+    parts = [
+        str(run.get(field))
+        for field in ("workload", "tiers", "io_model", "workers", "scale", "seed")
+        if field in run
+    ]
+    return "/".join(parts) if parts else "run"
+
+
+def flatten(prefix: str, value) -> dict:
+    """Flatten nested dicts to dotted keys; lists of runs use run_key."""
+    flat = {}
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            flat.update(flatten(f"{prefix}.{key}" if prefix else key, sub))
+    elif isinstance(value, list) and all(isinstance(v, dict) for v in value):
+        for i, sub in enumerate(value):
+            label = run_key(sub) if "io_model" in sub or "workload" in sub else str(i)
+            flat.update(flatten(f"{prefix}[{label}]", sub))
+    else:
+        flat[prefix] = value
+    return flat
+
+
+class Diff:
+    def __init__(self, key, baseline, current, kind, ok):
+        self.key = key
+        self.baseline = baseline
+        self.current = current
+        self.kind = kind
+        self.ok = ok
+
+
+def compare_report(baseline: dict, current: dict, wall_tolerance: float):
+    """Yield Diff rows for every comparable metric in the two reports."""
+    base_flat = flatten("", baseline)
+    cur_flat = flatten("", current)
+    for key in sorted(set(base_flat) | set(cur_flat)):
+        leaf = key.rsplit(".", 1)[-1]
+        if leaf in SKIPPED_KEYS:
+            continue
+        in_base, in_cur = key in base_flat, key in cur_flat
+        if not (in_base and in_cur):
+            yield Diff(key, base_flat.get(key), cur_flat.get(key), "presence", False)
+            continue
+        base_value, cur_value = base_flat[key], cur_flat[key]
+        if leaf in INFORMATIONAL_KEYS:
+            yield Diff(key, base_value, cur_value, "info", True)
+        elif leaf in WALL_CLOCK_KEYS:
+            ok = True
+            if isinstance(base_value, (int, float)) and isinstance(
+                cur_value, (int, float)
+            ):
+                # Baselines below the floor carry no timing signal, but a
+                # blowup past tolerance x floor still fails.
+                allowed = wall_tolerance * max(base_value, WALL_CLOCK_FLOOR_SECONDS)
+                ok = cur_value <= allowed
+            yield Diff(key, base_value, cur_value, "wall-clock", ok)
+        else:
+            yield Diff(key, base_value, cur_value, "exact", base_value == cur_value)
+
+
+def markdown_table(name: str, diffs) -> str:
+    """Failures plus the (informational) wall-clock rows; matching
+    exact metrics are elided to keep the summary readable."""
+    lines = [
+        f"### Benchmark regression check: `{name}`",
+        "",
+        "| metric | baseline | current | check | status |",
+        "|---|---|---|---|---|",
+    ]
+    shown = 0
+    for d in diffs:
+        if d.ok and d.kind == "exact":
+            continue
+        status = "ok" if d.ok else "**FAIL**"
+        lines.append(
+            f"| `{d.key}` | {d.baseline} | {d.current} | {d.kind} | {status} |"
+        )
+        shown += 1
+    if shown == 0:
+        lines.append("| _all exact metrics match_ | | | | ok |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reports", nargs="+", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(BASELINE_DIR),
+        help="directory holding committed baseline reports (matched by filename)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=3.0,
+        help="max allowed wall-clock slowdown factor vs baseline",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baseline_dir)
+    summary_chunks = []
+    failures = 0
+    for report_path in args.reports:
+        report_path = Path(report_path)
+        baseline_path = baseline_dir / report_path.name
+        if not baseline_path.exists():
+            print(f"error: no committed baseline {baseline_path}", file=sys.stderr)
+            failures += 1
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(report_path.read_text())
+        diffs = list(compare_report(baseline, current, args.wall_tolerance))
+        bad = [d for d in diffs if not d.ok]
+        failures += len(bad)
+        table = markdown_table(report_path.name, diffs)
+        summary_chunks.append(table)
+        verdict = "drift detected" if bad else "clean"
+        print(f"{report_path.name}: {len(bad)} regression(s) — {verdict}")
+        for d in bad:
+            print(
+                f"  FAIL {d.key} ({d.kind}): "
+                f"baseline={d.baseline} current={d.current}"
+            )
+
+    summary = "\n".join(summary_chunks)
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a") as fh:
+            fh.write(summary + "\n")
+    else:
+        print(summary)
+    if failures:
+        print(f"regression gate: FAILED ({failures} issue(s))", file=sys.stderr)
+        return 1
+    print("regression gate: passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

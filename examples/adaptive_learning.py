@@ -31,7 +31,9 @@ def build_switching_stream():
 
 
 def replay(points, mode: LearningMode) -> FileAccessModel:
-    model = FileAccessModel(window=WINDOW, mode=mode, gbt_params=REPLAY_GBT, eval_every=5)
+    model = FileAccessModel(
+        window=WINDOW, mode=mode, gbt_params=REPLAY_GBT, eval_every=5
+    )
     trained_once = False
     next_retrain = points[0].timestamp + 1 * HOURS
     for point in points:

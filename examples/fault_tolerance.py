@@ -8,7 +8,7 @@ Finally the node recovers (empty) and starts receiving data again.
 Run:  python examples/fault_tolerance.py
 """
 
-from repro.cluster import StorageTier, build_local_cluster
+from repro.cluster import build_local_cluster
 from repro.common.config import Configuration
 from repro.common.units import GB, MB
 from repro.core import ReplicationManager, configure_policies
@@ -72,7 +72,7 @@ def main() -> None:
     sim.run(until=sim.now() + 60)
     print(f"\n{busiest.node_id} recovered; replicas per node:", replica_summary(master))
     print(
-        f"block transfers committed during the run: "
+        "block transfers committed during the run: "
         f"{manager.monitor.transfers_committed} "
         f"({manager.monitor.replicas_repaired} of them repairs)"
     )

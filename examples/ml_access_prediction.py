@@ -8,7 +8,6 @@ data, and which features the trees rely on.
 Run:  python examples/ml_access_prediction.py
 """
 
-import numpy as np
 
 from repro.common.units import HOURS
 from repro.experiments.datasets import (

@@ -29,7 +29,7 @@ def main() -> None:
 
     # 3. Write data: OctopusFS places one replica per tier while space
     #    lasts (memory + SSD + HDD).
-    first = client.create("/data/first.bin", 512 * MB)
+    client.create("/data/first.bin", 512 * MB)
     print("fresh file tiers:", [t.name for t in client.file_tiers("/data/first.bin")])
 
     # 4. Keep writing until the memory tier passes its 90% threshold;

@@ -16,12 +16,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Dict, Tuple
 
 from repro.cluster.hardware import get_hierarchy, hierarchy_names
 from repro.common.units import GB
 from repro.engine.iomodel import IO_MODEL_NAMES
-from repro.engine.runner import SystemConfig, run_workload
+from repro.engine.runner import SystemConfig
 from repro.workload.profiles import PROFILES, scaled_profile
 from repro.workload.synthesis import synthesize_trace
 
@@ -44,8 +45,12 @@ def _experiment_registry() -> Dict[str, Tuple[Callable[[], object], Callable]]:
     from repro.experiments import tuning as tu
     from repro.experiments import upgrade_only as ug
 
-    endtoend_fb = lambda: ee.run_endtoend("FB")
-    endtoend_cmu = lambda: ee.run_endtoend("CMU")
+    def endtoend_fb():
+        return ee.run_endtoend("FB")
+
+    def endtoend_cmu():
+        return ee.run_endtoend("CMU")
+
     return {
         "fig02": (f2.run_fig02, f2.render_fig02),
         "table03": (t3.run_table03, t3.render_table03),
@@ -141,12 +146,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             downtime=1800.0,
             seed=args.seed,
         )
+    wall_start = time.perf_counter()
     result = runner.run()
+    wall = time.perf_counter() - wall_start
     if args.outages:
         print(
             f"outages:          {injector.stats.failures} "
             f"(lost {injector.stats.replicas_lost} replicas, "
-            f"repaired {runner.manager.monitor.replicas_repaired if runner.manager else 0})"
+            "repaired "
+            f"{runner.manager.monitor.replicas_repaired if runner.manager else 0})"
         )
     print(f"jobs finished:    {result.jobs_finished}/{len(trace.jobs)}")
     print(f"hit ratio:        {result.metrics.hit_ratio():.3f}")
@@ -169,6 +177,22 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 f"  bin {name}: {bin_metrics.jobs_completed:4d} jobs, "
                 f"mean completion {bin_metrics.mean_completion_time:.1f}s"
             )
+    if args.perf:
+        sim = runner.sim
+        print("-- engine performance " + "-" * 30)
+        print(f"wall clock:       {wall:.3f} s")
+        print(f"events processed: {sim.events_processed}")
+        print(f"events/second:    {sim.events_processed / wall:,.0f}")
+        print(f"events cancelled: {sim.events_cancelled}")
+        print(f"heap compactions: {sim.heap_compactions}")
+        print(f"live pending:     {sim.pending} (heap {sim.heap_size})")
+        io_stats = result.io_stats
+        if io_stats.get("model") == "fairshare":
+            print(f"flow recomputes:  {io_stats['recomputes']}")
+            print(f"peak concurrency: {io_stats['peak_concurrency']}")
+            print(f"max component:    {io_stats['max_component']}")
+            print(f"vector solves:    {io_stats['vector_solves']}")
+            print(f"rescheduled:      {io_stats['events_rescheduled']}")
     return 0
 
 
@@ -237,6 +261,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="inject this many random 30-minute worker outages",
+    )
+    p_sim.add_argument(
+        "--perf",
+        action="store_true",
+        help=(
+            "print engine performance counters after the run "
+            "(events/sec, heap compactions, flow re-solve statistics)"
+        ),
     )
     p_sim.set_defaults(func=cmd_simulate)
 

@@ -345,7 +345,8 @@ def get_hierarchy(name: Union[str, TierHierarchy]) -> TierHierarchy:
         return name
     if name not in _PRESET_FACTORIES:
         raise KeyError(
-            f"unknown tier hierarchy {name!r}; available: {', '.join(hierarchy_names())}"
+            f"unknown tier hierarchy {name!r}; "
+            f"available: {', '.join(hierarchy_names())}"
         )
     if name not in _PRESET_CACHE:
         _PRESET_CACHE[name] = _PRESET_FACTORIES[name]()

@@ -131,7 +131,9 @@ class Node:
             return 1.0
         return self.tier_used(tier) / capacity
 
-    def best_device_for(self, tier: TierSpec, num_bytes: int) -> Optional[StorageDevice]:
+    def best_device_for(
+        self, tier: TierSpec, num_bytes: int
+    ) -> Optional[StorageDevice]:
         """The emptiest device of ``tier`` that fits ``num_bytes``, if any."""
         candidates = [d for d in self._devices[tier] if d.has_space(num_bytes)]
         if not candidates:

@@ -7,7 +7,7 @@ against fault tolerance.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
 from repro.cluster.hardware import DEFAULT_HIERARCHY, TierHierarchy, TierSpec
 from repro.cluster.node import Node

@@ -28,7 +28,6 @@ from repro.common.units import HOURS
 from repro.dfs.namespace import INodeFile
 from repro.core.context import PolicyContext
 from repro.core.policy import DowngradePolicy
-from repro.core.stats import FileStatistics
 from repro.core.weights import ExdWeights, LrfuWeights
 from repro.ml.access_model import FileAccessModel
 
@@ -74,7 +73,9 @@ class LrfuDowngradePolicy(DowngradePolicy):
 
     name = "lrfu"
 
-    def __init__(self, ctx: PolicyContext, weights: Optional[LrfuWeights] = None) -> None:
+    def __init__(
+        self, ctx: PolicyContext, weights: Optional[LrfuWeights] = None
+    ) -> None:
         super().__init__(ctx)
         half_life = ctx.conf.get_duration("lrfu.half_life", 6 * HOURS)
         self.weights = weights or LrfuWeights(half_life=half_life)
@@ -165,7 +166,9 @@ class ExdDowngradePolicy(DowngradePolicy):
 
     name = "exd"
 
-    def __init__(self, ctx: PolicyContext, weights: Optional[ExdWeights] = None) -> None:
+    def __init__(
+        self, ctx: PolicyContext, weights: Optional[ExdWeights] = None
+    ) -> None:
         super().__init__(ctx)
         alpha = ctx.conf.get_float("exd.alpha", 1.16e-5)
         self.weights = weights or ExdWeights(alpha=alpha)

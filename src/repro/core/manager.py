@@ -13,7 +13,7 @@ Registered as a :class:`FileSystemListener` on the Master, the manager
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Optional, Set
 
 from repro.cluster.hardware import TierSpec
 from repro.common.config import Configuration

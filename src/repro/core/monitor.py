@@ -101,6 +101,33 @@ class ReplicationMonitor:
     def in_flight_files(self) -> Set[int]:
         return set(self._in_flight)
 
+    @property
+    def pending_transfers(self) -> int:
+        """Number of block transfers currently in flight."""
+        return len(self._in_flight_blocks)
+
+    def assert_idle(self) -> None:
+        """Raise unless all transfer accounting has drained to zero.
+
+        Complements ``Simulator.pending == 0``: a quiescent simulator
+        with transfers still marked in flight means a completion
+        callback was lost and pending-byte accounting is permanently
+        skewed.
+        """
+        if self._in_flight or self._in_flight_blocks:
+            raise RuntimeError(
+                f"transfers leaked: files={sorted(self._in_flight)[:5]} "
+                f"blocks={sorted(self._in_flight_blocks)[:5]}"
+            )
+        skewed = {
+            t.name: n
+            for counts in (self.pending_in, self.pending_out)
+            for t, n in counts.items()
+            if n != 0
+        }
+        if skewed:
+            raise RuntimeError(f"pending byte accounting skewed: {skewed}")
+
     def effective_utilization(self, tier: TierSpec) -> float:
         """Tier utilization net of bytes already scheduled to leave it."""
         capacity = self.master.tier_capacity(tier)

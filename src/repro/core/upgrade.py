@@ -55,7 +55,9 @@ class LrfuUpgradePolicy(UpgradePolicy):
 
     name = "lrfu"
 
-    def __init__(self, ctx: PolicyContext, weights: Optional[LrfuWeights] = None) -> None:
+    def __init__(
+        self, ctx: PolicyContext, weights: Optional[LrfuWeights] = None
+    ) -> None:
         super().__init__(ctx)
         half_life = ctx.conf.get_duration("lrfu.half_life", 6 * HOURS)
         self.weights = weights or LrfuWeights(half_life=half_life)
@@ -81,7 +83,9 @@ class ExdUpgradePolicy(UpgradePolicy):
 
     name = "exd"
 
-    def __init__(self, ctx: PolicyContext, weights: Optional[ExdWeights] = None) -> None:
+    def __init__(
+        self, ctx: PolicyContext, weights: Optional[ExdWeights] = None
+    ) -> None:
         super().__init__(ctx)
         alpha = ctx.conf.get_float("exd.alpha", 1.16e-5)
         self.weights = weights or ExdWeights(alpha=alpha)

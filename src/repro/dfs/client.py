@@ -98,7 +98,10 @@ class DFSClient:
         )
 
     def list_status(self, path: str) -> List[FileStatus]:
-        return [self.file_status(child.path) for child in self._master.fs.list_dir(path)]
+        return [
+            self.file_status(child.path)
+            for child in self._master.fs.list_dir(path)
+        ]
 
     def file_tiers(self, path: str) -> List[TierSpec]:
         """Tiers holding the complete file, fastest first."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Set
 
 from repro.cluster.hardware import TierHierarchy, TierSpec
 from repro.cluster.topology import ClusterTopology
@@ -21,7 +21,6 @@ from repro.dfs.block import BlockInfo, ReplicaInfo, split_into_block_sizes
 from repro.dfs.block_manager import BlockManager
 from repro.dfs.listeners import FileSystemListener
 from repro.dfs.namespace import FSDirectory, INodeFile
-from repro.dfs.node_manager import NodeManager
 from repro.dfs.placement import PlacementPolicy, PlacementTarget
 from repro.sim.clock import Clock
 
@@ -247,7 +246,12 @@ class Master:
                 r.replica_id,
             ),
         )
-        return BlockRead(block=block, replica=chosen, distance=ClusterTopology.OFF_RACK, local=False)
+        return BlockRead(
+            block=block,
+            replica=chosen,
+            distance=ClusterTopology.OFF_RACK,
+            local=False,
+        )
 
     # -- appends --------------------------------------------------------------------
     def append_file(

@@ -404,7 +404,9 @@ class OctopusPlacementPolicy(PlacementPolicy):
             fault += 0.5
         if tier not in used_tiers:
             fault += 0.5
-        locality = 1.0 if prefer_node is not None and node.node_id == prefer_node else 0.0
+        locality = (
+            1.0 if prefer_node is not None and node.node_id == prefer_node else 0.0
+        )
         return (
             self.w_throughput * throughput
             + self.w_data_balance * data_balance
@@ -471,7 +473,12 @@ class OctopusPlacementPolicy(PlacementPolicy):
                 )
             if target is None:
                 target = self._best_candidate(
-                    size, list(self.hierarchy), used_nodes, used_racks, used_tiers, prefer
+                    size,
+                    list(self.hierarchy),
+                    used_nodes,
+                    used_racks,
+                    used_tiers,
+                    prefer,
                 )
             if target is None:
                 break

@@ -30,7 +30,10 @@ class DfsioResult:
     read_records: List[Tuple[int, int, float]] = field(default_factory=list)
 
     def throughput_curve(
-        self, records: List[Tuple[int, int, float]], num_nodes: int, window: int = 6 * GB
+        self,
+        records: List[Tuple[int, int, float]],
+        num_nodes: int,
+        window: int = 6 * GB,
     ) -> List[Tuple[float, float]]:
         """Windowed average throughput per node: (GB so far, MB/s/node)."""
         curve: List[Tuple[float, float]] = []

@@ -17,12 +17,30 @@ one resource with ``capacity = read_bw``: reads link with weight 1 and
 writes with weight ``read_bw / write_bw``, so a lone write still streams
 at ``write_bw`` while concurrent reads and writes contend for the same
 medium.
+
+Scaling design.  A flow start/finish can only change rates inside the
+connected component of resources it touches (anything disjoint keeps
+its max-min allocation by definition), so the engine maintains
+*persistent per-resource flow registries* and walks just that dirty
+component instead of scanning every active flow.  The progressive
+filling itself caches per-resource weight sums and refreshes only the
+resources whose bottleneck structure changed when flows froze
+(:func:`compute_max_min_rates`), and components at or above
+``FairShareEngine.vector_threshold`` flows switch to a
+numpy-vectorized filling (:func:`compute_max_min_rates_vectorized`).
+The scalar path is arithmetic-for-arithmetic identical to the naive
+from-scratch solver (:func:`compute_max_min_rates_reference`), which is
+what keeps full-scale runs bit-identical to the pre-registry engine;
+the vectorized path is reserved for component sizes the reference runs
+never reach.
 """
 
 from __future__ import annotations
 
 import itertools
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.sim.simulator import Event, Simulator
 
@@ -64,6 +82,8 @@ class Flow:
         "event",
         "submitted_at",
         "ideal_duration",
+        "admit_seq",
+        "dup_links",
     )
 
     def __init__(
@@ -86,6 +106,12 @@ class Flow:
         self.event: Optional[Event] = None
         self.submitted_at = 0.0
         self.ideal_duration = 0.0
+        #: Admission order (latency can reorder relative to flow_id).
+        self.admit_seq = 0
+        #: Whether two links name the same resource (their weights then
+        #: add up in the solver, so shortcuts assuming one weight per
+        #: resource do not apply).
+        self.dup_links = len({r.name for r, _ in self.links}) < len(self.links)
 
     def standalone_rate(self) -> float:
         """The rate this flow would get with the graph to itself."""
@@ -95,8 +121,8 @@ class Flow:
         return f"Flow({self.flow_id}, {self.name}, {self.bytes_remaining:.0f}B left)"
 
 
-def compute_max_min_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
-    """Weighted max-min fair rates for ``flows`` (progressive filling).
+def compute_max_min_rates_reference(flows: Sequence[Flow]) -> Dict[Flow, float]:
+    """From-scratch weighted max-min progressive filling (reference).
 
     All flows' rates rise together from zero; when a resource saturates
     (sum of ``rate * weight`` over its flows reaches capacity), the flows
@@ -104,6 +130,10 @@ def compute_max_min_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
     The result is work-conserving — every flow is bottlenecked by at
     least one saturated resource — and deterministic: resources are
     visited in first-seen order over the given flow sequence.
+
+    This is the naive O(rounds x resources x flows) formulation kept as
+    the oracle for :func:`compute_max_min_rates` (same arithmetic, fewer
+    rescans) and :func:`compute_max_min_rates_vectorized`.
     """
     if not flows:
         return {}
@@ -158,25 +188,198 @@ def compute_max_min_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
     return rates
 
 
+def compute_max_min_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
+    """Weighted max-min fair rates for ``flows`` (progressive filling).
+
+    Bit-identical to :func:`compute_max_min_rates_reference` but with
+    dirty-set weight-sum tracking: a resource's weight sum over unfixed
+    flows only changes when one of *its* flows froze in the previous
+    round, so it is cached and re-folded — with the exact same
+    left-to-right summation the reference performs — only for resources
+    whose bottleneck structure changed.  Likewise only flows crossing a
+    resource that saturated *this* round can freeze (any resource that
+    saturated earlier already froze all of its flows), so the freeze
+    scan visits saturated resources' users instead of every flow.
+    """
+    if not flows:
+        return {}
+    num_flows = len(flows)
+    # Index resources in first-seen order over the flow sequence — the
+    # same visiting order the reference derives from its dict insertion.
+    res_index: Dict[Resource, int] = {}
+    remaining: List[float] = []
+    threshold: List[float] = []
+    user_flows: List[List[int]] = []  # per resource: flow positions
+    user_weights: List[List[float]] = []  # per resource: matching weights
+    flow_resources: List[List[int]] = []  # per flow: resource indices
+    for pos, flow in enumerate(flows):
+        indices: List[int] = []
+        for resource, weight in flow.links:
+            i = res_index.get(resource)
+            if i is None:
+                i = res_index[resource] = len(remaining)
+                remaining.append(resource.capacity)
+                threshold.append(_SATURATION_SLACK * resource.capacity)
+                user_flows.append([])
+                user_weights.append([])
+            user_flows[i].append(pos)
+            user_weights[i].append(weight)
+            indices.append(i)
+        flow_resources.append(indices)
+    num_res = len(remaining)
+    unfixed = [True] * num_flows
+    unfixed_count = num_flows
+    rate_of = [0.0] * num_flows
+    # Cached per-resource weight sums over unfixed flows.  The initial
+    # fold and every dirty refresh use the reference's exact left-to-
+    # right summation (int 0 start, link order), so each cached value
+    # equals what a fresh rescan would produce.
+    weight_sums: List[float] = [sum(ws) for ws in user_weights]
+    level = 0.0
+    while unfixed_count:
+        best_level: Optional[float] = None
+        best = -1
+        for i in range(num_res):
+            weight_sum = weight_sums[i]
+            if weight_sum <= 0.0:
+                continue
+            rem = remaining[i]
+            candidate = level + (rem if rem > 0.0 else 0.0) / weight_sum
+            if best_level is None or candidate < best_level:
+                best_level, best = candidate, i
+        if best < 0:
+            for pos in range(num_flows):  # pragma: no cover - defensive
+                if unfixed[pos]:
+                    rate_of[pos] = level
+            break
+        delta = best_level - level
+        saturated: List[int] = []
+        for i in range(num_res):
+            weight_sum = weight_sums[i]
+            if weight_sum > 0.0:
+                rem = remaining[i] - delta * weight_sum
+                remaining[i] = rem
+                if i != best and rem <= threshold[i]:
+                    saturated.append(i)
+        remaining[best] = 0.0  # kill float residue at the bottleneck
+        saturated.append(best)
+        level = best_level
+        dirty: List[int] = []
+        for i in saturated:
+            for pos in user_flows[i]:
+                if unfixed[pos]:
+                    unfixed[pos] = False
+                    unfixed_count -= 1
+                    rate_of[pos] = level
+                    dirty.extend(flow_resources[pos])
+        for i in dirty:
+            total = 0.0
+            flows_i = user_flows[i]
+            weights_i = user_weights[i]
+            for k in range(len(flows_i)):
+                if unfixed[flows_i[k]]:
+                    total += weights_i[k]
+            weight_sums[i] = total
+    return {flow: rate_of[pos] for pos, flow in enumerate(flows)}
+
+
+def compute_max_min_rates_vectorized(flows: Sequence[Flow]) -> Dict[Flow, float]:
+    """Max-min progressive filling over a dense numpy weight matrix.
+
+    Used for large connected components, where the per-round python
+    loops of the scalar solver dominate: each filling round becomes a
+    handful of vectorized array operations over the (flows x resources)
+    weight matrix.  Deterministic (``argmin`` keeps the reference's
+    first-seen tie-break) and max-min fair, but its summation order
+    differs from the scalar path, so rates can differ in the last few
+    ulps — which is why the engine only routes components the reference
+    workloads never produce through it.
+    """
+    if not flows:
+        return {}
+    res_index: Dict[str, int] = {}
+    capacities: List[float] = []
+    for flow in flows:
+        for resource, _ in flow.links:
+            if resource.name not in res_index:
+                res_index[resource.name] = len(capacities)
+                capacities.append(resource.capacity)
+    num_flows = len(flows)
+    num_res = len(capacities)
+    weights = np.zeros((num_flows, num_res))
+    for i, flow in enumerate(flows):
+        for resource, weight in flow.links:
+            j = res_index[resource.name]
+            # Parallel links to one resource: the reference folds every
+            # (flow, weight) pair into the sum, i.e. weights add up.
+            weights[i, j] += weight
+    capacity = np.asarray(capacities)
+    threshold = _SATURATION_SLACK * capacity
+    crosses = weights > 0.0
+    remaining = capacity.copy()
+    unfixed = np.ones(num_flows, dtype=bool)
+    rates = np.zeros(num_flows)
+    level = 0.0
+    while unfixed.any():
+        weight_sum = unfixed.astype(float) @ weights
+        active = weight_sum > 0.0
+        if not active.any():  # pragma: no cover - defensive (mirrors scalar)
+            rates[unfixed] = level
+            break
+        candidate = np.full(num_res, np.inf)
+        candidate[active] = (
+            level + np.maximum(remaining[active], 0.0) / weight_sum[active]
+        )
+        best = int(np.argmin(candidate))  # first minimum == first-seen order
+        best_level = float(candidate[best])
+        delta = best_level - level
+        remaining[active] -= delta * weight_sum[active]
+        remaining[best] = 0.0
+        level = best_level
+        saturated = active & (remaining <= threshold)
+        saturated[best] = True
+        newly = unfixed & crosses[:, saturated].any(axis=1)
+        rates[newly] = level
+        unfixed &= ~newly
+    return {flow: float(rates[i]) for i, flow in enumerate(flows)}
+
+
 class FairShareEngine:
     """Tracks active flows and keeps their completion events re-priced.
 
-    Every admission and completion triggers a global re-solve of the
-    max-min rates; flows whose completion time changed get their pending
-    :class:`Event` cancelled and a fresh one scheduled.  Flows are
-    stored in admission order, which (together with the simulator's FIFO
-    tie-break) makes completion order fully deterministic.
+    Every admission and completion triggers a re-solve of the max-min
+    rates over the affected connected component; flows whose completion
+    time changed get their pending :class:`Event` cancelled and a fresh
+    one scheduled.  Flows are stored in admission order, which (together
+    with the simulator's FIFO tie-break) makes completion order fully
+    deterministic.
+
+    The engine keeps a persistent registry of active flows per resource
+    so the dirty component is discovered by walking the resource graph
+    (O(component) work) rather than scanning every active flow.
     """
+
+    #: Component size at which re-solving switches to the vectorized
+    #: filling.  Must stay above the largest component the bit-identical
+    #: reference workloads produce (full-scale FB peaks at 112 flows).
+    vector_threshold = 128
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._flows: Dict[int, Flow] = {}
         self._ids = itertools.count(1)
+        self._admit_seq = itertools.count(1)
+        #: Resource name -> admission-ordered {flow_id: flow} registry of
+        #: the active flows crossing it.
+        self._users: Dict[str, Dict[int, Flow]] = {}
         # -- cumulative statistics (consumed by benchmarks) -----------------
         self.flows_started = 0
         self.flows_completed = 0
         self.recomputes = 0
         self.peak_concurrency = 0
+        self.max_component = 0
+        self.vector_solves = 0
+        self.events_rescheduled = 0
         #: Realized flow durations vs what each flow would have taken
         #: alone on the graph; the difference is pure contention delay.
         self.realized_seconds = 0.0
@@ -212,7 +415,13 @@ class FairShareEngine:
         return flow
 
     def _admit(self, flow: Flow) -> None:
+        flow.admit_seq = next(self._admit_seq)
         self._flows[flow.flow_id] = flow
+        for resource, _ in flow.links:
+            registry = self._users.get(resource.name)
+            if registry is None:
+                registry = self._users[resource.name] = {}
+            registry[flow.flow_id] = flow
         flow.last_update = self.sim.now()
         self.flows_started += 1
         if len(self._flows) > self.peak_concurrency:
@@ -228,25 +437,62 @@ class FairShareEngine:
         their max-min rates are mathematically unchanged — re-solving
         only the component keeps recomputes local to the touched part
         of the graph.
+
+        Membership is discovered by a breadth-first walk of the resource
+        registries (O(component links)); the returned *ordering* then
+        replays the historical candidate sweep — repeated passes in
+        admission order, growing the resource frontier mid-pass — over
+        just the members, because the solver's resource first-seen order
+        and the completion events' scheduling order both depend on it.
+        Flows outside the component never join a pass and never grow the
+        frontier, so sweeping members only is order-identical to
+        sweeping every active flow.
         """
+        users = self._users
         resources = {r.name for r, _ in seed.links}
+        members: Dict[int, Flow] = {}
+        frontier = list(resources)
+        while frontier:
+            next_frontier: List[str] = []
+            for res_name in frontier:
+                registry = users.get(res_name)
+                if not registry:
+                    continue
+                for flow_id, flow in registry.items():
+                    if flow_id in members:
+                        continue
+                    members[flow_id] = flow
+                    for r, _ in flow.links:
+                        if r.name not in resources:
+                            resources.add(r.name)
+                            next_frontier.append(r.name)
+            frontier = next_frontier
+        if len(members) <= 1:
+            return list(members.values())
+        candidates = sorted(members.values(), key=lambda f: f.admit_seq)
+        reachable = {r.name for r, _ in seed.links}
         component: List[Flow] = []
-        candidates = list(self._flows.values())
         grew = True
         while grew:
             grew = False
             rest: List[Flow] = []
             for flow in candidates:
-                if any(r.name in resources for r, _ in flow.links):
+                if any(r.name in reachable for r, _ in flow.links):
                     component.append(flow)
                     for r, _ in flow.links:
-                        if r.name not in resources:
-                            resources.add(r.name)
+                        if r.name not in reachable:
+                            reachable.add(r.name)
                             grew = True
                 else:
                     rest.append(flow)
             candidates = rest
         return component
+
+    def _solve(self, flows: List[Flow]) -> Dict[Flow, float]:
+        if len(flows) >= self.vector_threshold:
+            self.vector_solves += 1
+            return compute_max_min_rates_vectorized(flows)
+        return compute_max_min_rates(flows)
 
     def _recompute(self, seed: Flow) -> None:
         """Drain elapsed bytes, re-solve rates, reschedule completions.
@@ -257,7 +503,37 @@ class FairShareEngine:
         """
         now = self.sim.now()
         self.recomputes += 1
+        users = self._users
+        # Fast paths for the two dominant event shapes (an isolated flow
+        # starting, any flow finishing with its resources now idle):
+        # both have a trivially known component, so the registry walk,
+        # ordering sweep, and solver are skipped entirely.  Arithmetic
+        # is identical to the general path on the same component.
+        if seed.flow_id not in self._flows:
+            # seed just finished and was deregistered; empty registries
+            # mean an empty component — nothing to re-price.
+            if all(not users[r.name] for r, _ in seed.links):
+                return
+        elif not seed.dup_links and all(
+            len(users[r.name]) == 1 for r, _ in seed.links
+        ):
+            # seed just started on all-idle resources: it is the whole
+            # component and gets its standalone rate.
+            if self.max_component < 1:
+                self.max_component = 1
+            seed.last_update = now
+            rate = seed.standalone_rate()
+            seed.rate = rate
+            self.events_rescheduled += 1
+            seed.event = self.sim.at(
+                now + seed.bytes_remaining / rate,
+                lambda f=seed: self._finish(f),
+                name=f"flow-{seed.flow_id}-{seed.name}",
+            )
+            return
         flows = self._component_of(seed)
+        if len(flows) > self.max_component:
+            self.max_component = len(flows)
         for flow in flows:
             elapsed = now - flow.last_update
             if elapsed > 0.0 and flow.rate > 0.0:
@@ -265,7 +541,7 @@ class FairShareEngine:
                     0.0, flow.bytes_remaining - flow.rate * elapsed
                 )
             flow.last_update = now
-        rates = compute_max_min_rates(flows)
+        rates = self._solve(flows)
         for flow in flows:
             rate = rates[flow]
             flow.rate = rate
@@ -280,6 +556,7 @@ class FairShareEngine:
                 if abs(flow.event.time - finish_at) <= slack:
                     continue
                 flow.event.cancel()
+            self.events_rescheduled += 1
             flow.event = self.sim.at(
                 finish_at,
                 lambda f=flow: self._finish(f),
@@ -290,6 +567,10 @@ class FairShareEngine:
         if flow.flow_id not in self._flows:  # pragma: no cover - defensive
             return
         del self._flows[flow.flow_id]
+        for resource, _ in flow.links:
+            registry = self._users.get(resource.name)
+            if registry is not None:
+                registry.pop(flow.flow_id, None)
         flow.bytes_remaining = 0.0
         flow.event = None
         self.flows_completed += 1
@@ -305,17 +586,15 @@ class FairShareEngine:
 
     def flows_crossing(self, resource: Resource) -> int:
         """Number of active flows linked to ``resource``."""
-        return sum(
-            1
-            for flow in self._flows.values()
-            if any(r is resource for r, _ in flow.links)
-        )
+        registry = self._users.get(resource.name)
+        return len(registry) if registry else 0
 
     def resource_demand(self, resource: Resource) -> float:
         """Current allocated consumption on ``resource`` (<= capacity)."""
+        registry = self._users.get(resource.name, {})
         return sum(
             flow.rate * weight
-            for flow in self._flows.values()
+            for flow in registry.values()
             for r, weight in flow.links
             if r is resource
         )

@@ -97,6 +97,9 @@ class IoModel:
             if sim is None:
                 raise ValueError("fairshare pricing needs the simulator")
             self.engine = FairShareEngine(sim)
+            self.engine.vector_threshold = conf.get_int(
+                "io.vector_threshold", FairShareEngine.vector_threshold
+            )
             endpoint_bw = conf.get_float(
                 "io.remote_endpoint_bandwidth", DEFAULT_REMOTE_ENDPOINT_BANDWIDTH
             )
@@ -146,7 +149,9 @@ class IoModel:
         streams = self._net_streams[node_id] + 1
         return self.network_bandwidth / streams
 
-    def _acquire(self, device_ids: List[str], net_nodes: List[str]) -> Callable[[], None]:
+    def _acquire(
+        self, device_ids: List[str], net_nodes: List[str]
+    ) -> Callable[[], None]:
         for device_id in device_ids:
             self._device_streams[device_id] += 1
         for node_id in net_nodes:
@@ -442,6 +447,9 @@ class IoModel:
                 "flows_completed": self.engine.flows_completed,
                 "recomputes": self.engine.recomputes,
                 "peak_concurrency": self.engine.peak_concurrency,
+                "max_component": self.engine.max_component,
+                "vector_solves": self.engine.vector_solves,
+                "events_rescheduled": self.engine.events_rescheduled,
                 "realized_io_seconds": self.engine.realized_seconds,
                 "ideal_io_seconds": self.engine.ideal_seconds,
                 "contention_seconds": self.engine.contention_seconds,

@@ -15,7 +15,7 @@ One :class:`MetricsCollector` instance accumulates, per job-size bin:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 from repro.cluster.hardware import DEFAULT_HIERARCHY, TierHierarchy, TierSpec
 from repro.workload.bins import BIN_NAMES

@@ -233,11 +233,27 @@ class WorkloadRunner:
         # Drain: keep running until all jobs finished (or the limit hits).
         deadline = end + drain_limit
         while not self.scheduler.idle and self.sim.now() < deadline:
+            if self.sim.pending == 0:
+                # No live event will ever fire again (jobs stuck on
+                # missing inputs, say): jump straight to the deadline
+                # instead of spinning the loop 60 simulated seconds at a
+                # time through an empty heap.
+                self.sim.run(until=deadline)
+                break
             self.sim.run(until=min(self.sim.now() + 60.0, deadline))
         if self.manager is not None:
             self.manager.stop()
         # Let in-flight transfers conclude so accounting is complete.
         self.sim.run(until=self.sim.now() + 600.0)
+        if self.scheduler.idle and self.sim.pending == 0:
+            # A fully quiescent end state (no live events at all) must
+            # leave no I/O in flight: every stream released, every flow
+            # completed, every transfer committed or aborted.  Runs that
+            # hit the drain limit with work outstanding are exempt —
+            # their streams are legitimately still held.
+            self.iomodel.assert_drained()
+            if self.manager is not None:
+                self.manager.monitor.assert_idle()
         return self._result()
 
     def _result(self) -> RunResult:

@@ -11,10 +11,9 @@ sweeps quantify their effect on the FB workload:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.common.units import GB
-from repro.engine.metrics import efficiency_improvement
 from repro.engine.runner import SystemConfig, run_workload
 from repro.experiments.common import (
     ExperimentScale,

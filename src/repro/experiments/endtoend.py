@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.engine.metrics import completion_reduction, efficiency_improvement
-from repro.engine.runner import RunResult, SystemConfig, run_workload
+from repro.engine.runner import RunResult, run_workload
 from repro.experiments.common import (
     ExperimentScale,
     FULL_SCALE,

@@ -16,9 +16,9 @@ backs its fault-tolerance design claims.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.common.units import GB, HOURS
+from repro.common.units import HOURS
 from repro.dfs.faults import FaultInjector
 from repro.engine.runner import RunResult, SystemConfig, WorkloadRunner
 from repro.experiments.common import (

@@ -8,7 +8,12 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.common.units import MB
-from repro.experiments.common import ExperimentScale, FULL_SCALE, format_table, make_trace
+from repro.experiments.common import (
+    ExperimentScale,
+    FULL_SCALE,
+    format_table,
+    make_trace,
+)
 from repro.workload.jobs import Trace
 
 

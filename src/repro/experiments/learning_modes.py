@@ -23,8 +23,13 @@ import numpy as np
 from repro.common.units import HOURS
 from repro.ml.access_model import FileAccessModel, LearningMode, TrainingPoint
 from repro.ml.gbt import GBTParams
-from repro.experiments.common import ExperimentScale, FULL_SCALE, format_table, make_trace
-from repro.experiments.datasets import generate_observation_stream, shift_timestamps
+from repro.experiments.common import (
+    ExperimentScale,
+    FULL_SCALE,
+    format_table,
+    make_trace,
+)
+from repro.experiments.datasets import generate_observation_stream
 from repro.experiments.model_eval import DOWNGRADE_WINDOW, UPGRADE_WINDOW
 
 #: Slightly lighter trees than the paper grid (the replay streams are

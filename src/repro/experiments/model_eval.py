@@ -21,7 +21,12 @@ from repro.ml.access_model import PAPER_GBT_PARAMS
 from repro.ml.features import FeatureSpec
 from repro.ml.gbt import GradientBoostedTrees
 from repro.ml.metrics import accuracy, auc, roc_curve
-from repro.experiments.common import ExperimentScale, FULL_SCALE, format_table, make_trace
+from repro.experiments.common import (
+    ExperimentScale,
+    FULL_SCALE,
+    format_table,
+    make_trace,
+)
 from repro.experiments.datasets import (
     generate_observation_stream,
     split_by_time,

@@ -10,10 +10,14 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.stats import StatisticsRegistry
-from repro.experiments.common import ExperimentScale, FULL_SCALE, format_table, make_trace
+from repro.experiments.common import (
+    ExperimentScale,
+    FULL_SCALE,
+    format_table,
+    make_trace,
+)
 from repro.experiments.datasets import generate_observation_stream, to_arrays
 from repro.experiments.model_eval import DOWNGRADE_WINDOW
 from repro.ml.access_model import PAPER_GBT_PARAMS

@@ -11,11 +11,11 @@ out of the same mechanism here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.engine.metrics import completion_reduction, efficiency_improvement
 from repro.engine.runner import SystemConfig, run_workload
-from repro.experiments.common import ExperimentScale, format_table
+from repro.experiments.common import format_table
 from repro.workload.bins import BIN_NAMES
 from repro.workload.profiles import FB_PROFILE, scaled_profile
 from repro.workload.synthesis import synthesize_trace

@@ -12,7 +12,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.engine.runner import SystemConfig, run_workload
-from repro.experiments.common import ExperimentScale, FULL_SCALE, format_table, make_trace
+from repro.experiments.common import (
+    ExperimentScale,
+    FULL_SCALE,
+    format_table,
+    make_trace,
+)
 from repro.workload.bins import BIN_NAMES, BINS
 
 
@@ -36,7 +41,9 @@ def _span(bin_) -> str:
     low = bin_.low // mb
     high = bin_.high // mb
     if high >= 1024:
-        return f"{low / 1024:.0f}-{high / 1024:.0f}GB" if low >= 1024 else f"{low}MB-{high / 1024:.0f}GB"
+        if low >= 1024:
+            return f"{low / 1024:.0f}-{high / 1024:.0f}GB"
+        return f"{low}MB-{high / 1024:.0f}GB"
     return f"{low}-{high}MB"
 
 

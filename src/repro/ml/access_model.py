@@ -150,7 +150,10 @@ class FileAccessModel:
             self.accuracy_history.append((point.timestamp, correct))
         self._batch.append(point)
         self._history.append(point)
-        if self.mode is LearningMode.INCREMENTAL and len(self._batch) >= self.batch_size:
+        if (
+            self.mode is LearningMode.INCREMENTAL
+            and len(self._batch) >= self.batch_size
+        ):
             self._train_incremental_batch()
 
     def _train_incremental_batch(self) -> None:
@@ -159,7 +162,9 @@ class FileAccessModel:
         replay_count = int(len(batch) * self.replay_ratio)
         if replay_count and len(self._replay):
             picks = self._rng.choice(
-                len(self._replay), size=min(replay_count, len(self._replay)), replace=False
+                len(self._replay),
+                size=min(replay_count, len(self._replay)),
+                replace=False,
             )
             batch.extend(self._replay[int(i)] for i in picks)
         X = np.vstack([p.features for p in batch])

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
 
 from repro.ml.gbt import GBTParams, GradientBoostedTrees
 from repro.ml.tree import RegressionTree, TreeParams, _Node

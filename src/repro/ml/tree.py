@@ -76,7 +76,9 @@ class RegressionTree:
         self.node_count = 0
 
     # -- training ----------------------------------------------------------
-    def fit(self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray) -> "RegressionTree":
+    def fit(
+        self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray
+    ) -> "RegressionTree":
         """Grow the tree on feature matrix ``X`` (NaN = missing)."""
         X = np.asarray(X, dtype=float)
         grad = np.asarray(grad, dtype=float)

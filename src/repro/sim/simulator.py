@@ -1,34 +1,72 @@
 """The discrete-event simulator.
 
-Events are ``(time, sequence, callback)`` triples in a binary heap; the
+Events are ``(time, sequence, callback)`` entries in a binary heap; the
 sequence number breaks ties so same-timestamp events run in scheduling
 order (FIFO), which makes runs fully deterministic.
+
+Cancellation is lazy: :meth:`Event.cancel` marks the entry and the run
+loop skips it when popped.  Under workloads that cancel heavily (the
+fair-share I/O engine reschedules in-flight completions on every flow
+start/finish) tombstones would otherwise dominate the heap and tax every
+push/pop with extra ``log n`` depth, so the simulator counts live
+tombstones and amortizes an O(n) compaction — filter out cancelled
+entries and re-heapify — whenever they outnumber the live events.
+Compaction preserves the (time, seq) order exactly, so execution is
+bit-identical with or without it.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from repro.common.errors import SimulationError
 from repro.sim.clock import Clock
 
+#: Never compact below this many tombstones: tiny heaps gain nothing
+#: and re-heapifying them on every cancel would be pure overhead.
+_COMPACT_MIN_TOMBSTONES = 64
 
-@dataclass(order=True)
+
 class Event:
-    """A scheduled callback.  Ordering is by (time, seq)."""
+    """A scheduled callback.  Heap ordering is by (time, seq)."""
 
-    time: float
-    seq: int
-    callback: Callable[[], Any] = field(compare=False)
-    name: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "name", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], Any],
+        name: str = "",
+        sim: Optional["Simulator"] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
+        # Back-reference used for tombstone accounting; cleared when the
+        # event leaves the heap so late cancels don't skew the counter.
+        self._sim = sim
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.time < other.time or (
+            self.time == other.time and self.seq < other.seq
+        )
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.seq}, {self.name!r}{state})"
 
 
 class Simulator(Clock):
@@ -43,6 +81,11 @@ class Simulator(Clock):
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        #: Cancelled events still sitting in the heap.
+        self._tombstones = 0
+        #: Cumulative counters (diagnostics / benchmarks).
+        self.events_cancelled = 0
+        self.heap_compactions = 0
 
     # -- Clock ------------------------------------------------------------
     def now(self) -> float:
@@ -55,7 +98,16 @@ class Simulator(Clock):
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of *live* events still queued.
+
+        Cancelled events awaiting garbage collection in the heap are not
+        counted: ``pending == 0`` means nothing will ever run again.
+        """
+        return len(self._heap) - self._tombstones
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, tombstones included (diagnostics only)."""
         return len(self._heap)
 
     # -- scheduling --------------------------------------------------------
@@ -65,7 +117,7 @@ class Simulator(Clock):
             raise SimulationError(
                 f"cannot schedule event at {time} before now={self._now}"
             )
-        event = Event(time=time, seq=next(self._seq), callback=callback, name=name)
+        event = Event(time, next(self._seq), callback, name, self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -77,11 +129,35 @@ class Simulator(Clock):
             raise SimulationError(f"negative delay: {delay}")
         return self.at(self._now + delay, callback, name)
 
+    # -- tombstone accounting ----------------------------------------------
+    def _note_cancel(self) -> None:
+        self.events_cancelled += 1
+        self._tombstones += 1
+        if (
+            self._tombstones >= _COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (order-preserving)."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
+        self.heap_compactions += 1
+
+    def _pop(self) -> Event:
+        event = heapq.heappop(self._heap)
+        if event.cancelled:
+            self._tombstones -= 1
+        event._sim = None
+        return event
+
     # -- running ------------------------------------------------------------
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = self._pop()
             if event.cancelled:
                 continue
             self._now = event.time
@@ -90,7 +166,9 @@ class Simulator(Clock):
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
         """Drain the event queue.  Returns the number of callbacks executed.
 
         ``until`` stops the loop once the next event would be later than the
@@ -105,7 +183,7 @@ class Simulator(Clock):
         while self._heap:
             head = self._heap[0]
             if head.cancelled:
-                heapq.heappop(self._heap)
+                self._pop()
                 continue
             if until is not None and head.time > until:
                 break

@@ -18,7 +18,7 @@ match the published statistics).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.common.units import GB, HOURS, MINUTES

@@ -14,7 +14,6 @@ def feed_periodic_pattern(model, n_files=40, periods=(600.0, 7200.0), horizon=20
     Short-period files are accessed within any 30-minute window; the
     long-period files are not — a cleanly learnable rule.
     """
-    rng = np.random.default_rng(0)
     t = 0.0
     while t < horizon:
         t += 60.0
@@ -90,7 +89,9 @@ class TestWarmupGating:
         assert hot > cold
 
     def test_accuracy_history_recorded(self):
-        model = FileAccessModel(window=1800.0, gbt_params=GBTParams(num_rounds=3, max_depth=4))
+        model = FileAccessModel(
+            window=1800.0, gbt_params=GBTParams(num_rounds=3, max_depth=4)
+        )
         feed_periodic_pattern(model, horizon=8000.0)
         assert len(model.accuracy_history) > 0
         timestamps = [t for t, _ in model.accuracy_history]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster import StorageTier
-from repro.common.errors import InsufficientSpaceError, InvalidPathError
+from repro.common.errors import InvalidPathError
 from repro.common.units import MB
 from repro.dfs import FileSystemListener
 

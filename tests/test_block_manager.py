@@ -49,7 +49,9 @@ class TestReplicaLifecycle:
         topo, manager, file = setup
         block = manager.allocate_block(file, 0, 128 * MB)
         device = first_device(topo, 0, StorageTier.MEMORY)
-        replica = manager.add_replica(block, topo.nodes[0].node_id, StorageTier.MEMORY, device.device_id)
+        replica = manager.add_replica(
+            block, topo.nodes[0].node_id, StorageTier.MEMORY, device.device_id
+        )
         assert device.used == 128 * MB
         assert block.replica_count == 1
         assert manager.replica(replica.replica_id) is replica
@@ -58,7 +60,9 @@ class TestReplicaLifecycle:
         topo, manager, file = setup
         block = manager.allocate_block(file, 0, 128 * MB)
         device = first_device(topo, 0, StorageTier.MEMORY)
-        replica = manager.add_replica(block, topo.nodes[0].node_id, StorageTier.MEMORY, device.device_id)
+        replica = manager.add_replica(
+            block, topo.nodes[0].node_id, StorageTier.MEMORY, device.device_id
+        )
         manager.remove_replica(replica)
         assert device.used == 0
         assert block.replica_count == 0
@@ -69,7 +73,9 @@ class TestReplicaLifecycle:
         topo, manager, file = setup
         block = manager.allocate_block(file, 0, MB)
         device = first_device(topo, 0, StorageTier.SSD)
-        replica = manager.add_replica(block, topo.nodes[0].node_id, StorageTier.SSD, device.device_id)
+        replica = manager.add_replica(
+            block, topo.nodes[0].node_id, StorageTier.SSD, device.device_id
+        )
         manager.remove_replica(replica)
         with pytest.raises(ReplicaNotFoundError):
             manager.remove_replica(replica)
@@ -79,7 +85,9 @@ class TestReplicaLifecycle:
         for i in range(2):
             block = manager.allocate_block(file, i, 128 * MB)
             device = first_device(topo, i, StorageTier.HDD)
-            manager.add_replica(block, topo.nodes[i].node_id, StorageTier.HDD, device.device_id)
+            manager.add_replica(
+                block, topo.nodes[i].node_id, StorageTier.HDD, device.device_id
+            )
         removed = manager.remove_file_blocks(file)
         assert len(removed) == 2
         assert manager.block_count() == 0
@@ -156,11 +164,15 @@ class TestReplicationHealth:
         topo, manager, file = setup  # replication factor 2
         block = manager.allocate_block(file, 0, MB)
         device = first_device(topo, 0, StorageTier.HDD)
-        manager.add_replica(block, topo.nodes[0].node_id, StorageTier.HDD, device.device_id)
+        manager.add_replica(
+            block, topo.nodes[0].node_id, StorageTier.HDD, device.device_id
+        )
         assert manager.under_replicated([file]) == [block]
         assert manager.over_replicated([file]) == []
         for idx in (1, 2):
             device = first_device(topo, idx, StorageTier.HDD)
-            manager.add_replica(block, topo.nodes[idx].node_id, StorageTier.HDD, device.device_id)
+            manager.add_replica(
+                block, topo.nodes[idx].node_id, StorageTier.HDD, device.device_id
+            )
         assert manager.under_replicated([file]) == []
         assert manager.over_replicated([file]) == [block]

@@ -1,6 +1,5 @@
 """Tests for the PolicyContext candidate queries."""
 
-import pytest
 
 from repro.cluster import StorageTier, build_local_cluster
 from repro.common.config import Configuration

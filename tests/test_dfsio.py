@@ -1,6 +1,5 @@
 """Tests for the DFSIO benchmark runner (Fig 2 machinery)."""
 
-import pytest
 
 from repro.common.units import GB
 from repro.engine import DfsioRunner, SystemConfig

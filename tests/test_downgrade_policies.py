@@ -7,7 +7,6 @@ from repro.common.config import Configuration
 from repro.common.units import GB, HOURS, MB
 from repro.core import ReplicationManager, configure_policies
 from repro.core.downgrade import (
-    ExdDowngradePolicy,
     LfuDowngradePolicy,
     LfuFDowngradePolicy,
     LifeDowngradePolicy,
@@ -45,7 +44,9 @@ class TestLru:
         sim, master, client, manager = stack
         policy = LruDowngradePolicy(manager.ctx)
         manager.set_downgrade_policy(policy)
-        create_files(client, sim, [("/a", 64 * MB, 1), ("/b", 64 * MB, 1), ("/c", 64 * MB, 1)])
+        create_files(
+            client, sim, [("/a", 64 * MB, 1), ("/b", 64 * MB, 1), ("/c", 64 * MB, 1)]
+        )
         sim.run(until=sim.now() + 10)
         client.open("/a")  # /a becomes most recent; /b is now oldest
         selected = policy.select_file_to_downgrade(StorageTier.MEMORY)
@@ -139,7 +140,9 @@ class TestLifeAndLfuF:
         policy = LifeDowngradePolicy(manager.ctx)
         manager.set_downgrade_policy(policy)
         create_files(
-            client, sim, [("/small", 32 * MB, 1), ("/big", 256 * MB, 1), ("/mid", 64 * MB, 1)]
+            client,
+            sim,
+            [("/small", 32 * MB, 1), ("/big", 256 * MB, 1), ("/mid", 64 * MB, 1)],
         )
         assert policy.select_file_to_downgrade(StorageTier.MEMORY).path == "/big"
 

@@ -63,7 +63,9 @@ class TestSizePolicy:
         sim, master, client, manager = stack
         policy = SizeDowngradePolicy(manager.ctx)
         manager.set_downgrade_policy(policy)
-        create(client, sim, [("/small", 32 * MB), ("/big", 256 * MB), ("/mid", 64 * MB)])
+        create(
+            client, sim, [("/small", 32 * MB), ("/big", 256 * MB), ("/mid", 64 * MB)]
+        )
         assert policy.select_file_to_downgrade(StorageTier.MEMORY).path == "/big"
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import StorageTier, build_local_cluster
+from repro.cluster import build_local_cluster
 from repro.common.config import Configuration
 from repro.common.units import GB, MB
 from repro.core import ReplicationManager
@@ -11,7 +11,6 @@ from repro.dfs import (
     FaultInjector,
     Master,
     NodeManager,
-    OctopusPlacementPolicy,
 )
 from repro.dfs.placement import HdfsPlacementPolicy
 from repro.sim import Simulator

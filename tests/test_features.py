@@ -18,8 +18,14 @@ class TestFeatureSpec:
         assert spec.num_features == 2 + 11 + 1 + 1  # deltas + anchors + size + creation
 
     def test_ablation_dimensions(self):
-        assert FeatureSpec(include_size=False).num_features == FeatureSpec().num_features - 1
-        assert FeatureSpec(include_creation=False).num_features == FeatureSpec().num_features - 1
+        assert (
+            FeatureSpec(include_size=False).num_features
+            == FeatureSpec().num_features - 1
+        )
+        assert (
+            FeatureSpec(include_creation=False).num_features
+            == FeatureSpec().num_features - 1
+        )
         assert FeatureSpec(k=6).num_features == FeatureSpec().num_features - 6
 
     def test_names_align_with_vector(self):

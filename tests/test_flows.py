@@ -13,6 +13,8 @@ from repro.engine.flows import (
     Flow,
     Resource,
     compute_max_min_rates,
+    compute_max_min_rates_reference,
+    compute_max_min_rates_vectorized,
 )
 from repro.sim.simulator import Simulator
 
@@ -92,6 +94,180 @@ class TestSolverProperties:
             rates_a = compute_max_min_rates(flows_a)
             rates_b = compute_max_min_rates(flows_b)
             assert [rates_a[f] for f in flows_a] == [rates_b[f] for f in flows_b]
+
+
+class TestSolverEquivalence:
+    """The production solvers against the from-scratch reference."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        num_resources=st.integers(min_value=1, max_value=10),
+        num_flows=st.integers(min_value=1, max_value=60),
+    )
+    def test_incremental_solver_matches_reference_exactly(
+        self, seed, num_resources, num_flows
+    ):
+        """The dirty-set solver is the reference, arithmetic included:
+        rates must be equal bit for bit, not just approximately."""
+        _, flows = make_scenario(seed, num_resources, num_flows)
+        fast = compute_max_min_rates(flows)
+        oracle = compute_max_min_rates_reference(flows)
+        assert all(fast[f] == oracle[f] for f in flows)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        num_resources=st.integers(min_value=1, max_value=8),
+        num_flows=st.integers(min_value=1, max_value=50),
+    )
+    def test_vectorized_solver_matches_reference(
+        self, seed, num_resources, num_flows
+    ):
+        """The numpy filling agrees with the reference up to float noise
+        and preserves the max-min structure (capacity + bottleneck)."""
+        resources, flows = make_scenario(seed, num_resources, num_flows)
+        fast = compute_max_min_rates_vectorized(flows)
+        oracle = compute_max_min_rates_reference(flows)
+        for f in flows:
+            assert fast[f] == pytest.approx(oracle[f], rel=1e-6)
+        for resource in resources:
+            demand = sum(
+                fast[f] * w for f in flows for r, w in f.links if r is resource
+            )
+            assert demand <= resource.capacity * (1 + 1e-6)
+
+    def test_vectorized_handles_duplicate_links(self):
+        # Two links to the same resource: weights add, matching the
+        # reference's per-link summation.
+        r = Resource("dev", 100.0)
+        flow = Flow(1, 1000, [(r, 1.0), (r, 1.0)], lambda: None)
+        assert flow.dup_links
+        fast = compute_max_min_rates_vectorized([flow])
+        oracle = compute_max_min_rates_reference([flow])
+        assert fast[flow] == pytest.approx(oracle[flow])
+        assert oracle[flow] == pytest.approx(50.0)
+        assert compute_max_min_rates([flow])[flow] == oracle[flow]
+
+    def test_empty_all_solvers(self):
+        assert compute_max_min_rates([]) == {}
+        assert compute_max_min_rates_reference([]) == {}
+        assert compute_max_min_rates_vectorized([]) == {}
+
+
+class _BruteForceEngine(FairShareEngine):
+    """The pre-registry engine: scans every active flow to find the
+    component (historical multi-pass sweep) and re-solves it with the
+    from-scratch reference solver.  The production engine must be an
+    exact behavioural replacement for this."""
+
+    def _component_of(self, seed):
+        resources = {r.name for r, _ in seed.links}
+        component = []
+        candidates = list(self._flows.values())
+        grew = True
+        while grew:
+            grew = False
+            rest = []
+            for flow in candidates:
+                if any(r.name in resources for r, _ in flow.links):
+                    component.append(flow)
+                    for r, _ in flow.links:
+                        if r.name not in resources:
+                            resources.add(r.name)
+                            grew = True
+                else:
+                    rest.append(flow)
+            candidates = rest
+        return component
+
+    def _solve(self, flows):
+        return compute_max_min_rates_reference(flows)
+
+    def _recompute(self, seed):  # disable the fast paths too
+        now = self.sim.now()
+        self.recomputes += 1
+        flows = self._component_of(seed)
+        for flow in flows:
+            elapsed = now - flow.last_update
+            if elapsed > 0.0 and flow.rate > 0.0:
+                flow.bytes_remaining = max(
+                    0.0, flow.bytes_remaining - flow.rate * elapsed
+                )
+            flow.last_update = now
+        rates = self._solve(flows)
+        for flow in flows:
+            rate = rates[flow]
+            flow.rate = rate
+            finish_at = now + flow.bytes_remaining / rate
+            if flow.event is not None and not flow.event.cancelled:
+                slack = 1e-9 * max(1.0, finish_at - now)
+                if abs(flow.event.time - finish_at) <= slack:
+                    continue
+                flow.event.cancel()
+            flow.event = self.sim.at(
+                finish_at, lambda f=flow: self._finish(f), name="flow"
+            )
+
+
+def _replay_random_scenario(engine_cls, seed: int):
+    """Drive an engine through a random submit schedule; return the
+    completion log [(time, tag), ...]."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    engine = engine_cls(sim)
+    resources = [
+        Resource(f"r{i}", rng.uniform(50.0, 500.0)) for i in range(6)
+    ]
+    log = []
+    for i in range(60):
+        links = [
+            (r, rng.choice([1.0, 1.5, 2.0]))
+            for r in rng.sample(resources, rng.randint(1, 3))
+        ]
+        size = rng.uniform(100.0, 5000.0)
+        latency = rng.choice([0.0, 0.0, rng.uniform(0.01, 1.0)])
+        start = rng.uniform(0.0, 30.0)
+        sim.at(
+            start,
+            lambda s=size, ln=links, la=latency, i=i: engine.submit(
+                s, ln, lambda t=i: log.append((sim.now(), t)), latency=la
+            ),
+        )
+    sim.run()
+    assert engine.active_flows == 0
+    return log
+
+
+class TestEngineIncrementalEquivalence:
+    """Registry walk + dirty-component solve + fast paths must replay
+    random flow graphs bit-identically to the brute-force engine."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_completion_log_identical_to_brute_force(self, seed):
+        fast = _replay_random_scenario(FairShareEngine, seed)
+        brute = _replay_random_scenario(_BruteForceEngine, seed)
+        assert fast == brute  # same completion times AND order, exactly
+
+    def test_forced_vectorized_engine_is_deterministic(self):
+        class VectorEngine(FairShareEngine):
+            vector_threshold = 0  # vectorize every component
+
+        for seed in range(5):
+            a = _replay_random_scenario(VectorEngine, seed)
+            b = _replay_random_scenario(VectorEngine, seed)
+            assert a == b
+            # Same completion set as the scalar engine, times equal up
+            # to float noise between the two summation orders.
+            scalar = _replay_random_scenario(FairShareEngine, seed)
+            assert [tag for _, tag in sorted(a, key=lambda e: e[1])] == [
+                tag for _, tag in sorted(scalar, key=lambda e: e[1])
+            ]
+            for (ta, _), (ts, _) in zip(
+                sorted(a, key=lambda e: e[1]), sorted(scalar, key=lambda e: e[1])
+            ):
+                assert ta == pytest.approx(ts, rel=1e-6)
 
 
 class TestSolverExamples:
@@ -208,8 +384,8 @@ class TestFairShareEngine:
                 start = rng.uniform(0, 20)
                 sim.at(
                     start,
-                    lambda s=size, l=links, i=i: engine.submit(
-                        s, l, lambda i=i: order.append(i)
+                    lambda s=size, ln=links, i=i: engine.submit(
+                        s, ln, lambda i=i: order.append(i)
                     ),
                 )
             sim.run()

@@ -5,7 +5,6 @@ import pytest
 from repro.cluster.hardware import (
     DEFAULT_MEDIA_PROFILES,
     MediaProfile,
-    StorageDevice,
     StorageTier,
     make_device,
 )

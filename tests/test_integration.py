@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cluster import StorageTier
 from repro.common.config import Configuration
 from repro.common.units import GB, MB
 from repro.core import ReplicationManager, configure_policies
@@ -62,7 +61,9 @@ class TestEndToEnd:
     def test_xgb_stack_trains_and_moves_data(self, small_trace):
         runner = WorkloadRunner(
             small_trace,
-            SystemConfig(label="XGB", placement="octopus", downgrade="xgb", upgrade="xgb"),
+            SystemConfig(
+                label="XGB", placement="octopus", downgrade="xgb", upgrade="xgb"
+            ),
         )
         result = runner.run()
         trainer = runner.manager.trainer
@@ -75,7 +76,9 @@ class TestEndToEnd:
         # (the Fig 9 gap).
         octo = run_workload(
             small_trace,
-            SystemConfig(label="lru", placement="octopus", downgrade="lru", upgrade="osa"),
+            SystemConfig(
+                label="lru", placement="octopus", downgrade="lru", upgrade="osa"
+            ),
         )
         assert octo.metrics.location_hit_ratio() >= octo.metrics.hit_ratio() - 0.05
 

@@ -25,8 +25,12 @@ def hdd_device(iomodel, node_index=0):
 class TestReads:
     def test_memory_faster_than_hdd(self, iomodel):
         node = iomodel.topology.nodes[0].node_id
-        mem_t, rel1 = iomodel.start_read(128 * MB, mem_device(iomodel).device_id, False, node, node)
-        hdd_t, rel2 = iomodel.start_read(128 * MB, hdd_device(iomodel).device_id, False, node, node)
+        mem_t, rel1 = iomodel.start_read(
+            128 * MB, mem_device(iomodel).device_id, False, node, node
+        )
+        hdd_t, rel2 = iomodel.start_read(
+            128 * MB, hdd_device(iomodel).device_id, False, node, node
+        )
         assert mem_t < hdd_t
         rel1(), rel2()
 
@@ -63,7 +67,9 @@ class TestReads:
 
     def test_double_release_rejected(self, iomodel):
         node = iomodel.topology.nodes[0].node_id
-        _, release = iomodel.start_read(MB, hdd_device(iomodel).device_id, False, node, node)
+        _, release = iomodel.start_read(
+            MB, hdd_device(iomodel).device_id, False, node, node
+        )
         release()
         with pytest.raises(RuntimeError):
             release()

@@ -7,7 +7,6 @@ import pytest
 from repro.cluster.builder import build_local_cluster, build_tiered_cluster
 from repro.cluster.hardware import (
     DEFAULT_REMOTE_ENDPOINT_BANDWIDTH,
-    get_hierarchy,
 )
 from repro.common.config import Configuration
 from repro.common.units import GB, MB

@@ -12,7 +12,6 @@ from repro.dfs import (
     NodeManager,
     OctopusPlacementPolicy,
 )
-from repro.sim import Simulator
 
 
 class RecordingListener(FileSystemListener):
@@ -189,7 +188,9 @@ class TestTransfers:
 
     def test_double_commit_rejected(self, master):
         block, replica = self._mem_replica(master)
-        target = master.placement.select_transfer_target(block, replica, [StorageTier.SSD])
+        target = master.placement.select_transfer_target(
+            block, replica, [StorageTier.SSD]
+        )
         ticket = master.begin_transfer(block, replica, target)
         master.commit_transfer(ticket)
         with pytest.raises(InvalidPathError):
@@ -197,7 +198,9 @@ class TestTransfers:
 
     def test_transfer_counts_node_load(self, master):
         block, replica = self._mem_replica(master)
-        target = master.placement.select_transfer_target(block, replica, [StorageTier.SSD])
+        target = master.placement.select_transfer_target(
+            block, replica, [StorageTier.SSD]
+        )
         ticket = master.begin_transfer(block, replica, target)
         assert master.node_manager.stats(target.node_id).active_transfers >= 1
         master.commit_transfer(ticket)

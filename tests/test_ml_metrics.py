@@ -58,7 +58,9 @@ class TestRocCurve:
 
 class TestAccuracy:
     def test_basic(self):
-        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(
+            2 / 3
+        )
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):

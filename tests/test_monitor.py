@@ -31,8 +31,12 @@ class TestTransferSeconds:
 
     def test_network_caps_cross_node(self):
         # Memory-to-memory is the only pair faster than the 10GbE network.
-        local = transfer_seconds(128 * MB, StorageTier.MEMORY, StorageTier.MEMORY, False)
-        remote = transfer_seconds(128 * MB, StorageTier.MEMORY, StorageTier.MEMORY, True)
+        local = transfer_seconds(
+            128 * MB, StorageTier.MEMORY, StorageTier.MEMORY, False
+        )
+        remote = transfer_seconds(
+            128 * MB, StorageTier.MEMORY, StorageTier.MEMORY, True
+        )
         assert remote > local
 
     def test_scales_with_size(self):

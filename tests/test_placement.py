@@ -1,10 +1,9 @@
 """Tests for block placement policies."""
 
-import pytest
 
 from repro.cluster import StorageTier, build_local_cluster
 from repro.common.config import Configuration
-from repro.common.units import GB, MB
+from repro.common.units import MB
 from repro.dfs import (
     HdfsCachePlacementPolicy,
     HdfsPlacementPolicy,

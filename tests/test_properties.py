@@ -151,7 +151,9 @@ def test_label_matches_direct_definition(window, reference, offsets):
 
 # --- weights -------------------------------------------------------------------------------
 @given(
-    access_gaps=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30)
+    access_gaps=st.lists(
+        st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30
+    )
 )
 def test_lrfu_weight_bounded_by_accumulation(access_gaps):
     fs = FSDirectory()
@@ -168,7 +170,9 @@ def test_lrfu_weight_bounded_by_accumulation(access_gaps):
 
 
 @given(
-    access_gaps=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30)
+    access_gaps=st.lists(
+        st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30
+    )
 )
 def test_exd_weight_positive_and_decaying(access_gaps):
     fs = FSDirectory()

@@ -8,7 +8,6 @@ capacity accounting under cache copies, and the fault injector.
 import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import StorageTier, build_local_cluster
@@ -156,7 +155,7 @@ def test_replication_invariant_after_any_single_failure(fail_order):
     conf = Configuration({"monitor.health_checks_enabled": True})
     master = Master(topo, OctopusPlacementPolicy(topo, nm, conf), sim, conf)
     client = DFSClient(master)
-    manager = ReplicationManager(master, sim, conf)
+    ReplicationManager(master, sim, conf)  # registers the health monitor
     injector = FaultInjector(sim, master)
     for i in range(3):
         client.create(f"/f{i}", 128 * MB)

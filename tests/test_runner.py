@@ -2,14 +2,12 @@
 
 import pytest
 
-from repro.cluster import StorageTier
-from repro.common.units import GB, MB
+from repro.common.units import MB
 from repro.engine import (
     SystemConfig,
     WorkloadRunner,
     run_workload,
 )
-from repro.engine.runner import make_placement
 from repro.workload import FileCreation, OutputSpec, Trace, TraceJob
 
 
@@ -33,7 +31,9 @@ def tiny_trace():
 
 
 class TestWorkloadRunner:
-    @pytest.mark.parametrize("placement", ["hdfs", "hdfs-cache", "octopus", "single-hdd"])
+    @pytest.mark.parametrize(
+        "placement", ["hdfs", "hdfs-cache", "octopus", "single-hdd"]
+    )
     def test_all_placements_run_clean(self, placement):
         result = run_workload(
             tiny_trace(),
@@ -80,7 +80,9 @@ class TestWorkloadRunner:
             TraceJob(9, 450.0, ["/never/created"], 1 * MB, [],
                      cpu_seconds_per_byte=1e-8)
         )
-        runner = WorkloadRunner(trace, SystemConfig(label="x", placement="octopus", workers=4))
+        runner = WorkloadRunner(
+            trace, SystemConfig(label="x", placement="octopus", workers=4)
+        )
         result = runner.run()
         assert result.jobs_finished == 5
         assert runner.scheduler.missing_inputs == 1
@@ -135,7 +137,9 @@ class TestSchedulerBehaviour:
         ]
         result = run_workload(
             trace,
-            SystemConfig(label="slots", placement="single-hdd", workers=1, task_slots=2),
+            SystemConfig(
+                label="slots", placement="single-hdd", workers=1, task_slots=2
+            ),
         )
         assert result.jobs_finished == 6
         times = [result.metrics.bins["B"].mean_completion_time]

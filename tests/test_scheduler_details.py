@@ -1,8 +1,7 @@
 """Deeper scheduler behaviour tests: slots, outputs, ordering."""
 
-import pytest
 
-from repro.common.units import GB, MB
+from repro.common.units import MB
 from repro.engine import SystemConfig, WorkloadRunner
 from repro.workload import FileCreation, OutputSpec, Trace, TraceJob
 

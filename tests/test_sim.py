@@ -1,9 +1,14 @@
 """Tests for the discrete-event simulation kernel."""
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.common.errors import SimulationError
 from repro.sim import ManualClock, PeriodicTimer, Simulator
+from repro.sim.simulator import _COMPACT_MIN_TOMBSTONES
 
 
 class TestManualClock:
@@ -147,6 +152,136 @@ class TestSimulator:
             sim.at(float(i), lambda: None)
         sim.run()
         assert sim.events_processed == 5
+
+
+class TestHeapCompaction:
+    """Tombstone accounting and amortized compaction must be invisible:
+    execution order, clocks, and counters behave exactly as if every
+    cancelled event were lazily skipped."""
+
+    @staticmethod
+    def _random_schedule(seed: int, num_events: int, cancel_fraction: float):
+        """Schedule events at random times, cancel a random subset.
+
+        Returns (sim, expected execution log sorted by (time, seq)).
+        """
+        rng = random.Random(seed)
+        sim = Simulator()
+        log = []
+        events = []
+        for i in range(num_events):
+            t = rng.uniform(0.0, 1000.0)
+            events.append((t, i, sim.at(t, lambda i=i: log.append(i))))
+        cancelled = set()
+        for t, i, event in events:
+            if rng.random() < cancel_fraction:
+                event.cancel()
+                cancelled.add(i)
+        expected = [
+            i for t, i, _ in sorted(events, key=lambda e: (e[0], e[1]))
+            if i not in cancelled
+        ]
+        return sim, log, expected, cancelled
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_events=st.integers(min_value=1, max_value=400),
+        cancel_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_execution_order_preserved(self, seed, num_events, cancel_fraction):
+        sim, log, expected, cancelled = self._random_schedule(
+            seed, num_events, cancel_fraction
+        )
+        executed = sim.run()
+        assert log == expected
+        assert executed == len(expected)
+        assert sim.events_processed == len(expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_determinism_under_cancellation(self, seed):
+        def run_once():
+            sim, log, _, _ = self._random_schedule(seed, 300, 0.6)
+            sim.run()
+            return log
+
+        assert run_once() == run_once()
+
+    def test_pending_excludes_tombstones(self):
+        sim = Simulator()
+        events = [sim.at(float(i), lambda: None) for i in range(10)]
+        assert sim.pending == 10
+        for event in events[:4]:
+            event.cancel()
+        assert sim.pending == 6
+        assert sim.heap_size == 10  # tombstones still physically queued
+        assert sim.events_cancelled == 4
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == 6
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.at(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.events_cancelled == 1
+        assert sim.pending == 0
+
+    def test_cancel_after_execution_does_not_skew_counts(self):
+        sim = Simulator()
+        event = sim.at(1.0, lambda: None)
+        sim.run()
+        event.cancel()  # too late; event already left the heap
+        assert sim.pending == 0
+        assert sim.events_cancelled == 0
+
+    def test_compaction_triggers_and_preserves_results(self):
+        # Far more tombstones than live events forces a compaction pass;
+        # the surviving schedule must be untouched.
+        sim = Simulator()
+        log = []
+        keep = [sim.at(float(i), lambda i=i: log.append(i)) for i in range(5)]
+        doomed = [
+            sim.at(1000.0 + i, lambda: log.append(-1))
+            for i in range(3 * _COMPACT_MIN_TOMBSTONES)
+        ]
+        for event in doomed:
+            event.cancel()
+        assert sim.heap_compactions >= 1
+        assert sim.heap_size < len(keep) + len(doomed)
+        assert sim.pending == len(keep)
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_interleaved_cancel_and_schedule_from_callbacks(self, seed):
+        """Callbacks that cancel other events and schedule new ones mid-run
+        keep counters consistent whether or not compaction fires."""
+        rng = random.Random(seed)
+        sim = Simulator()
+        log = []
+        pending_events = []
+
+        def act(i):
+            log.append(i)
+            if pending_events and rng.random() < 0.7:
+                pending_events.pop(rng.randrange(len(pending_events))).cancel()
+            if rng.random() < 0.5:
+                j = len(log) * 1000 + i
+                pending_events.append(
+                    sim.after(rng.uniform(0.1, 10.0), lambda j=j: log.append(j))
+                )
+
+        for i in range(150):
+            pending_events.append(
+                sim.at(rng.uniform(0.0, 100.0), lambda i=i: act(i))
+            )
+        executed = sim.run(max_events=10_000)
+        assert sim.pending == 0
+        assert sim.events_processed == executed == len(log)
 
 
 class TestPeriodicTimer:

@@ -14,7 +14,6 @@ from repro.common.units import GB
 from repro.engine.dfsio import DfsioRunner
 from repro.engine.runner import SystemConfig, WorkloadRunner
 from repro.workload.dfsio import DfsioSpec
-from repro.workload.jobs import Trace
 from repro.workload.profiles import PROFILES, scaled_profile
 from repro.workload.synthesis import synthesize_trace
 
@@ -63,6 +62,15 @@ def assert_fully_drained(runner: WorkloadRunner) -> None:
             runner.iomodel.engine.flows_completed
             == runner.iomodel.engine.flows_started
         )
+    # The live-event count must agree: a quiescent system has nothing
+    # left to run (tombstoned cancellations in the heap do not count).
+    # max_events guards the test against a leaked periodic timer, which
+    # would otherwise spin this drain forever.
+    runner.sim.run(max_events=10_000)
+    assert runner.sim.pending == 0
+    if runner.manager is not None:
+        runner.manager.monitor.assert_idle()
+        assert runner.manager.monitor.pending_transfers == 0
 
 
 @pytest.mark.parametrize("io_model", IO_MODELS)

@@ -101,8 +101,12 @@ class TestRegularization:
         X = np.linspace(0, 1, 100).reshape(-1, 1)
         y = (X[:, 0] > 0.5).astype(float)
         grad, hess = logistic_targets(y)
-        small = RegressionTree(TreeParams(max_depth=1, reg_lambda=0.1)).fit(X, grad, hess)
-        large = RegressionTree(TreeParams(max_depth=1, reg_lambda=100.0)).fit(X, grad, hess)
+        small = RegressionTree(TreeParams(max_depth=1, reg_lambda=0.1)).fit(
+            X, grad, hess
+        )
+        large = RegressionTree(TreeParams(max_depth=1, reg_lambda=100.0)).fit(
+            X, grad, hess
+        )
         assert np.abs(large.predict(X)).max() < np.abs(small.predict(X)).max()
 
     def test_min_child_weight_blocks_tiny_leaves(self):

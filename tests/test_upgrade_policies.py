@@ -7,8 +7,6 @@ from repro.common.config import Configuration
 from repro.common.units import GB, MB
 from repro.core import ReplicationManager, configure_policies
 from repro.core.upgrade import (
-    ExdUpgradePolicy,
-    LrfuUpgradePolicy,
     OsaUpgradePolicy,
     XgbUpgradePolicy,
 )

@@ -1,6 +1,5 @@
 """Tests for the worker facade: block reports and transfer timing."""
 
-import pytest
 
 from repro.cluster import StorageTier
 from repro.common.units import MB
