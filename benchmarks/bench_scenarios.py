@@ -1,0 +1,136 @@
+"""Streaming-scenario benchmark (BENCH_scenarios.json).
+
+Replays every registered scenario through the streaming drive path
+under both I/O pricing models and records, per run:
+
+* the deterministic simulation results (jobs, hit ratios, transfers,
+  deletions, events processed) — gated *exactly* by
+  ``check_regression.py`` against the committed baseline;
+* generator/engine throughput (``events_per_second``) and the process
+  RSS measured right after each run (``rss_mb``, from
+  ``/proc/self/status``) — informational, since streamed replay is the
+  memory-boundedness story: per-run RSS must not scale with stream
+  length.  (``ru_maxrss`` would be useless here — it is a
+  process-lifetime high-water mark, so one big early run would mask
+  everything after it.)
+
+Usage::
+
+    python benchmarks/bench_scenarios.py [--out BENCH_scenarios.json]
+    python benchmarks/bench_scenarios.py --smoke      # CI-sized subset
+    python benchmarks/bench_scenarios.py --scenarios pipeline mlscan
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import time
+from pathlib import Path
+
+from repro.engine.runner import SystemConfig, WorkloadRunner
+from repro.workload.scenarios import build_scenario, scenario_names
+
+#: Replay scale per mode: classic (fb/cmu) scales job count, generated
+#: scenarios scale duration.
+FULL_SCALES = {"classic": 1.0, "generated": 1.0}
+SMOKE_SCALES = {"classic": 0.1, "generated": 0.15}
+
+IO_MODELS = ("snapshot", "fairshare")
+
+
+def current_rss_mb() -> float:
+    """Current process RSS in MB (per-run signal, unlike ru_maxrss)."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    # Non-Linux fallback: lifetime peak is the best available.
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def bench_one(name: str, scale: float, io_model: str, seed: int, workers: int):
+    stream = build_scenario(name, seed=seed, scale=scale)
+    config = SystemConfig(
+        label=f"{name}/{io_model}",
+        placement="octopus",
+        downgrade="lru",
+        upgrade="osa",
+        workers=workers,
+        io_model=io_model,
+    )
+    runner = WorkloadRunner(stream, config)
+    start = time.perf_counter()
+    result = runner.run()
+    wall = time.perf_counter() - start
+    events = runner.sim.events_processed
+    return {
+        "scenario": name,
+        "io_model": io_model,
+        "scale": scale,
+        "seed": seed,
+        "workers": workers,
+        "jobs_submitted": result.jobs_submitted,
+        "jobs_finished": result.jobs_finished,
+        "deletions_applied": result.deletions_applied,
+        "hit_ratio": round(result.metrics.hit_ratio(), 6),
+        "byte_hit_ratio": round(result.metrics.byte_hit_ratio(), 6),
+        "task_hours": round(result.metrics.total_task_seconds() / 3600.0, 4),
+        "transfers_committed": result.transfers_committed,
+        "events_processed": events,
+        "runtime_seconds": round(wall, 3),
+        "events_per_second": round(events / wall, 1) if wall > 0 else 0.0,
+        "rss_mb": round(current_rss_mb(), 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_scenarios.json")
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized scales (see SMOKE_SCALES)"
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        help="subset of scenarios (default: every registered one)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--workers", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    scales = SMOKE_SCALES if args.smoke else FULL_SCALES
+    names = args.scenarios or scenario_names()
+    runs = []
+    for name in names:
+        scale = scales["classic" if name in ("fb", "cmu") else "generated"]
+        for io_model in IO_MODELS:
+            row = bench_one(name, scale, io_model, args.seed, args.workers)
+            runs.append(row)
+            print(
+                f"{name:12s} {io_model:9s} scale={scale:g} "
+                f"jobs={row['jobs_finished']}/{row['jobs_submitted']} "
+                f"hit={row['hit_ratio']:.3f} "
+                f"{row['events_per_second']:>9,.0f} ev/s "
+                f"rss={row['rss_mb']:.0f}MB"
+            )
+
+    report = {
+        "benchmark": "scenarios",
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "runs": runs,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out} ({len(runs)} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

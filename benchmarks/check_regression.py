@@ -39,10 +39,16 @@ BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
 WALL_CLOCK_KEYS = frozenset(
     {"runtime_seconds", "snapshot_seconds", "fairshare_seconds"}
 )
-#: Shown in the diff table but never gating: throughput and ratios are
-#: too host-sensitive for a pass/fail band on shared CI runners.
+#: Shown in the diff table but never gating: throughput, ratios, and
+#: process RSS are too host-sensitive for a pass/fail band on shared CI
+#: runners.
 INFORMATIONAL_KEYS = frozenset(
-    {"events_per_second", "fairshare_over_snapshot", "within_budget"}
+    {
+        "events_per_second",
+        "fairshare_over_snapshot",
+        "within_budget",
+        "rss_mb",
+    }
 )
 #: Metrics excluded from comparison entirely (environment descriptors).
 SKIPPED_KEYS = frozenset({"python", "label"})
@@ -56,7 +62,15 @@ def run_key(run: dict) -> str:
     """Identity of one benchmark row inside a report."""
     parts = [
         str(run.get(field))
-        for field in ("workload", "tiers", "io_model", "workers", "scale", "seed")
+        for field in (
+            "workload",
+            "scenario",
+            "tiers",
+            "io_model",
+            "workers",
+            "scale",
+            "seed",
+        )
         if field in run
     ]
     return "/".join(parts) if parts else "run"

@@ -1,15 +1,22 @@
-"""Command-line interface: run workloads and regenerate experiments.
+"""Command-line interface: run workloads, scenarios, and experiments.
 
 Usage::
 
     python -m repro simulate --workload FB --downgrade xgb --upgrade xgb
+    python -m repro scenario list
+    python -m repro scenario stats diurnal --param tenants=5
+    python -m repro scenario run flashcrowd --downgrade lru --upgrade osa
+    python -m repro scenario run --trace mytrace.jsonl.gz
     python -m repro experiment fig06 fig07
     python -m repro synthesize --workload CMU --out cmu.json
+    python -m repro list scenarios
     python -m repro list-experiments
 
 The ``experiment`` subcommand maps directly onto the per-figure runners
 in :mod:`repro.experiments`, printing the same text tables the benchmark
-harness emits.
+harness emits; ``scenario`` drives the streaming workload subsystem
+(:mod:`repro.workload.scenarios`); ``list`` enumerates every pluggable
+dimension from one registry helper (:mod:`repro.common.catalog`).
 """
 
 from __future__ import annotations
@@ -17,9 +24,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Tuple
 
 from repro.cluster.hardware import get_hierarchy, hierarchy_names
+from repro.common.catalog import catalog
 from repro.common.units import GB
 from repro.engine.iomodel import IO_MODEL_NAMES
 from repro.engine.runner import SystemConfig
@@ -41,6 +49,7 @@ def _experiment_registry() -> Dict[str, Tuple[Callable[[], object], Callable]]:
     from repro.experiments import model_eval as me
     from repro.experiments import overheads as oh
     from repro.experiments import scalability as sc
+    from repro.experiments import scenarios as sn
     from repro.experiments import table03_bins as t3
     from repro.experiments import tuning as tu
     from repro.experiments import upgrade_only as ug
@@ -89,6 +98,7 @@ def _experiment_registry() -> Dict[str, Tuple[Callable[[], object], Callable]]:
             ep.run_extended_policies,
             ep.render_extended_policies,
         ),
+        "scenarios": (sn.run_scenarios, sn.render_scenarios),
     }
 
 
@@ -114,15 +124,29 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.engine.runner import WorkloadRunner
+def _coerce_param(value: str) -> Any:
+    """Best-effort numeric coercion for ``--param key=value`` values."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
 
-    profile = scaled_profile(PROFILES[args.workload], args.scale)
-    trace = synthesize_trace(profile, seed=args.seed)
-    conf = {}
-    if args.outages:
-        conf["monitor.health_checks_enabled"] = True
-    config = SystemConfig(
+
+def _parse_params(pairs) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        params[key.strip()] = _coerce_param(value.strip())
+    return params
+
+
+def _system_config(args: argparse.Namespace, conf: Dict[str, Any]) -> SystemConfig:
+    """Build a SystemConfig from the shared system flags."""
+    return SystemConfig(
         label=f"{args.placement}/{args.downgrade}/{args.upgrade}",
         placement=args.placement,
         downgrade=args.downgrade,
@@ -134,6 +158,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         tier_aware_scheduler=args.tier_aware,
         conf=conf,
     )
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.engine.runner import WorkloadRunner
+
+    profile = scaled_profile(PROFILES[args.workload], args.scale)
+    trace = synthesize_trace(profile, seed=args.seed)
+    conf = {}
+    if args.outages:
+        conf["monitor.health_checks_enabled"] = True
+    config = _system_config(args, conf)
     runner = WorkloadRunner(trace, config)
     if args.outages:
         from repro.dfs.faults import FaultInjector
@@ -156,12 +191,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             "repaired "
             f"{runner.manager.monitor.replicas_repaired if runner.manager else 0})"
         )
-    print(f"jobs finished:    {result.jobs_finished}/{len(trace.jobs)}")
+    _print_run(result, runner, args, wall)
+    return 0
+
+
+def _print_run(result, runner, args: argparse.Namespace, wall: float) -> None:
+    """The shared result report of ``simulate`` and ``scenario run``."""
+    print(f"jobs finished:    {result.jobs_finished}/{result.jobs_submitted}")
     print(f"hit ratio:        {result.metrics.hit_ratio():.3f}")
     print(f"byte hit ratio:   {result.metrics.byte_hit_ratio():.3f}")
     print(f"task hours:       {result.metrics.total_task_seconds() / 3600:.2f}")
     print(f"upgraded to mem:  {result.bytes_upgraded_memory / GB:.2f} GB")
     print(f"downgraded:       {result.bytes_downgraded_memory / GB:.2f} GB")
+    if result.deletions_applied:
+        print(f"files deleted:    {result.deletions_applied}")
     if args.tiers != "default3" and result.bytes_downgraded_by_tier:
         hierarchy = get_hierarchy(args.tiers)
         for tier in hierarchy:
@@ -193,15 +236,114 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             print(f"max component:    {io_stats['max_component']}")
             print(f"vector solves:    {io_stats['vector_solves']}")
             print(f"rescheduled:      {io_stats['events_rescheduled']}")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    names = catalog()
+    kinds = [args.kind] if args.kind else sorted(names)
+    for kind in kinds:
+        if kind not in names:
+            print(
+                f"unknown dimension {kind!r}; try one of {sorted(names)}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"{kind}: {' '.join(names[kind])}")
+    return 0
+
+
+def _build_stream(args: argparse.Namespace):
+    """The stream named by ``scenario``/``--trace`` flags (stats & run)."""
+    from repro.workload.scenarios import build_scenario
+
+    if getattr(args, "trace", None):
+        from repro.workload.external import ExternalTraceStream
+
+        if args.name:
+            print("--trace and a scenario name are mutually exclusive", file=sys.stderr)
+            raise SystemExit(2)
+        # External traces replay verbatim: generator knobs would be
+        # silently ignored, so reject them instead.
+        if args.param or args.scale != 1.0:
+            print(
+                "--scale/--param do not apply to --trace replays "
+                "(external traces replay verbatim)",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return ExternalTraceStream(args.trace)
+    if not args.name:
+        print("need a scenario name or --trace FILE", file=sys.stderr)
+        raise SystemExit(2)
+    params = _parse_params(args.param)
+    reserved = sorted(set(params) & {"seed", "scale"})
+    if reserved:
+        print(
+            f"use the dedicated --{reserved[0]} flag instead of "
+            f"--param {reserved[0]}=...",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return build_scenario(args.name, seed=args.seed, scale=args.scale, **params)
+
+
+def cmd_scenario_list(_args: argparse.Namespace) -> int:
+    from repro.workload.scenarios import SCENARIOS, scenario_names
+
+    for name in scenario_names():
+        scenario = SCENARIOS[name]
+        print(f"{name}: {scenario.description}")
+        if scenario.defaults:
+            pairs = " ".join(f"{k}={v}" for k, v in sorted(scenario.defaults.items()))
+            print(f"  params: {pairs}")
+    return 0
+
+
+def cmd_scenario_stats(args: argparse.Namespace) -> int:
+    stream = _build_stream(args)
+    wall_start = time.perf_counter()
+    stats = stream.stats(max_events=args.max_events)
+    wall = time.perf_counter() - wall_start
+    print(f"scenario:         {stats.name}")
+    print(f"duration:         {stats.duration / 3600:.2f} h")
+    print(f"events:           {stats.events}")
+    print(f"  jobs:           {stats.jobs}")
+    print(f"  creations:      {stats.creations}")
+    print(f"  deletions:      {stats.deletions}")
+    print(f"bytes created:    {stats.bytes_created / GB:.2f} GB")
+    print(f"bytes read:       {stats.bytes_read / GB:.2f} GB")
+    print(f"bytes written:    {stats.bytes_written / GB:.2f} GB")
+    bins = " ".join(f"{k}={v}" for k, v in stats.jobs_per_bin.items())
+    print(f"jobs per bin:     {bins}")
+    rate = stats.events / wall if wall > 0 else float("inf")
+    print(f"generator rate:   {rate:,.0f} events/s")
+    return 0
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.engine.runner import WorkloadRunner
+
+    stream = _build_stream(args)
+    config = _system_config(args, conf={})
+    config.label = stream.name
+    runner = WorkloadRunner(stream, config)
+    wall_start = time.perf_counter()
+    result = runner.run()
+    wall = time.perf_counter() - wall_start
+    print(f"scenario:         {stream.name}")
+    _print_run(result, runner, args, wall)
     return 0
 
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
-    from repro.workload.serialize import save_trace
+    from repro.workload.serialize import save_events, save_trace
 
     profile = scaled_profile(PROFILES[args.workload], args.scale)
     trace = synthesize_trace(profile, seed=args.seed)
-    save_trace(trace, args.out)
+    if args.out.endswith((".jsonl", ".jsonl.gz")):
+        save_events(trace, args.out)
+    else:
+        save_trace(trace, args.out)
     print(
         f"wrote {args.out}: {len(trace.jobs)} jobs, {trace.file_count} files, "
         f"{trace.total_bytes / GB:.1f} GB"
@@ -222,19 +364,117 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("names", nargs="+")
     p_exp.set_defaults(func=cmd_experiment)
 
+    p_catalog = sub.add_parser(
+        "list", help="list registered tiers, io-models, scenarios, ..."
+    )
+    p_catalog.add_argument(
+        "kind",
+        nargs="?",
+        default=None,
+        help="one dimension (e.g. scenarios); default: all of them",
+    )
+    p_catalog.set_defaults(func=cmd_list)
+
     p_sim = sub.add_parser("simulate", help="run one workload configuration")
     p_sim.add_argument("--workload", choices=sorted(PROFILES), default="FB")
-    p_sim.add_argument("--placement", default="octopus")
-    p_sim.add_argument("--downgrade", default=None)
-    p_sim.add_argument("--upgrade", default=None)
-    p_sim.add_argument("--workers", type=int, default=11)
+    _add_system_flags(p_sim)
+    p_sim.add_argument("--scale", type=float, default=1.0)
+    p_sim.add_argument("--seed", type=int, default=42)
     p_sim.add_argument(
+        "--outages",
+        type=int,
+        default=0,
+        help="inject this many random 30-minute worker outages",
+    )
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_scn = sub.add_parser("scenario", help="streaming scenarios: list, stats, run")
+    scn_sub = p_scn.add_subparsers(dest="scenario_command", required=True)
+
+    p_scn_list = scn_sub.add_parser(
+        "list", help="registered scenarios with their parameters"
+    )
+    p_scn_list.set_defaults(func=cmd_scenario_list)
+
+    p_scn_stats = scn_sub.add_parser(
+        "stats", help="stream a scenario and print summary statistics"
+    )
+    _add_stream_flags(p_scn_stats)
+    p_scn_stats.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        help="stop after this many events (bounds unbounded streams)",
+    )
+    p_scn_stats.set_defaults(func=cmd_scenario_stats)
+
+    p_scn_run = scn_sub.add_parser(
+        "run", help="drive a scenario (or external trace) through the system"
+    )
+    _add_stream_flags(p_scn_run)
+    _add_system_flags(p_scn_run)
+    p_scn_run.set_defaults(func=cmd_scenario_run)
+
+    p_syn = sub.add_parser("synthesize", help="export a synthesized trace")
+    p_syn.add_argument("--workload", choices=sorted(PROFILES), default="FB")
+    p_syn.add_argument("--scale", type=float, default=1.0)
+    p_syn.add_argument("--seed", type=int, default=42)
+    p_syn.add_argument(
+        "--out",
+        required=True,
+        help="output path (.json whole-trace, .jsonl[.gz] streaming JSONL)",
+    )
+    p_syn.set_defaults(func=cmd_synthesize)
+    return parser
+
+
+def _add_stream_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags selecting a workload stream: a named scenario or a file."""
+    parser.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="registered scenario name (see: repro scenario list)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="ingest an external CSV/JSONL(.gz) trace instead of a scenario",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=42,
+        help="scenario seed (unused with --trace: external traces are fixed)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="length multiplier (duration for generators, jobs for fb/cmu)",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override a scenario parameter (repeatable)",
+    )
+
+
+def _add_system_flags(parser: argparse.ArgumentParser) -> None:
+    """The system-configuration flags shared by simulate/scenario run."""
+    parser.add_argument("--placement", default="octopus")
+    parser.add_argument("--downgrade", default=None)
+    parser.add_argument("--upgrade", default=None)
+    parser.add_argument("--workers", type=int, default=11)
+    parser.add_argument(
         "--tiers",
         choices=hierarchy_names(),
         default="default3",
         help="tier hierarchy preset (default3 = the paper's memory/SSD/HDD)",
     )
-    p_sim.add_argument(
+    parser.add_argument(
         "--io-model",
         choices=IO_MODEL_NAMES,
         default="snapshot",
@@ -244,25 +484,17 @@ def build_parser() -> argparse.ArgumentParser:
             "fair re-pricing with shared remote-endpoint/rack resources"
         ),
     )
-    p_sim.add_argument("--scale", type=float, default=1.0)
-    p_sim.add_argument("--seed", type=int, default=42)
-    p_sim.add_argument(
+    parser.add_argument(
         "--cache-mode",
         action="store_true",
         help="AutoCache semantics: upgrades copy, downgrades delete",
     )
-    p_sim.add_argument(
+    parser.add_argument(
         "--tier-aware",
         action="store_true",
         help="tier-aware task scheduler (default: stock tier-unaware)",
     )
-    p_sim.add_argument(
-        "--outages",
-        type=int,
-        default=0,
-        help="inject this many random 30-minute worker outages",
-    )
-    p_sim.add_argument(
+    parser.add_argument(
         "--perf",
         action="store_true",
         help=(
@@ -270,15 +502,6 @@ def build_parser() -> argparse.ArgumentParser:
             "(events/sec, heap compactions, flow re-solve statistics)"
         ),
     )
-    p_sim.set_defaults(func=cmd_simulate)
-
-    p_syn = sub.add_parser("synthesize", help="export a synthesized trace")
-    p_syn.add_argument("--workload", choices=sorted(PROFILES), default="FB")
-    p_syn.add_argument("--scale", type=float, default=1.0)
-    p_syn.add_argument("--seed", type=int, default=42)
-    p_syn.add_argument("--out", required=True)
-    p_syn.set_defaults(func=cmd_synthesize)
-    return parser
 
 
 def main(argv=None) -> int:

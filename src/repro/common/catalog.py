@@ -1,0 +1,40 @@
+"""One registry helper enumerating every pluggable dimension.
+
+The CLI's discovery commands (``repro list``, ``repro scenario list``)
+and tests read from this single function instead of each subcommand
+importing its own registries — adding a tier preset, I/O model, policy,
+or scenario makes it discoverable everywhere at once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def catalog() -> Dict[str, List[str]]:
+    """Names of every registered pluggable, keyed by dimension."""
+    from repro.cluster.hardware import hierarchy_names
+    from repro.core.registry import (
+        DOWNGRADE_POLICY_NAMES,
+        EXTRA_DOWNGRADE_POLICY_NAMES,
+        EXTRA_UPGRADE_POLICY_NAMES,
+        UPGRADE_POLICY_NAMES,
+    )
+    from repro.engine.iomodel import IO_MODEL_NAMES
+    from repro.engine.runner import PLACEMENT_NAMES
+    from repro.workload.profiles import PROFILES
+    from repro.workload.scenarios import scenario_names
+
+    return {
+        "tiers": sorted(hierarchy_names()),
+        "io-models": sorted(IO_MODEL_NAMES),
+        "placements": sorted(PLACEMENT_NAMES),
+        "workloads": sorted(PROFILES),
+        "scenarios": scenario_names(),
+        "downgrade-policies": sorted(
+            set(DOWNGRADE_POLICY_NAMES) | set(EXTRA_DOWNGRADE_POLICY_NAMES)
+        ),
+        "upgrade-policies": sorted(
+            set(UPGRADE_POLICY_NAMES) | set(EXTRA_UPGRADE_POLICY_NAMES)
+        ),
+    }

@@ -9,12 +9,18 @@ bounded Pareto) sizes, and Poisson arrivals.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence, Union
 
 import numpy as np
 
+#: Anything ``numpy.random.default_rng`` accepts as entropy.  Sequences
+#: of ints derive independent sub-streams deterministically — workload
+#: generators use ``[seed, source_index]`` so per-tenant / per-dataset
+#: streams stay decoupled under composition.
+Seed = Union[None, int, Sequence[int]]
 
-def make_rng(seed: Optional[int]) -> np.random.Generator:
+
+def make_rng(seed: Seed) -> np.random.Generator:
     """Create a generator from ``seed`` (``None`` → non-deterministic)."""
     return np.random.default_rng(seed)
 

@@ -21,7 +21,7 @@ Octopus++          placement="octopus", downgrade/upgrade policies set
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.cluster.builder import build_tiered_cluster
 from repro.cluster.hardware import get_hierarchy
@@ -43,7 +43,15 @@ from repro.engine.iomodel import IoModel
 from repro.engine.metrics import MetricsCollector
 from repro.engine.scheduler import TaskScheduler
 from repro.sim.simulator import Simulator
-from repro.workload.jobs import FileCreation, Trace, TraceJob
+from repro.workload.jobs import (
+    FileCreation,
+    FileDeletion,
+    StreamEvent,
+    Trace,
+    TraceJob,
+    event_time,
+)
+from repro.workload.streams import WorkloadStream
 
 PLACEMENT_NAMES = ("hdfs", "hdfs-cache", "octopus", "single-hdd")
 
@@ -81,10 +89,24 @@ class SystemConfig:
     #: replicas (instead of moving replicas) and downgrades delete them
     #: (instead of moving them down).  Pair with placement="hdfs".
     cache_mode: bool = False
+    #: Named scenario from the registry (repro.workload.scenarios).  When
+    #: set and no workload is passed to the runner, the scenario is built
+    #: and driven through the streaming path.  ``scenario_params`` may
+    #: carry ``seed``/``scale`` plus any scenario-specific parameter.
+    scenario: Optional[str] = None
+    scenario_params: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def uses_manager(self) -> bool:
         return self.downgrade is not None or self.upgrade is not None
+
+    def build_scenario(self) -> "WorkloadStream":
+        """Instantiate the configured scenario stream."""
+        if self.scenario is None:
+            raise ValueError("SystemConfig.scenario is not set")
+        from repro.workload.scenarios import build_scenario
+
+        return build_scenario(self.scenario, **self.scenario_params)
 
     def effective_conf(self) -> Dict[str, Any]:
         """The configuration dict with mode-implied keys folded in."""
@@ -103,6 +125,11 @@ class RunResult:
     metrics: MetricsCollector
     elapsed: float
     jobs_finished: int
+    #: Jobs submitted during replay (streamed workloads have no job list
+    #: to ``len()``, so the runner counts submissions as they happen).
+    jobs_submitted: int = 0
+    #: File deletions applied (dataset-lifecycle scenarios only).
+    deletions_applied: int = 0
     bytes_upgraded_memory: int = 0
     bytes_downgraded_memory: int = 0
     #: Per-tier movement totals keyed by tier name (JSON-friendly).
@@ -146,10 +173,42 @@ def make_placement(
 
 
 class WorkloadRunner:
-    """Builds the system stack and replays a trace through it."""
+    """Builds the system stack and replays a workload through it.
 
-    def __init__(self, trace: Trace, config: SystemConfig) -> None:
-        self.trace = trace
+    ``workload`` may be a materialized :class:`Trace`, any
+    :class:`WorkloadStream` (scenario, external file, or adapter), or
+    ``None`` to build the stream named by ``config.scenario``.
+
+    Traces replay through the classic eager path (every event scheduled
+    up front — kept for bit-identical reproduction of the paper runs);
+    streams replay through a pump that holds **one** upcoming workload
+    event at a time, so memory tracks the live simulation state rather
+    than the workload length.
+    """
+
+    def __init__(
+        self,
+        workload: Union[Trace, WorkloadStream, None],
+        config: SystemConfig,
+    ) -> None:
+        if workload is None:
+            workload = config.build_scenario()
+        self.workload = workload
+        #: Set only for materialized traces (legacy attribute).
+        self.trace: Optional[Trace] = (
+            workload if isinstance(workload, Trace) else None
+        )
+        self.stream: Optional[WorkloadStream] = (
+            workload if isinstance(workload, WorkloadStream) else None
+        )
+        if self.trace is None and self.stream is None:
+            raise TypeError(
+                f"workload must be a Trace or WorkloadStream, "
+                f"not {type(workload).__name__}"
+            )
+        self.duration = workload.duration
+        self.jobs_submitted = 0
+        self.deletions_applied = 0
         self.config = config
         self.sim = Simulator()
         self.conf = Configuration(config.effective_conf())
@@ -198,16 +257,57 @@ class WorkloadRunner:
 
     # -- replay --------------------------------------------------------------
     def _schedule_events(self) -> None:
-        for creation in self.trace.creations:
-            self.sim.at(
-                max(creation.time, 0.0),
-                self._make_creator(creation),
-                name=f"create-{creation.path}",
-            )
-        for job in self.trace.jobs:
-            self.sim.at(
-                job.submit_time, self._make_submitter(job), name=f"job-{job.job_id}"
-            )
+        if self.trace is not None:
+            for creation in self.trace.creations:
+                self.sim.at(
+                    max(creation.time, 0.0),
+                    self._make_creator(creation),
+                    name=f"create-{creation.path}",
+                )
+            for job in self.trace.jobs:
+                self.sim.at(
+                    job.submit_time,
+                    self._make_submitter(job),
+                    name=f"job-{job.job_id}",
+                )
+            self.jobs_submitted = len(self.trace.jobs)
+        else:
+            self._pump(self.stream.events())
+
+    def _pump(self, events: Iterator[StreamEvent]) -> None:
+        """Schedule the next stream event; reschedule on each firing.
+
+        The pump holds exactly one upcoming workload event in the heap:
+        when it fires, the event is applied and the next one is pulled
+        from the iterator — the stream is consumed in lockstep with
+        simulation time, never materialized.
+        """
+        event = next(events, None)
+        if event is None:
+            return
+        t = max(event_time(event), 0.0)
+
+        def fire() -> None:
+            self._apply_event(event)
+            self._pump(events)
+
+        # priority=-1: a pumped trace event must win same-time ties
+        # against system events, exactly as pre-scheduled trace events
+        # do through their lower sequence numbers (bit-identity).
+        self.sim.at(max(t, self.sim.now()), fire, name="stream-pump", priority=-1)
+
+    def _apply_event(self, event: StreamEvent) -> None:
+        if isinstance(event, FileCreation):
+            self.client.create(event.path, event.size)
+        elif isinstance(event, TraceJob):
+            self.jobs_submitted += 1
+            self.scheduler.submit(event)
+        elif isinstance(event, FileDeletion):
+            if self.client.exists(event.path):
+                self.client.delete(event.path)
+                self.deletions_applied += 1
+        else:  # pragma: no cover - the stream protocol is closed
+            raise TypeError(f"unknown stream event {event!r}")
 
     def _make_creator(self, creation: FileCreation):
         def create() -> None:
@@ -222,13 +322,13 @@ class WorkloadRunner:
         return submit
 
     def run(self, drain_limit: float = 4 * 3600.0) -> RunResult:
-        """Replay the full trace and drain remaining work.
+        """Replay the full workload and drain remaining work.
 
         ``drain_limit`` bounds how long past the trace end the simulation
         may run while jobs and transfers finish.
         """
         self._schedule_events()
-        end = self.trace.duration
+        end = self.duration
         self.sim.run(until=end)
         # Drain: keep running until all jobs finished (or the limit hits).
         deadline = end + drain_limit
@@ -262,6 +362,8 @@ class WorkloadRunner:
             metrics=self.metrics,
             elapsed=self.sim.now(),
             jobs_finished=self.scheduler.jobs_finished,
+            jobs_submitted=self.jobs_submitted,
+            deletions_applied=self.deletions_applied,
             io_stats=self.iomodel.io_stats(),
         )
         if self.manager is not None:
@@ -289,6 +391,24 @@ class WorkloadRunner:
         return result
 
 
-def run_workload(trace: Trace, config: SystemConfig) -> RunResult:
+def run_workload(
+    workload: Union[Trace, WorkloadStream], config: SystemConfig
+) -> RunResult:
     """Convenience wrapper: build a runner and execute it."""
-    return WorkloadRunner(trace, config).run()
+    return WorkloadRunner(workload, config).run()
+
+
+def run_scenario(
+    name: str, config: Optional[SystemConfig] = None, **params: Any
+) -> RunResult:
+    """Run a registered scenario end to end through the streaming path.
+
+    ``params`` (``seed``, ``scale``, scenario-specific knobs) go to the
+    scenario builder; the system configuration defaults to the standard
+    Octopus setup when ``config`` is omitted.
+    """
+    from repro.workload.scenarios import build_scenario
+
+    if config is None:
+        config = SystemConfig(label=name)
+    return WorkloadRunner(build_scenario(name, **params), config).run()

@@ -1,0 +1,85 @@
+"""Scenario sweep: adaptive tiering across every registered load shape.
+
+The paper evaluates on two production-derived traces; this experiment
+drives the full scenario library (:mod:`repro.workload.scenarios`)
+through three system configurations — static OctopusFS, the classic
+LRU+OSA pair, and the learned XGB pair — and reports per-scenario hit
+ratios and task hours.  It is the quickest way to see where recency
+heuristics hold up (fb, flashcrowd) and where they fall over (mlscan's
+epoch-scale cyclic re-reads, oscillating's phase shifts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.engine.runner import RunResult, SystemConfig, WorkloadRunner
+from repro.experiments.common import format_table
+from repro.workload.scenarios import build_scenario, scenario_names
+
+#: Replay scale per scenario kind: the classic traces are dense, the
+#: generators are sized by duration — both land in the few-hundred-job
+#: range so the sweep stays interactive.
+CLASSIC_SCALE = 0.15
+GENERATED_SCALE = 0.3
+
+CONFIGS = (
+    ("OctopusFS", None, None),
+    ("LRU-OSA", "lru", "osa"),
+    ("XGB", "xgb", "xgb"),
+)
+
+
+def _scenario_scale(name: str, scale: float) -> float:
+    base = CLASSIC_SCALE if name in ("fb", "cmu") else GENERATED_SCALE
+    return base * scale
+
+
+def run_scenarios(
+    scale: float = 1.0,
+    io_model: str = "snapshot",
+    seed: int = 42,
+    workers: int = 11,
+) -> Dict[str, List[RunResult]]:
+    """Replay every registered scenario under each policy configuration."""
+    results: Dict[str, List[RunResult]] = {}
+    for name in scenario_names():
+        rows: List[RunResult] = []
+        for label, downgrade, upgrade in CONFIGS:
+            stream = build_scenario(
+                name, seed=seed, scale=_scenario_scale(name, scale)
+            )
+            config = SystemConfig(
+                label=label,
+                placement="octopus",
+                downgrade=downgrade,
+                upgrade=upgrade,
+                workers=workers,
+                io_model=io_model,
+            )
+            rows.append(WorkloadRunner(stream, config).run())
+        results[name] = rows
+    return results
+
+
+def render_scenarios(results: Dict[str, List[RunResult]]) -> str:
+    rows = []
+    for name, runs in results.items():
+        for result in runs:
+            rows.append(
+                [
+                    name,
+                    result.label,
+                    f"{result.jobs_finished}/{result.jobs_submitted}",
+                    f"{result.metrics.hit_ratio():.3f}",
+                    f"{result.metrics.byte_hit_ratio():.3f}",
+                    f"{result.metrics.total_task_seconds() / 3600:.2f}",
+                    result.transfers_committed,
+                    result.deletions_applied,
+                ]
+            )
+    return format_table(
+        ["scenario", "config", "jobs", "hit", "byte-hit", "task-h", "xfers", "dels"],
+        rows,
+        title="Scenario sweep (streaming replay, per-scenario scale)",
+    )

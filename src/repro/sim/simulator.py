@@ -30,9 +30,18 @@ _COMPACT_MIN_TOMBSTONES = 64
 
 
 class Event:
-    """A scheduled callback.  Heap ordering is by (time, seq)."""
+    """A scheduled callback.  Heap ordering is by (time, priority, seq).
 
-    __slots__ = ("time", "seq", "callback", "name", "cancelled", "_sim")
+    ``priority`` defaults to 0 everywhere, in which case ordering
+    reduces to the classic (time, seq) FIFO — bit-identical to the
+    pre-priority behaviour.  The streaming workload pump schedules trace
+    events at priority -1 so they win same-timestamp ties against
+    system events exactly as eagerly pre-scheduled trace events do (pre-
+    scheduling gives them the lowest sequence numbers; a lazily pumped
+    event needs the explicit priority to claim the same slot).
+    """
+
+    __slots__ = ("time", "seq", "callback", "name", "cancelled", "priority", "_sim")
 
     def __init__(
         self,
@@ -41,20 +50,24 @@ class Event:
         callback: Callable[[], Any],
         name: str = "",
         sim: Optional["Simulator"] = None,
+        priority: int = 0,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.name = name
         self.cancelled = False
+        self.priority = priority
         # Back-reference used for tombstone accounting; cleared when the
         # event leaves the heap so late cancels don't skew the counter.
         self._sim = sim
 
     def __lt__(self, other: "Event") -> bool:
-        return self.time < other.time or (
-            self.time == other.time and self.seq < other.seq
-        )
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""
@@ -111,13 +124,23 @@ class Simulator(Clock):
         return len(self._heap)
 
     # -- scheduling --------------------------------------------------------
-    def at(self, time: float, callback: Callable[[], Any], name: str = "") -> Event:
-        """Schedule ``callback`` at absolute simulation ``time``."""
+    def at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        name: str = "",
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation ``time``.
+
+        Lower ``priority`` runs first among same-time events; the
+        default 0 preserves FIFO scheduling order.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time} before now={self._now}"
             )
-        event = Event(time, next(self._seq), callback, name, self)
+        event = Event(time, next(self._seq), callback, name, self, priority)
         heapq.heappush(self._heap, event)
         return event
 

@@ -8,13 +8,40 @@ substitution rationale).
 
 from repro.workload.bins import BINS, BIN_NAMES, SizeBin, bin_for_size
 from repro.workload.dfsio import DfsioSpec
-from repro.workload.jobs import FileCreation, OutputSpec, Trace, TraceJob
+from repro.workload.external import ExternalTraceStream, load_stream
+from repro.workload.jobs import (
+    FileCreation,
+    FileDeletion,
+    OutputSpec,
+    StreamEvent,
+    Trace,
+    TraceJob,
+    event_sort_key,
+    event_time,
+)
 from repro.workload.profiles import (
     CMU_PROFILE,
     FB_PROFILE,
     PROFILES,
     WorkloadProfile,
     scaled_profile,
+)
+from repro.workload.scenarios import (
+    SCENARIOS,
+    Scenario,
+    build_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.workload.streams import (
+    GeneratedStream,
+    StreamStats,
+    SynthesizedStream,
+    TraceStream,
+    WorkloadStream,
+    merge_events,
+    merge_timed_sources,
 )
 from repro.workload.synthesis import TraceSynthesizer, synthesize_trace
 
@@ -24,9 +51,13 @@ __all__ = [
     "SizeBin",
     "bin_for_size",
     "FileCreation",
+    "FileDeletion",
     "OutputSpec",
+    "StreamEvent",
     "TraceJob",
     "Trace",
+    "event_sort_key",
+    "event_time",
     "WorkloadProfile",
     "FB_PROFILE",
     "CMU_PROFILE",
@@ -35,4 +66,19 @@ __all__ = [
     "TraceSynthesizer",
     "synthesize_trace",
     "DfsioSpec",
+    "WorkloadStream",
+    "TraceStream",
+    "SynthesizedStream",
+    "GeneratedStream",
+    "StreamStats",
+    "merge_events",
+    "merge_timed_sources",
+    "Scenario",
+    "SCENARIOS",
+    "register_scenario",
+    "scenario_names",
+    "get_scenario",
+    "build_scenario",
+    "ExternalTraceStream",
+    "load_stream",
 ]

@@ -1,0 +1,217 @@
+"""External trace ingestion: CSV/JSONL files behind the stream protocol.
+
+Real cluster traces (HDFS audit logs, job-history dumps, cache-simulator
+exports) can be replayed through the full system by converting them to
+one of two documented formats and wrapping the file in
+:class:`ExternalTraceStream`.  Ingestion is lazy — lines are decoded one
+at a time — so trace length is bounded by disk, not memory.  Both
+formats are transparently gzip-decompressed for ``*.gz`` paths.
+
+**JSONL** (``*.jsonl`` / ``*.jsonl.gz``) — one event object per line,
+the schema of :func:`repro.workload.serialize.event_to_dict`::
+
+    {"kind": "header", "format_version": 1, "name": "mytrace", "duration": 21600}
+    {"kind": "create", "time": 0.0, "path": "/data/a", "bytes": 134217728}
+    {"kind": "job", "time": 63.5, "inputs": ["/data/a"], "input_bytes": 134217728,
+     "outputs": [{"path": "/out/j0", "bytes": 1048576}],
+     "cpu_seconds_per_byte": 2.0e-8}
+    {"kind": "delete", "time": 7200.0, "path": "/data/a"}
+
+The header line is optional; ``job_id``, ``input_bytes``,
+``cpu_seconds_per_byte``, and ``outputs`` are optional per job.
+
+**CSV** (``*.csv`` / ``*.csv.gz``) — a header row naming any of the
+columns below, one event per row (``kind`` and ``time`` required)::
+
+    kind,time,path,bytes,inputs,output_path,output_bytes,cpu_seconds_per_byte
+    create,0.0,/data/a,134217728,,,,
+    job,63.5,,,/data/a;/data/b,/out/j0,1048576,2.0e-8
+    delete,7200.0,/data/a,,,,,
+
+``inputs`` is a ``;``-separated path list; ``bytes`` on a job row is the
+total input size.  CSV jobs carry at most one output (use JSONL for
+multi-output jobs).
+
+Conveniences applied during ingestion, for both formats:
+
+* events must be time-ordered (a decreasing timestamp raises
+  :class:`~repro.workload.streams.StreamOrderError` with the line context);
+* job ids are assigned sequentially when omitted;
+* a job's ``input_bytes``, when omitted or zero, is inferred from the
+  sizes of previously created files it reads (O(files) state).
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from typing import Dict, Iterator, Optional
+
+from repro.workload.jobs import (
+    FileCreation,
+    FileDeletion,
+    OutputSpec,
+    StreamEvent,
+    TraceJob,
+    event_time,
+)
+from repro.workload.serialize import _open_text, iter_events, read_stream_header
+from repro.workload.streams import (
+    StreamStats,
+    WorkloadStream,
+    number_jobs,
+    ordered,
+)
+
+#: Recognized extensions per format (longest match wins).
+_FORMATS = {
+    ".jsonl": "jsonl",
+    ".jsonl.gz": "jsonl",
+    ".csv": "csv",
+    ".csv.gz": "csv",
+}
+
+
+def detect_format(path: str) -> str:
+    """The trace format implied by ``path``'s extension."""
+    for suffix, fmt in _FORMATS.items():
+        if path.endswith(suffix):
+            return fmt
+    raise ValueError(
+        f"cannot infer trace format from {path!r}; expected one of "
+        f"{sorted(set(_FORMATS))} (or pass fmt= explicitly)"
+    )
+
+
+def iter_csv_events(path: str) -> Iterator[StreamEvent]:
+    """Lazily decode the CSV trace schema (see module docstring)."""
+    with _open_text(path, "r") as handle:
+        reader = csv.DictReader(handle)
+        for row_no, row in enumerate(reader, start=2):
+            kind = (row.get("kind") or "").strip()
+            try:
+                time = float(row["time"])
+                if kind == "create":
+                    yield FileCreation(row["path"], int(float(row["bytes"])), time)
+                elif kind == "delete":
+                    yield FileDeletion(row["path"], time)
+                elif kind == "job":
+                    inputs = [
+                        p.strip()
+                        for p in (row.get("inputs") or "").split(";")
+                        if p.strip()
+                    ]
+                    outputs = []
+                    if (row.get("output_path") or "").strip():
+                        outputs.append(
+                            OutputSpec(
+                                row["output_path"].strip(),
+                                int(float(row.get("output_bytes") or 0)),
+                            )
+                        )
+                    yield TraceJob(
+                        job_id=-1,
+                        submit_time=time,
+                        input_paths=inputs,
+                        input_size=int(float(row.get("bytes") or 0)),
+                        outputs=outputs,
+                        cpu_seconds_per_byte=float(
+                            row.get("cpu_seconds_per_byte") or 0.0
+                        ),
+                    )
+                else:
+                    raise ValueError(f"unknown event kind {kind!r}")
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{row_no}: bad trace row: {exc}") from exc
+
+
+def _fill_input_sizes(events: Iterator[StreamEvent]) -> Iterator[StreamEvent]:
+    """Infer missing job input sizes from the files created so far."""
+    sizes: Dict[str, int] = {}
+    for event in events:
+        if isinstance(event, FileCreation):
+            sizes[event.path] = event.size
+        elif isinstance(event, TraceJob):
+            for output in event.outputs:
+                sizes[output.path] = output.size
+            if event.input_size <= 0:
+                event.input_size = sum(
+                    sizes.get(path, 0) for path in event.input_paths
+                )
+        yield event
+
+
+class ExternalTraceStream(WorkloadStream):
+    """A CSV/JSONL trace file as a :class:`WorkloadStream`.
+
+    ``fmt`` defaults to extension detection; ``name`` and ``duration``
+    default to the JSONL header when present, then to the file stem and
+    a one-pass scan for the last event time.  The scan is O(1) memory
+    and **lazy** — it runs only when ``duration`` is first read (the
+    runner needs it; a bounded ``stats(max_events=...)`` pass does not)
+    — and is skipped entirely when ``duration`` is passed explicitly.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fmt: Optional[str] = None,
+        name: Optional[str] = None,
+        duration: Optional[float] = None,
+    ) -> None:
+        self.path = path
+        self.fmt = fmt or detect_format(path)
+        if self.fmt not in ("jsonl", "csv"):
+            raise ValueError(f"unknown trace format {self.fmt!r}")
+        header = read_stream_header(path) if self.fmt == "jsonl" else {}
+        if name is None:
+            name = header.get("name") or _stem(path)
+        self.name = name
+        if duration is None and "duration" in header:
+            duration = float(header["duration"])
+        self._duration = None if duration is None else float(duration)
+
+    @property
+    def duration(self) -> float:
+        if self._duration is None:
+            self._duration = max(
+                (event_time(e) for e in self._raw_events()), default=0.0
+            )
+        return self._duration
+
+    def _raw_events(self) -> Iterator[StreamEvent]:
+        if self.fmt == "jsonl":
+            return iter_events(self.path)
+        return iter_csv_events(self.path)
+
+    def events(self) -> Iterator[StreamEvent]:
+        return number_jobs(
+            _fill_input_sizes(ordered(self._raw_events(), name=self.name))
+        )
+
+    def stats(self, max_events: Optional[int] = None) -> StreamStats:
+        # Not via super(): the base implementation reads self.duration,
+        # which would force the full-file scan a bounded pass avoids.
+        stats = StreamStats(name=self.name, duration=self._duration or 0.0)
+        for event in itertools.islice(self.events(), max_events):
+            stats.add(event)
+        if self._duration is None:
+            # An unbounded pass visits every event, so its last time IS
+            # the scan result — cache it and skip the separate read.
+            if max_events is None:
+                self._duration = stats.last_time
+            stats.duration = stats.last_time
+        return stats
+
+
+def _stem(path: str) -> str:
+    base = path.rsplit("/", 1)[-1]
+    for suffix in sorted(_FORMATS, key=len, reverse=True):
+        if base.endswith(suffix):
+            return base[: -len(suffix)]
+    return base
+
+
+def load_stream(path: str, **kwargs) -> ExternalTraceStream:
+    """Convenience alias: open an external trace as a stream."""
+    return ExternalTraceStream(path, **kwargs)

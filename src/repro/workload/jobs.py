@@ -25,6 +25,19 @@ class FileCreation:
 
 
 @dataclass(frozen=True)
+class FileDeletion:
+    """Delete ``path`` at ``time`` (dataset retirement).
+
+    Deletions only occur in streamed scenarios (e.g. the ``pipeline``
+    dataset lifecycle); a materialized :class:`Trace` has no deletion
+    list, so streams containing deletions cannot be materialized.
+    """
+
+    path: str
+    time: float
+
+
+@dataclass(frozen=True)
 class OutputSpec:
     """One output file a job writes on completion."""
 
@@ -54,6 +67,27 @@ class TraceJob:
 
 
 TraceEvent = Union[FileCreation, TraceJob]
+
+#: Everything a workload stream may yield; a superset of TraceEvent.
+StreamEvent = Union[FileCreation, TraceJob, FileDeletion]
+
+#: Same-timestamp ordering of stream events: files come into existence
+#: before the jobs that read them, and retire only after the reads.
+_EVENT_ORDER = {FileCreation: 0, TraceJob: 1, FileDeletion: 2}
+
+
+def event_time(event: StreamEvent) -> float:
+    """The simulation time at which ``event`` takes effect."""
+    if isinstance(event, TraceJob):
+        return event.submit_time
+    return event.time
+
+
+def event_sort_key(event: StreamEvent) -> Tuple[float, int]:
+    """Total order for merging streams: (time, kind) with creations
+    before jobs before deletions on ties — the same tie rule as
+    :meth:`Trace.events`."""
+    return (event_time(event), _EVENT_ORDER[type(event)])
 
 
 @dataclass

@@ -1,0 +1,599 @@
+"""Named workload scenarios: a registry of parameterized stream builders.
+
+The FB/CMU synthesizers reproduce the paper's two production traces, but
+the adaptive-policy machinery should hold up against every load shape a
+production cluster sees.  Each scenario here is a **lazy, seeded
+generator** (see :mod:`repro.workload.streams`) with a characteristic
+access pattern that stresses tiering differently:
+
+``fb`` / ``cmu``
+    The paper's derived workloads behind the stream protocol
+    (compat wrappers over :class:`TraceSynthesizer`).
+``diurnal``
+    Multi-tenant day/night cycles: phase-shifted sinusoidal arrival
+    rates per tenant.  Tier demand swings hourly, so static placements
+    waste the premium tiers off-peak.
+``flashcrowd``
+    Steady background traffic punctuated by hot-set spikes: a handful of
+    files absorb most reads for a short window.  Rewards fast upgrades
+    and punishes slow downgrade recovery.
+``mlscan``
+    Scan-heavy ML training: every epoch re-reads the full shard set in a
+    shuffled order plus a small hot evaluation set.  Cyclic re-reads
+    with epoch-scale gaps are the anti-LRU pattern.
+``oscillating``
+    The hot set shifts along the file pool every phase (the classic
+    cache-simulator "oscillating" workload): temporal locality is
+    strong within a phase and worthless across phases.
+``pipeline``
+    Dataset lifecycle create→hot→cool→delete: new datasets arrive on a
+    cadence, burn bright, cool off, and retire.  Exercises deletions and
+    bounded-memory streaming (sources enter and leave the merge).
+
+Every builder takes ``(seed, scale, **params)`` and returns a
+:class:`WorkloadStream`.  ``scale`` stretches the *length* of the
+generated scenarios (duration at constant rate — a 10x run streams 10x
+the events in the same memory); for ``fb``/``cmu`` it scales job count
+and bytes, matching :func:`scaled_profile`.  All randomness flows
+through ``numpy`` generators seeded from ``seed``, so
+``build_scenario(name, seed=s, **params)`` is a pure function of its
+arguments: the registry round-trips name + params to the identical
+event sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.common.rng import make_rng, zipf_probabilities
+from repro.common.units import HOURS, MB, MINUTES
+from repro.workload.jobs import (
+    FileCreation,
+    FileDeletion,
+    OutputSpec,
+    StreamEvent,
+    TraceJob,
+)
+from repro.workload.profiles import CMU_PROFILE, FB_PROFILE
+from repro.workload.streams import (
+    GeneratedStream,
+    SynthesizedStream,
+    WorkloadStream,
+    clip,
+    merge_events,
+    merge_timed_sources,
+)
+
+DAY = 24 * HOURS
+
+
+# -- registry ----------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One registered scenario: builder plus parameter documentation."""
+
+    name: str
+    description: str
+    defaults: Mapping[str, float]
+    builder: Callable[..., WorkloadStream]
+
+    def build(
+        self, seed: int = 42, scale: float = 1.0, **overrides: float
+    ) -> WorkloadStream:
+        unknown = set(overrides) - set(self.defaults)
+        if unknown:
+            raise ValueError(
+                f"scenario {self.name!r} has no parameter(s) "
+                f"{sorted(unknown)}; available: {sorted(self.defaults)}"
+            )
+        params = {**self.defaults, **overrides}
+        return self.builder(seed=seed, scale=scale, **params)
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(
+    name: str, description: str, **defaults: float
+) -> Callable[[Callable[..., WorkloadStream]], Callable[..., WorkloadStream]]:
+    """Decorator: register ``builder(seed, scale, **params)`` under ``name``."""
+
+    def decorate(builder: Callable[..., WorkloadStream]):
+        SCENARIOS[name] = Scenario(name, description, defaults, builder)
+        return builder
+
+    return decorate
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    if name not in SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; available: {scenario_names()}")
+    return SCENARIOS[name]
+
+
+def build_scenario(
+    name: str, seed: int = 42, scale: float = 1.0, **params: float
+) -> WorkloadStream:
+    """Instantiate a registered scenario (the one public entry point)."""
+    return get_scenario(name).build(seed=seed, scale=scale, **params)
+
+
+# -- shared generator plumbing ----------------------------------------------
+class _FilePool:
+    """A fixed pool of files, created lazily on first read.
+
+    Sizes are drawn once at pool construction (part of the stream's
+    seeded state); a file's creation event is emitted at the timestamp
+    of its first read — the same-time tie rule guarantees the creation
+    is applied before the job that reads it.
+    """
+
+    def __init__(self, prefix: str, sizes: Sequence[int]) -> None:
+        self.prefix = prefix
+        self.sizes = [int(s) for s in sizes]
+        self._created = [False] * len(self.sizes)
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    def path(self, index: int) -> str:
+        return f"{self.prefix}/f{index:05d}"
+
+    def read(self, indices: Sequence[int], t: float):
+        """Return ``(creations, paths, total_bytes)`` for a read at ``t``."""
+        creations: List[FileCreation] = []
+        paths: List[str] = []
+        total = 0
+        for index in indices:
+            index = int(index)
+            path = self.path(index)
+            if path in paths:
+                continue
+            if not self._created[index]:
+                self._created[index] = True
+                creations.append(FileCreation(path, self.sizes[index], t))
+            paths.append(path)
+            total += self.sizes[index]
+        return creations, paths, total
+
+
+def _log_uniform(rng: np.random.Generator, low: float, high: float) -> float:
+    return float(np.exp(rng.uniform(np.log(low), np.log(high))))
+
+
+def _file_sizes(
+    rng: np.random.Generator, count: int, low_mb: float, high_mb: float
+) -> np.ndarray:
+    """Heavy-tailed (log-uniform) per-file sizes in bytes."""
+    return np.exp(
+        rng.uniform(np.log(low_mb * MB), np.log(high_mb * MB), size=count)
+    ).astype(np.int64)
+
+
+class _JobFactory:
+    """Builds jobs with scenario-scoped output paths and CPU skew."""
+
+    def __init__(self, rng: np.random.Generator, out_prefix: str) -> None:
+        self._rng = rng
+        self._out_prefix = out_prefix
+        self._outputs = 0
+
+    def job(
+        self,
+        t: float,
+        paths: List[str],
+        size: int,
+        output_prob: float = 0.25,
+    ) -> TraceJob:
+        rng = self._rng
+        outputs: List[OutputSpec] = []
+        if output_prob > 0 and rng.random() < output_prob:
+            ratio = _log_uniform(rng, 0.05, 0.5)
+            out_size = max(int(size * ratio), 1 * MB)
+            outputs.append(
+                OutputSpec(f"{self._out_prefix}/out{self._outputs:05d}", out_size)
+            )
+            self._outputs += 1
+        return TraceJob(
+            job_id=-1,
+            submit_time=t,
+            input_paths=paths,
+            input_size=size,
+            outputs=outputs,
+            cpu_seconds_per_byte=_log_uniform(rng, 0.01, 0.04) / MB,
+        )
+
+
+def _poisson_times(
+    rng: np.random.Generator,
+    rate_max: float,
+    duration: float,
+    rate_fn: Optional[Callable[[float], float]] = None,
+    start: float = 0.0,
+) -> Iterator[float]:
+    """Poisson arrivals over ``[start, start+duration)``.
+
+    With ``rate_fn`` the process is non-homogeneous (thinning against
+    the ``rate_max`` envelope); otherwise homogeneous at ``rate_max``.
+    """
+    t = start
+    end = start + duration
+    while True:
+        t += rng.exponential(1.0 / rate_max)
+        if t >= end:
+            return
+        if rate_fn is None or rng.random() * rate_max <= rate_fn(t):
+            yield t
+
+
+# -- classic workloads -------------------------------------------------------
+@register_scenario(
+    "fb",
+    "The paper's derived Facebook workload (temporal locality, bursty "
+    "re-reads) behind the stream protocol.",
+    drift=1,
+)
+def _fb_scenario(seed: int, scale: float, drift: float) -> WorkloadStream:
+    return SynthesizedStream(FB_PROFILE, seed=seed, drift=bool(drift), scale=scale)
+
+
+@register_scenario(
+    "cmu",
+    "The paper's derived CMU OpenCloud workload (cyclic scientific "
+    "re-reads, the anti-LRU pattern) behind the stream protocol.",
+    drift=1,
+)
+def _cmu_scenario(seed: int, scale: float, drift: float) -> WorkloadStream:
+    return SynthesizedStream(CMU_PROFILE, seed=seed, drift=bool(drift), scale=scale)
+
+
+# -- diurnal -----------------------------------------------------------------
+@register_scenario(
+    "diurnal",
+    "Multi-tenant day/night load: phase-shifted sinusoidal arrival rates, "
+    "one Zipf file pool per tenant.",
+    tenants=3,
+    days=1,
+    jobs_per_day=320,
+    pool_files=120,
+    file_mb_low=8,
+    file_mb_high=1024,
+    amplitude=0.85,
+    skew=0.7,
+)
+def _diurnal(
+    seed: int,
+    scale: float,
+    tenants: float,
+    days: float,
+    jobs_per_day: float,
+    pool_files: float,
+    file_mb_low: float,
+    file_mb_high: float,
+    amplitude: float,
+    skew: float,
+) -> WorkloadStream:
+    tenants = max(1, int(tenants))
+    duration = days * DAY * scale
+
+    def factory() -> Iterator[StreamEvent]:
+        def tenant_events(tenant: int) -> Iterator[StreamEvent]:
+            rng = make_rng([seed, tenant])
+            pool = _FilePool(
+                f"/data/diurnal/t{tenant}",
+                _file_sizes(rng, int(pool_files), file_mb_low, file_mb_high),
+            )
+            jobs = _JobFactory(rng, f"/out/diurnal/t{tenant}")
+            popularity = zipf_probabilities(len(pool), skew)
+            base = jobs_per_day / DAY
+            phase = 2.0 * math.pi * tenant / tenants
+
+            def rate(t: float) -> float:
+                # Peak mid-"day" for tenant 0; other tenants shifted —
+                # global demand stays lumpy, per-tenant demand swings.
+                return base * (
+                    1.0 + amplitude * math.sin(2.0 * math.pi * t / DAY + phase)
+                )
+
+            rate_max = base * (1.0 + amplitude)
+            for t in _poisson_times(rng, rate_max, duration, rate_fn=rate):
+                k = int(rng.integers(1, 4))
+                picks = rng.choice(len(pool), size=k, replace=False, p=popularity)
+                creations, paths, size = pool.read(picks, t)
+                yield from creations
+                yield jobs.job(t, paths, size)
+
+        return merge_events(*[tenant_events(i) for i in range(tenants)])
+
+    return GeneratedStream("diurnal", duration, factory)
+
+
+# -- flashcrowd --------------------------------------------------------------
+@register_scenario(
+    "flashcrowd",
+    "Steady Zipf background traffic with hot-set spikes: short windows "
+    "where a few files absorb a multiplied arrival rate.",
+    hours=6,
+    jobs_per_hour=140,
+    crowds=4,
+    crowd_minutes=20,
+    crowd_boost=8,
+    hot_files=4,
+    pool_files=200,
+    file_mb_low=8,
+    file_mb_high=1024,
+    skew=0.6,
+)
+def _flashcrowd(
+    seed: int,
+    scale: float,
+    hours: float,
+    jobs_per_hour: float,
+    crowds: float,
+    crowd_minutes: float,
+    crowd_boost: float,
+    hot_files: float,
+    pool_files: float,
+    file_mb_low: float,
+    file_mb_high: float,
+    skew: float,
+) -> WorkloadStream:
+    duration = hours * HOURS * scale
+    n_crowds = max(0, int(round(crowds * scale)))
+
+    def factory() -> Iterator[StreamEvent]:
+        rng = make_rng([seed, 0])
+        pool = _FilePool(
+            "/data/flashcrowd",
+            _file_sizes(rng, int(pool_files), file_mb_low, file_mb_high),
+        )
+        jobs = _JobFactory(rng, "/out/flashcrowd")
+        popularity = zipf_probabilities(len(pool), skew)
+        window = crowd_minutes * MINUTES
+        # Crowd windows and their hot sets are drawn up front (O(crowds)
+        # state), then arrivals are thinned against the boosted envelope.
+        starts = np.sort(rng.uniform(0.0, max(duration - window, 1.0), n_crowds))
+        hot_sets = [
+            rng.choice(len(pool), size=int(hot_files), replace=False)
+            for _ in range(n_crowds)
+        ]
+        base = jobs_per_hour / HOURS
+
+        def active_crowd(t: float) -> int:
+            # O(crowds) scan: crowd counts are tiny and state stays flat.
+            for i, s in enumerate(starts):
+                if s <= t < s + window:
+                    return i
+            return -1
+
+        def rate(t: float) -> float:
+            return base * (crowd_boost if active_crowd(t) >= 0 else 1.0)
+
+        for t in _poisson_times(rng, base * crowd_boost, duration, rate_fn=rate):
+            crowd = active_crowd(t)
+            if crowd >= 0 and rng.random() < 0.85:
+                # Crowd read: everyone piles onto the same few files.
+                k = min(int(rng.integers(1, 3)), len(hot_sets[crowd]))
+                picks = rng.choice(hot_sets[crowd], size=k, replace=False)
+            else:
+                k = int(rng.integers(1, 3))
+                picks = rng.choice(len(pool), size=k, replace=False, p=popularity)
+            creations, paths, size = pool.read(picks, t)
+            yield from creations
+            yield jobs.job(t, paths, size)
+
+    return GeneratedStream("flashcrowd", duration, factory)
+
+
+# -- mlscan ------------------------------------------------------------------
+@register_scenario(
+    "mlscan",
+    "Scan-heavy ML training: each epoch re-reads the full shard set in "
+    "shuffled order plus a hot evaluation set — cyclic re-reads with "
+    "epoch-scale gaps (the anti-LRU pattern).",
+    epochs=8,
+    shards=64,
+    shard_mb=256,
+    batch_shards=4,
+    step_seconds=45,
+    eval_files=4,
+    eval_mb=64,
+    epoch_pause_seconds=300,
+)
+def _mlscan(
+    seed: int,
+    scale: float,
+    epochs: float,
+    shards: float,
+    shard_mb: float,
+    batch_shards: float,
+    step_seconds: float,
+    eval_files: float,
+    eval_mb: float,
+    epoch_pause_seconds: float,
+) -> WorkloadStream:
+    n_epochs = max(1, int(round(epochs * scale)))
+    n_shards = max(1, int(shards))
+    batch = max(1, int(batch_shards))
+    steps = (n_shards + batch - 1) // batch
+    epoch_span = steps * step_seconds + epoch_pause_seconds
+    duration = n_epochs * epoch_span
+
+    def factory() -> Iterator[StreamEvent]:
+        rng = make_rng([seed, 0])
+        # Shards are uniform-sized (dataset chunks); eval set is small.
+        shard_pool = _FilePool("/data/mlscan/shards", [int(shard_mb * MB)] * n_shards)
+        eval_pool = _FilePool(
+            "/data/mlscan/eval", [int(eval_mb * MB)] * int(eval_files)
+        )
+        jobs = _JobFactory(rng, "/out/mlscan")
+        for epoch in range(n_epochs):
+            t0 = epoch * epoch_span
+            order = rng.permutation(n_shards)
+            for step in range(steps):
+                t = t0 + step * step_seconds + float(
+                    rng.uniform(0.0, 0.25 * step_seconds)
+                )
+                picks = order[step * batch : (step + 1) * batch]
+                creations, paths, size = shard_pool.read(picks, t)
+                yield from creations
+                # Training steps read-only: checkpoints come from the
+                # eval job below.
+                yield jobs.job(t, paths, size, output_prob=0.0)
+            t_eval = t0 + steps * step_seconds + float(
+                rng.uniform(0.0, 0.5 * epoch_pause_seconds)
+            )
+            creations, paths, size = eval_pool.read(range(len(eval_pool)), t_eval)
+            yield from creations
+            yield jobs.job(t_eval, paths, size, output_prob=1.0)
+
+    return GeneratedStream("mlscan", duration, factory)
+
+
+# -- oscillating -------------------------------------------------------------
+@register_scenario(
+    "oscillating",
+    "Phase-shifting hot set: strong temporal locality within a phase, "
+    "none across phases — the hot window slides along the pool every "
+    "phase_minutes.",
+    hours=6,
+    jobs_per_minute=2,
+    pool_files=240,
+    hot_files=24,
+    phase_minutes=30,
+    hot_prob=0.85,
+    file_mb_low=8,
+    file_mb_high=512,
+)
+def _oscillating(
+    seed: int,
+    scale: float,
+    hours: float,
+    jobs_per_minute: float,
+    pool_files: float,
+    hot_files: float,
+    phase_minutes: float,
+    hot_prob: float,
+    file_mb_low: float,
+    file_mb_high: float,
+) -> WorkloadStream:
+    duration = hours * HOURS * scale
+    n_pool = int(pool_files)
+    n_hot = max(1, int(hot_files))
+
+    def factory() -> Iterator[StreamEvent]:
+        rng = make_rng([seed, 0])
+        pool = _FilePool(
+            "/data/oscillating",
+            _file_sizes(rng, n_pool, file_mb_low, file_mb_high),
+        )
+        jobs = _JobFactory(rng, "/out/oscillating")
+        phase_span = phase_minutes * MINUTES
+        for t in _poisson_times(rng, jobs_per_minute / MINUTES, duration):
+            phase = int(t // phase_span)
+            window_start = (phase * n_hot) % n_pool
+            k = int(rng.integers(1, 3))
+            if rng.random() < hot_prob:
+                offsets = rng.choice(n_hot, size=min(k, n_hot), replace=False)
+                picks = [(window_start + int(o)) % n_pool for o in offsets]
+            else:
+                picks = rng.choice(n_pool, size=k, replace=False)
+            creations, paths, size = pool.read(picks, t)
+            yield from creations
+            yield jobs.job(t, paths, size)
+
+    return GeneratedStream("oscillating", duration, factory)
+
+
+# -- pipeline ----------------------------------------------------------------
+@register_scenario(
+    "pipeline",
+    "Dataset lifecycle create→hot→cool→delete: datasets arrive on a "
+    "cadence, absorb heavy reads while fresh, cool off, and retire "
+    "(file deletions) — sources enter and leave the stream merge, so "
+    "memory tracks *active* datasets only.",
+    hours=6,
+    cadence_minutes=20,
+    dataset_files=6,
+    file_mb_low=64,
+    file_mb_high=512,
+    hot_minutes=40,
+    hot_jobs_per_minute=1.5,
+    cool_minutes=60,
+    cool_jobs=4,
+    ttl_minutes=150,
+)
+def _pipeline(
+    seed: int,
+    scale: float,
+    hours: float,
+    cadence_minutes: float,
+    dataset_files: float,
+    file_mb_low: float,
+    file_mb_high: float,
+    hot_minutes: float,
+    hot_jobs_per_minute: float,
+    cool_minutes: float,
+    cool_jobs: float,
+    ttl_minutes: float,
+) -> WorkloadStream:
+    duration = hours * HOURS * scale
+    cadence = cadence_minutes * MINUTES
+    # At least one dataset even when the (scaled) window is shorter than
+    # the cadence: its events are clipped at ``duration``.
+    n_datasets = max(1, int(duration // cadence))
+
+    def factory() -> Iterator[StreamEvent]:
+        def dataset_events(index: int, start: float) -> Iterator[StreamEvent]:
+            rng = make_rng([seed, index])
+            pool = _FilePool(
+                f"/data/pipeline/d{index:04d}",
+                _file_sizes(rng, int(dataset_files), file_mb_low, file_mb_high),
+            )
+            jobs = _JobFactory(rng, f"/out/pipeline/d{index:04d}")
+            # Ingest: the whole dataset lands shortly after ``start``.
+            creations, _, _ = pool.read(range(len(pool)), start)
+            yield from creations
+            hot_end = start + hot_minutes * MINUTES
+            read_start = start + 30.0
+            for t in _poisson_times(
+                rng,
+                hot_jobs_per_minute / MINUTES,
+                hot_end - read_start,
+                start=read_start,
+            ):
+                k = int(rng.integers(1, min(4, len(pool)) + 1))
+                picks = rng.choice(len(pool), size=k, replace=False)
+                _, paths, size = pool.read(picks, t)
+                yield jobs.job(t, paths, size)
+            # Cooling: a few stragglers re-read parts of the dataset.
+            cool_end = hot_end + cool_minutes * MINUTES
+            cool_times = np.sort(rng.uniform(hot_end, cool_end, int(cool_jobs)))
+            for t in cool_times:
+                k = int(rng.integers(1, min(3, len(pool)) + 1))
+                picks = rng.choice(len(pool), size=k, replace=False)
+                _, paths, size = pool.read(picks, float(t))
+                yield jobs.job(float(t), paths, size, output_prob=0.1)
+            # Retirement: the dataset is deleted wholesale at its TTL —
+            # never before the cool phase ends, so a short ttl cannot
+            # emit deletions out of time order (or ahead of reads).
+            expiry = max(start + ttl_minutes * MINUTES, cool_end)
+            for i in range(len(pool)):
+                yield FileDeletion(pool.path(i), expiry)
+
+        def sources():
+            for index in range(n_datasets):
+                start = index * cadence
+                yield start, dataset_events(index, start)
+
+        return clip(merge_timed_sources(sources()), duration)
+
+    return GeneratedStream("pipeline", duration, factory)

@@ -1,4 +1,17 @@
-"""Trace import/export as JSON.
+"""Trace import/export: whole-trace JSON and streaming JSONL.
+
+Two formats live here:
+
+* **Whole-trace JSON** (:func:`save_trace` / :func:`load_trace`): one
+  document holding the complete trace.  Simple, but requires the trace
+  to fit in memory on both ends.
+* **Streaming JSONL** (:func:`save_events` / :func:`iter_events` /
+  :class:`EventWriter`): one event per line, readable and writable
+  incrementally, transparently gzip-compressed for ``*.gz`` paths.  An
+  optional header line carries the workload name and duration.  This is
+  the on-disk form of the stream protocol
+  (:mod:`repro.workload.streams`) and the JSONL half of the external
+  trace schema (:mod:`repro.workload.external`).
 
 Synthesized workloads are deterministic given a seed, but exporting a
 trace pins the exact event sequence for sharing, regression baselines,
@@ -7,12 +20,24 @@ or replaying through external systems.
 
 from __future__ import annotations
 
+import gzip
 import json
-from typing import Any, Dict
+from typing import Any, Dict, IO, Iterable, Iterator, Optional, Union
 
-from repro.workload.jobs import FileCreation, OutputSpec, Trace, TraceJob
+from repro.workload.jobs import (
+    FileCreation,
+    FileDeletion,
+    OutputSpec,
+    StreamEvent,
+    Trace,
+    TraceJob,
+    event_time,
+)
 
 FORMAT_VERSION = 1
+
+#: Streaming JSONL format version (header line ``kind: "header"``).
+EVENT_FORMAT_VERSION = 1
 
 
 def trace_to_dict(trace: Trace) -> Dict[str, Any]:
@@ -73,3 +98,189 @@ def load_trace(path: str) -> Trace:
     """Load a trace previously written by :func:`save_trace`."""
     with open(path) as handle:
         return trace_from_dict(json.load(handle))
+
+
+# -- streaming JSONL ---------------------------------------------------------
+def _open_text(path: str, mode: str) -> IO[str]:
+    """Open ``path`` for text I/O, transparently gzipped for ``*.gz``."""
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def event_to_dict(event: StreamEvent) -> Dict[str, Any]:
+    """One stream event as a JSON-able dict (the JSONL line schema)."""
+    if isinstance(event, FileCreation):
+        return {
+            "kind": "create",
+            "time": event.time,
+            "path": event.path,
+            "bytes": event.size,
+        }
+    if isinstance(event, FileDeletion):
+        return {"kind": "delete", "time": event.time, "path": event.path}
+    if isinstance(event, TraceJob):
+        record: Dict[str, Any] = {
+            "kind": "job",
+            "time": event.submit_time,
+            "job_id": event.job_id,
+            "inputs": list(event.input_paths),
+            "input_bytes": event.input_size,
+            "cpu_seconds_per_byte": event.cpu_seconds_per_byte,
+        }
+        if event.outputs:
+            record["outputs"] = [
+                {"path": o.path, "bytes": o.size} for o in event.outputs
+            ]
+        return record
+    raise TypeError(f"not a stream event: {event!r}")
+
+
+def event_from_dict(data: Dict[str, Any]) -> StreamEvent:
+    """Inverse of :func:`event_to_dict` (tolerates omitted job fields)."""
+    kind = data.get("kind")
+    if kind == "create":
+        return FileCreation(data["path"], int(data["bytes"]), float(data["time"]))
+    if kind == "delete":
+        return FileDeletion(data["path"], float(data["time"]))
+    if kind == "job":
+        return TraceJob(
+            job_id=int(data.get("job_id", -1)),
+            submit_time=float(data["time"]),
+            input_paths=[str(p) for p in data["inputs"]],
+            input_size=int(data.get("input_bytes", 0)),
+            outputs=[
+                OutputSpec(o["path"], int(o["bytes"]))
+                for o in data.get("outputs", ())
+            ],
+            cpu_seconds_per_byte=float(data.get("cpu_seconds_per_byte", 0.0)),
+        )
+    raise ValueError(f"unknown event kind {kind!r}")
+
+
+class EventWriter:
+    """Incremental writer for the streaming JSONL trace format.
+
+    Events are appended one line at a time — a generator can be drained
+    to disk without ever materializing it.  Opening with ``append=True``
+    continues an existing file (no header is written); otherwise a
+    header line records the workload name, duration, and format version.
+
+    Usable as a context manager::
+
+        with EventWriter("trace.jsonl.gz", name="FB", duration=21600) as w:
+            for event in stream:
+                w.write(event)
+    """
+
+    def __init__(
+        self,
+        path: str,
+        name: Optional[str] = None,
+        duration: Optional[float] = None,
+        append: bool = False,
+    ) -> None:
+        self.path = path
+        self._handle: Optional[IO[str]] = _open_text(path, "a" if append else "w")
+        self.events_written = 0
+        if not append:
+            header = {
+                "kind": "header",
+                "format_version": EVENT_FORMAT_VERSION,
+            }
+            if name is not None:
+                header["name"] = name
+            if duration is not None:
+                header["duration"] = duration
+            self._write_line(header)
+
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise ValueError(f"writer for {self.path} is closed")
+        self._handle.write(json.dumps(record) + "\n")
+
+    def write(self, event: StreamEvent) -> None:
+        self._write_line(event_to_dict(event))
+        self.events_written += 1
+
+    def write_all(self, events: Iterable[StreamEvent]) -> int:
+        for event in events:
+            self.write(event)
+        return self.events_written
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def save_events(
+    workload: Union[Trace, Iterable[StreamEvent]],
+    path: str,
+    name: Optional[str] = None,
+    duration: Optional[float] = None,
+) -> int:
+    """Stream ``workload`` (a trace or any event iterable) to JSONL.
+
+    Returns the number of events written.  Traces and
+    :class:`~repro.workload.streams.WorkloadStream` objects supply their
+    own name/duration unless overridden.
+    """
+    if name is None:
+        name = getattr(workload, "name", None)
+    if duration is None:
+        duration = getattr(workload, "duration", None)
+    events = workload.events() if isinstance(workload, Trace) else iter(workload)
+    with EventWriter(path, name=name, duration=duration) as writer:
+        return writer.write_all(events)
+
+
+def read_stream_header(path: str) -> Dict[str, Any]:
+    """The header dict of a JSONL trace (``{}`` if the file has none)."""
+    with _open_text(path, "r") as handle:
+        first = handle.readline()
+    if not first:
+        return {}
+    record = json.loads(first)
+    if record.get("kind") != "header":
+        return {}
+    version = record.get("format_version")
+    if version != EVENT_FORMAT_VERSION:
+        raise ValueError(f"unsupported stream format version: {version!r}")
+    return record
+
+
+def iter_events(path: str) -> Iterator[StreamEvent]:
+    """Lazily yield the events of a JSONL trace (header line skipped).
+
+    Memory is O(1): lines are decoded one at a time, so arbitrarily long
+    traces replay without materialization.
+    """
+    with _open_text(path, "r") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "header":
+                if line_no != 1:
+                    raise ValueError(f"{path}:{line_no}: header after first line")
+                continue
+            yield event_from_dict(record)
+
+
+def stream_duration(path: str) -> float:
+    """Duration of a JSONL trace: header value, else a scan for max time."""
+    header = read_stream_header(path)
+    if "duration" in header:
+        return float(header["duration"])
+    last = 0.0
+    for event in iter_events(path):
+        last = max(last, event_time(event))
+    return last

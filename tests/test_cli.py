@@ -72,6 +72,136 @@ class TestCommands:
         assert data["jobs"]
 
 
+class TestListDiscovery:
+    def test_list_all_dimensions(self, capsys):
+        from repro.common.catalog import catalog
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for kind, names in catalog().items():
+            assert f"{kind}:" in out
+            for name in names:
+                assert name in out
+
+    def test_list_one_dimension(self, capsys):
+        assert main(["list", "scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("scenarios:")
+        for name in ("fb", "cmu", "diurnal", "flashcrowd", "pipeline"):
+            assert name in out
+
+    def test_list_unknown_dimension_errors(self, capsys):
+        assert main(["list", "flavours"]) == 2
+
+    def test_catalog_matches_cli_choices(self):
+        """The discovery helper and the argparse choices agree."""
+        from repro.cluster.hardware import hierarchy_names
+        from repro.common.catalog import catalog
+        from repro.engine.iomodel import IO_MODEL_NAMES
+        from repro.workload.scenarios import scenario_names
+
+        names = catalog()
+        assert names["tiers"] == sorted(hierarchy_names())
+        assert names["io-models"] == sorted(IO_MODEL_NAMES)
+        assert names["scenarios"] == scenario_names()
+
+
+class TestScenarioCommands:
+    def test_scenario_list(self, capsys):
+        from repro.workload.scenarios import scenario_names
+
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert f"{name}:" in out
+        assert "params:" in out
+
+    def test_scenario_stats(self, capsys):
+        code = main(
+            ["scenario", "stats", "mlscan", "--scale", "0.2", "--param", "shards=16"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events:" in out
+        assert "jobs per bin:" in out
+
+    def test_scenario_stats_max_events(self, capsys):
+        code = main(["scenario", "stats", "oscillating", "--max-events", "5"])
+        assert code == 0
+        assert "events:           5" in capsys.readouterr().out
+
+    def test_scenario_run(self, capsys):
+        code = main(
+            [
+                "scenario",
+                "run",
+                "flashcrowd",
+                "--scale",
+                "0.05",
+                "--downgrade",
+                "lru",
+                "--upgrade",
+                "osa",
+                "--workers",
+                "4",
+                "--perf",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario:         flashcrowd" in out
+        assert "jobs finished" in out
+        assert "events/second" in out
+
+    def test_scenario_run_external_trace(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "small.jsonl.gz")
+        assert (
+            main(
+                [
+                    "synthesize",
+                    "--workload",
+                    "FB",
+                    "--scale",
+                    "0.05",
+                    "--out",
+                    trace_path,
+                ]
+            )
+            == 0
+        )
+        code = main(["scenario", "run", "--trace", trace_path, "--workers", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario:         FB" in out
+
+    def test_scenario_name_and_trace_conflict(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", "fb", "--trace", "x.jsonl"])
+
+    def test_trace_rejects_generator_knobs(self, capsys):
+        """--scale/--param would be silently ignored on replays: error."""
+        for extra in (["--scale", "0.1"], ["--param", "k=1"]):
+            with pytest.raises(SystemExit):
+                main(["scenario", "stats", "--trace", "x.jsonl"] + extra)
+
+    def test_reserved_param_redirected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenario", "stats", "fb", "--param", "seed=7"])
+        assert "--seed" in capsys.readouterr().err
+
+    def test_scenario_run_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run"])
+
+    def test_unknown_scenario_errors(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            main(["scenario", "stats", "nope"])
+
+    def test_bad_param_errors(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "stats", "mlscan", "--param", "shards"])
+
+
 class TestSimulateExtensions:
     def test_cache_mode_flag(self, capsys):
         from repro.cli import main

@@ -11,9 +11,17 @@ from repro.ml.serialize import (
     save_model,
 )
 from repro.workload import FB_PROFILE, scaled_profile, synthesize_trace
+from repro.workload.jobs import FileCreation, FileDeletion, OutputSpec, TraceJob
 from repro.workload.serialize import (
+    EventWriter,
+    event_from_dict,
+    event_to_dict,
+    iter_events,
     load_trace,
+    read_stream_header,
+    save_events,
     save_trace,
+    stream_duration,
     trace_from_dict,
     trace_to_dict,
 )
@@ -102,3 +110,100 @@ class TestTraceSerialization:
         data["format_version"] = 0
         with pytest.raises(ValueError):
             trace_from_dict(data)
+
+
+SAMPLE_EVENTS = [
+    FileCreation("/data/a", 64, 0.0),
+    TraceJob(
+        job_id=0,
+        submit_time=5.0,
+        input_paths=["/data/a"],
+        input_size=64,
+        outputs=[OutputSpec("/out/a", 16)],
+        cpu_seconds_per_byte=1e-8,
+    ),
+    FileDeletion("/data/a", 9.0),
+]
+
+
+class TestEventCodec:
+    @pytest.mark.parametrize("event", SAMPLE_EVENTS, ids=["create", "job", "delete"])
+    def test_round_trip(self, event):
+        assert event_from_dict(event_to_dict(event)) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"kind": "munge"})
+
+    def test_not_an_event_rejected(self):
+        with pytest.raises(TypeError):
+            event_to_dict("nope")
+
+    def test_job_defaults_tolerated(self):
+        job = event_from_dict({"kind": "job", "time": 1.0, "inputs": ["/a"]})
+        assert job.job_id == -1
+        assert job.input_size == 0
+        assert job.outputs == []
+
+
+class TestStreamingJsonl:
+    @pytest.mark.parametrize("suffix", ["jsonl", "jsonl.gz"])
+    def test_trace_round_trip(self, tmp_path, suffix):
+        trace = synthesize_trace(scaled_profile(FB_PROFILE, 0.05), seed=3)
+        path = str(tmp_path / f"trace.{suffix}")
+        written = save_events(trace, path)
+        events = list(iter_events(path))
+        assert written == len(events)
+        assert events == list(trace.events())
+        header = read_stream_header(path)
+        assert header["name"] == trace.name
+        assert header["duration"] == trace.duration
+        assert stream_duration(path) == trace.duration
+
+    def test_append_writer_continues_a_file(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with EventWriter(path, name="t", duration=10.0) as writer:
+            writer.write(SAMPLE_EVENTS[0])
+        with EventWriter(path, append=True) as writer:
+            writer.write_all(SAMPLE_EVENTS[1:])
+            assert writer.events_written == 2
+        assert list(iter_events(path)) == SAMPLE_EVENTS
+
+    def test_write_after_close_rejected(self, tmp_path):
+        writer = EventWriter(str(tmp_path / "t.jsonl"))
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.write(SAMPLE_EVENTS[0])
+
+    def test_headerless_file_readable(self, tmp_path):
+        path = tmp_path / "raw.jsonl"
+        path.write_text('{"kind": "create", "time": 1.0, "path": "/a", "bytes": 5}\n')
+        assert read_stream_header(str(path)) == {}
+        assert list(iter_events(str(path))) == [FileCreation("/a", 5, 1.0)]
+        assert stream_duration(str(path)) == 1.0
+
+    def test_bad_stream_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "header", "format_version": 99}\n')
+        with pytest.raises(ValueError, match="version"):
+            read_stream_header(str(path))
+
+    def test_misplaced_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"kind": "create", "time": 1.0, "path": "/a", "bytes": 5}\n'
+            '{"kind": "header", "format_version": 1}\n'
+        )
+        with pytest.raises(ValueError, match="header after first line"):
+            list(iter_events(str(path)))
+
+    def test_save_events_is_streaming(self, tmp_path):
+        """save_events drains a generator without materializing it."""
+
+        def generator():
+            for event in SAMPLE_EVENTS:
+                yield event
+
+        path = str(tmp_path / "gen.jsonl")
+        assert save_events(generator(), path, name="gen", duration=9.0) == 3
+        assert list(iter_events(path)) == SAMPLE_EVENTS
