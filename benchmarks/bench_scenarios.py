@@ -12,7 +12,11 @@ under both I/O pricing models and records, per run:
   memory-boundedness story: per-run RSS must not scale with stream
   length.  (``ru_maxrss`` would be useless here — it is a
   process-lifetime high-water mark, so one big early run would mask
-  everything after it.)
+  everything after it.);
+* the back-pressure counters (``pump_lead_{mean,max}_seconds``,
+  ``pump_late_events``, ``queue_delay_seconds``) — deterministic
+  simulation-time values, but compared informationally first (see
+  ``docs/benchmarks.md``).
 
 Usage::
 
@@ -86,6 +90,10 @@ def bench_one(name: str, scale: float, io_model: str, seed: int, workers: int):
         "runtime_seconds": round(wall, 3),
         "events_per_second": round(events / wall, 1) if wall > 0 else 0.0,
         "rss_mb": round(current_rss_mb(), 1),
+        "pump_lead_mean_seconds": round(result.pump_lead_mean_seconds, 3),
+        "pump_lead_max_seconds": round(result.pump_lead_max_seconds, 3),
+        "pump_late_events": result.pump_late_events,
+        "queue_delay_seconds": round(sum(result.queue_delay_by_tier.values()), 3),
     }
 
 

@@ -48,14 +48,30 @@ INFORMATIONAL_KEYS = frozenset(
         "fairshare_over_snapshot",
         "within_budget",
         "rss_mb",
+        "pump_late_events",
+        "queue_delay_seconds",
     }
 )
+
+#: Back-pressure counters are deterministic simulation-time values, but
+#: new — compared informationally for their first PR (see ROADMAP/
+#: docs/benchmarks.md for the promotion plan).  Matched by substring so
+#: the per-tier breakdown (``queue_delay_by_tier.<TIER>``) is covered
+#: for every hierarchy preset.
+INFORMATIONAL_SUBSTRINGS = ("queue_delay", "pump_lead")
+
 #: Metrics excluded from comparison entirely (environment descriptors).
 SKIPPED_KEYS = frozenset({"python", "label"})
 
 #: Wall-clock baselines below this many seconds are dominated by fixed
 #: process overhead and scheduler noise; they carry no regression signal.
 WALL_CLOCK_FLOOR_SECONDS = 0.5
+
+
+def _informational(key: str, leaf: str) -> bool:
+    return leaf in INFORMATIONAL_KEYS or any(
+        fragment in key for fragment in INFORMATIONAL_SUBSTRINGS
+    )
 
 
 def run_key(run: dict) -> str:
@@ -110,10 +126,17 @@ def compare_report(baseline: dict, current: dict, wall_tolerance: float):
             continue
         in_base, in_cur = key in base_flat, key in cur_flat
         if not (in_base and in_cur):
-            yield Diff(key, base_flat.get(key), cur_flat.get(key), "presence", False)
+            if _informational(key, leaf):
+                # A new informational metric missing from an old baseline
+                # (or vice versa) is reported, not failed.
+                yield Diff(key, base_flat.get(key), cur_flat.get(key), "info", True)
+            else:
+                yield Diff(
+                    key, base_flat.get(key), cur_flat.get(key), "presence", False
+                )
             continue
         base_value, cur_value = base_flat[key], cur_flat[key]
-        if leaf in INFORMATIONAL_KEYS:
+        if _informational(key, leaf):
             yield Diff(key, base_value, cur_value, "info", True)
         elif leaf in WALL_CLOCK_KEYS:
             ok = True

@@ -7,6 +7,7 @@ Usage::
     python -m repro scenario stats diurnal --param tenants=5
     python -m repro scenario run flashcrowd --downgrade lru --upgrade osa
     python -m repro scenario run --trace mytrace.jsonl.gz
+    python -m repro scenario run fb --out - | python -m repro live -
     python -m repro experiment fig06 fig07
     python -m repro synthesize --workload CMU --out cmu.json
     python -m repro list scenarios
@@ -15,13 +16,17 @@ Usage::
 The ``experiment`` subcommand maps directly onto the per-figure runners
 in :mod:`repro.experiments`, printing the same text tables the benchmark
 harness emits; ``scenario`` drives the streaming workload subsystem
-(:mod:`repro.workload.scenarios`); ``list`` enumerates every pluggable
-dimension from one registry helper (:mod:`repro.common.catalog`).
+(:mod:`repro.workload.scenarios`); ``live`` replays a JSONL event
+stream arriving over a pipe, FIFO, or socket through the full system
+online (:mod:`repro.workload.live`); ``list`` enumerates every
+pluggable dimension from one registry helper
+(:mod:`repro.common.catalog`).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Any, Callable, Dict, Tuple
@@ -48,6 +53,7 @@ def _experiment_registry() -> Dict[str, Tuple[Callable[[], object], Callable]]:
     from repro.experiments import learning_modes as lm
     from repro.experiments import model_eval as me
     from repro.experiments import overheads as oh
+    from repro.experiments import preset_tuning as pt
     from repro.experiments import scalability as sc
     from repro.experiments import scenarios as sn
     from repro.experiments import table03_bins as t3
@@ -89,6 +95,7 @@ def _experiment_registry() -> Dict[str, Tuple[Callable[[], object], Callable]]:
             lambda r: ab.render_ablation(r, "XGB candidate width sweep"),
         ),
         "tuning": (tu.run_tuning, tu.render_tuning),
+        "tuning-presets": (pt.run_preset_tuning, pt.render_preset_tuning),
         "autocache": (ac.run_autocache, ac.render_autocache),
         "fault-tolerance": (
             ft.run_fault_tolerance,
@@ -156,6 +163,7 @@ def _system_config(args: argparse.Namespace, conf: Dict[str, Any]) -> SystemConf
         io_model=args.io_model,
         cache_mode=args.cache_mode,
         tier_aware_scheduler=args.tier_aware,
+        preset=args.preset,
         conf=conf,
     )
 
@@ -228,7 +236,10 @@ def _print_run(result, runner, args: argparse.Namespace, wall: float) -> None:
         print(f"events/second:    {sim.events_processed / wall:,.0f}")
         print(f"events cancelled: {sim.events_cancelled}")
         print(f"heap compactions: {sim.heap_compactions}")
-        print(f"live pending:     {sim.pending} (heap {sim.heap_size})")
+        print(
+            f"live pending:     {sim.pending} "
+            f"(heap {sim.heap_size}, peak {sim.max_heap_size})"
+        )
         io_stats = result.io_stats
         if io_stats.get("model") == "fairshare":
             print(f"flow recomputes:  {io_stats['recomputes']}")
@@ -236,6 +247,39 @@ def _print_run(result, runner, args: argparse.Namespace, wall: float) -> None:
             print(f"max component:    {io_stats['max_component']}")
             print(f"vector solves:    {io_stats['vector_solves']}")
             print(f"rescheduled:      {io_stats['events_rescheduled']}")
+        _print_backpressure(result)
+
+
+def _print_backpressure(result) -> None:
+    """The back-pressure block of ``--perf`` (pump, queues, transport)."""
+    lines = []
+    if result.pump_events:
+        lines.append(
+            f"pump lead:        mean {result.pump_lead_mean_seconds:.2f}s, "
+            f"max {result.pump_lead_max_seconds:.2f}s "
+            f"({result.pump_events} events, {result.pump_late_events} late)"
+        )
+    delays = {
+        name: delay
+        for name, delay in result.queue_delay_by_tier.items()
+        if delay > 0.0
+    }
+    if delays:
+        rendered = " ".join(f"{name}={delay:.1f}s" for name, delay in delays.items())
+        lines.append(f"queue delay/tier: {rendered}")
+    if result.live_stats:
+        live = result.live_stats
+        lines.append(
+            f"live transport:   {live['events_received']} received, "
+            f"{live['events_reordered']} reordered "
+            f"(max disorder {live['max_disorder_seconds']:.1f}s), "
+            f"{live['events_late']} late ({live['events_clamped']} clamped, "
+            f"{live['events_dropped']} dropped)"
+        )
+    if lines:
+        print("-- back-pressure " + "-" * 35)
+        for line in lines:
+            print(line)
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -324,13 +368,74 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     from repro.engine.runner import WorkloadRunner
 
     stream = _build_stream(args)
+    if args.out:
+        # Export mode: serialize the event stream instead of running the
+        # system.  With --out - this is the producing end of the live
+        # pipe demo (`... --out - | repro live -`); the end sentinel lets
+        # the consumer finish without relying on EOF.
+        from repro.workload.serialize import save_events
+
+        written = save_events(stream, args.out, end_sentinel=True)
+        print(
+            f"wrote {written} events to "
+            f"{'stdout' if args.out == '-' else args.out}",
+            file=sys.stderr,
+        )
+        return 0
     config = _system_config(args, conf={})
     config.label = stream.name
+    # Name the scenario on the config so preset auto-selection applies
+    # (external traces carry no scenario name, hence no auto preset).
+    config.scenario = args.name
     runner = WorkloadRunner(stream, config)
     wall_start = time.perf_counter()
     result = runner.run()
     wall = time.perf_counter() - wall_start
     print(f"scenario:         {stream.name}")
+    preset = config.resolve_preset()
+    if preset is not None:
+        print(f"preset:           {preset.name}")
+    _print_run(result, runner, args, wall)
+    return 0
+
+
+def cmd_live(args: argparse.Namespace) -> int:
+    from repro.engine.runner import WorkloadRunner
+    from repro.workload.live import LiveStream
+
+    stream = LiveStream(
+        args.source,
+        reorder_depth=args.reorder_depth,
+        late=args.late,
+        name=args.name,
+        duration=args.duration,
+        compression="gzip" if args.gzip else None,
+    )
+    config = _system_config(args, conf={})
+    config.label = stream.name
+    config.scenario = args.scenario
+    runner = WorkloadRunner(stream, config)
+    wall_start = time.perf_counter()
+    try:
+        result = runner.run()
+    finally:
+        stream.close()
+    wall = time.perf_counter() - wall_start
+    print(f"live stream:      {stream.name}")
+    live = stream.live_stats
+    print(
+        f"events received:  {live.events_received} "
+        f"({live.events_late} late, {live.events_dropped} dropped, "
+        f"{live.events_clamped} clamped)"
+    )
+    print(
+        f"reordered:        {live.events_reordered} "
+        f"(max disorder {live.max_disorder_seconds:.1f}s, "
+        f"buffer peak {live.max_buffer_depth}/{stream.reorder_depth})"
+    )
+    preset = config.resolve_preset()
+    if preset is not None:
+        print(f"preset:           {preset.name}")
     _print_run(result, runner, args, wall)
     return 0
 
@@ -413,7 +518,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_stream_flags(p_scn_run)
     _add_system_flags(p_scn_run)
+    p_scn_run.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "serialize the event stream to FILE (JSONL, .gz aware; '-' = "
+            "stdout for piping into `repro live -`) instead of running it"
+        ),
+    )
     p_scn_run.set_defaults(func=cmd_scenario_run)
+
+    p_live = sub.add_parser(
+        "live",
+        help="replay a JSONL event stream arriving over a pipe/FIFO/socket",
+    )
+    p_live.add_argument(
+        "source",
+        help=(
+            "event source: '-' (stdin), a file/FIFO path (.gz aware), or "
+            "tcp://host:port"
+        ),
+    )
+    p_live.add_argument(
+        "--reorder-depth",
+        type=int,
+        default=64,
+        help="events held for re-sorting out-of-order arrivals (default 64)",
+    )
+    p_live.add_argument(
+        "--late",
+        choices=("clamp", "drop", "error"),
+        default="clamp",
+        help="events later than the reorder bound: clamp to last emitted "
+        "time (default), drop, or error out",
+    )
+    p_live.add_argument(
+        "--gzip",
+        action="store_true",
+        help="gunzip the source on the fly (implied by a .gz path)",
+    )
+    p_live.add_argument("--name", default=None, help="workload label override")
+    p_live.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="nominal submission-window end (default: stream header, else "
+        "run until the stream is exhausted)",
+    )
+    p_live.add_argument(
+        "--scenario",
+        default=None,
+        help="scenario name for preset auto-selection (see --preset)",
+    )
+    _add_system_flags(p_live)
+    p_live.set_defaults(func=cmd_live)
 
     p_syn = sub.add_parser("synthesize", help="export a synthesized trace")
     p_syn.add_argument("--workload", choices=sorted(PROFILES), default="FB")
@@ -495,6 +654,15 @@ def _add_system_flags(parser: argparse.ArgumentParser) -> None:
         help="tier-aware task scheduler (default: stock tier-unaware)",
     )
     parser.add_argument(
+        "--preset",
+        default="auto",
+        help=(
+            "policy preset: 'auto' (default) applies the preset registered "
+            "for the scenario being run, 'none' disables presets, or name "
+            "one explicitly (see: repro list presets)"
+        ),
+    )
+    parser.add_argument(
         "--perf",
         action="store_true",
         help=(
@@ -510,6 +678,11 @@ def main(argv=None) -> int:
         return args.func(args)
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `| head`): not an error.
+        # Point stdout at /dev/null so the interpreter's shutdown flush
+        # does not hit EPIPE again (which would override this clean exit
+        # with status 120 and stderr noise).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
         return 0
 
 

@@ -14,6 +14,7 @@ from typing import Dict, List
 def catalog() -> Dict[str, List[str]]:
     """Names of every registered pluggable, keyed by dimension."""
     from repro.cluster.hardware import hierarchy_names
+    from repro.core.presets import preset_names
     from repro.core.registry import (
         DOWNGRADE_POLICY_NAMES,
         EXTRA_DOWNGRADE_POLICY_NAMES,
@@ -31,6 +32,7 @@ def catalog() -> Dict[str, List[str]]:
         "placements": sorted(PLACEMENT_NAMES),
         "workloads": sorted(PROFILES),
         "scenarios": scenario_names(),
+        "presets": preset_names(),
         "downgrade-policies": sorted(
             set(DOWNGRADE_POLICY_NAMES) | set(EXTRA_DOWNGRADE_POLICY_NAMES)
         ),

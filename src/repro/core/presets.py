@@ -1,0 +1,152 @@
+"""Scenario-aware policy presets: tuned operating points per load shape.
+
+The paper's thresholds (Sec 5.1: start downgrading at 90% tier
+utilization, stop at 85%) and retraining cadence were chosen for the two
+production-derived traces.  The scenario library
+(:mod:`repro.workload.scenarios`) deliberately stresses the policies
+with very different shapes — flash crowds want free headroom *before*
+the spike, scan-heavy ML churns whatever the downgrade loop frees,
+phase-shifting hot sets punish long memories — so each registered
+scenario gets a preset: a small configuration overlay tuning the
+downgrade thresholds, the XGB retrain cadence (``trainer.interval``),
+and the recency half-life where it matters.
+
+Selection is automatic: :class:`~repro.engine.runner.SystemConfig`
+applies the preset matching its ``scenario`` name when ``preset`` is
+``"auto"`` (the default).  Explicit ``conf`` keys always win over preset
+keys, a preset name forces a specific preset regardless of scenario, and
+``None``/``"none"`` disables presets entirely — configurations that
+never set ``scenario`` (every pre-preset caller) resolve no preset and
+reproduce bit-identically.
+
+The ``tuning-presets`` experiment
+(:mod:`repro.experiments.preset_tuning`) records the preset-vs-default
+delta per scenario; ``docs/scenarios.md`` tabulates the values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.common.units import HOURS, MINUTES
+
+
+@dataclass(frozen=True)
+class PolicyPreset:
+    """One named configuration overlay (see :mod:`repro.common.config`)."""
+
+    name: str
+    description: str
+    conf: Mapping[str, Any] = field(default_factory=dict)
+
+
+PRESETS: Dict[str, PolicyPreset] = {}
+
+
+def register_preset(name: str, description: str, **conf: Any) -> PolicyPreset:
+    """Register a preset under ``name`` (usually a scenario name)."""
+    preset = PolicyPreset(name=name, description=description, conf=conf)
+    PRESETS[name] = preset
+    return preset
+
+
+def preset_names() -> List[str]:
+    return sorted(PRESETS)
+
+
+def get_preset(name: str) -> PolicyPreset:
+    if name not in PRESETS:
+        raise ValueError(f"unknown preset {name!r}; available: {preset_names()}")
+    return PRESETS[name]
+
+
+def preset_for_scenario(scenario: Optional[str]) -> Optional[PolicyPreset]:
+    """The preset auto-selected for a scenario name (None when unset or
+    no preset is registered under that name)."""
+    if scenario is None:
+        return None
+    return PRESETS.get(scenario)
+
+
+# -- the per-scenario operating points ---------------------------------------
+register_preset(
+    "fb",
+    "The paper's tuned operating point: the defaults were chosen on this "
+    "trace, so the preset pins them explicitly.",
+    **{
+        "downgrade.start_threshold": 0.90,
+        "downgrade.stop_threshold": 0.85,
+        "trainer.interval": 5 * MINUTES,
+    },
+)
+
+register_preset(
+    "cmu",
+    "Cyclic scientific re-reads: more headroom between threshold crossings "
+    "and a slower retrain cadence (the access pattern drifts slowly).",
+    **{
+        "downgrade.start_threshold": 0.85,
+        "downgrade.stop_threshold": 0.75,
+        "trainer.interval": 10 * MINUTES,
+    },
+)
+
+register_preset(
+    "diurnal",
+    "Day/night cycles: clean premium tiers aggressively off-peak and keep "
+    "the recency half-life near the demand swing period.",
+    **{
+        "downgrade.start_threshold": 0.85,
+        "downgrade.stop_threshold": 0.70,
+        "trainer.interval": 10 * MINUTES,
+        "lrfu.half_life": 2 * HOURS,
+    },
+)
+
+register_preset(
+    "flashcrowd",
+    "Hot-set spikes: keep free headroom ahead of the crowd and retrain "
+    "fast enough to catch a 20-minute spike.",
+    **{
+        "downgrade.start_threshold": 0.80,
+        "downgrade.stop_threshold": 0.70,
+        "trainer.interval": 2 * MINUTES,
+        "xgb.upgrade_window": 15 * MINUTES,
+    },
+)
+
+register_preset(
+    "mlscan",
+    "Epoch-scale scans: avoid churn (scans evict everything anyway), "
+    "retrain slowly, and size the downgrade window to the epoch gap.",
+    **{
+        "downgrade.start_threshold": 0.95,
+        "downgrade.stop_threshold": 0.90,
+        "trainer.interval": 15 * MINUTES,
+        "xgb.downgrade_window": 2 * HOURS,
+    },
+)
+
+register_preset(
+    "oscillating",
+    "Phase-shifting hot set: forget fast (short half-life), retrain fast, "
+    "and free space eagerly at each phase boundary.",
+    **{
+        "downgrade.start_threshold": 0.85,
+        "downgrade.stop_threshold": 0.75,
+        "trainer.interval": 2 * MINUTES,
+        "lrfu.half_life": 30 * MINUTES,
+    },
+)
+
+register_preset(
+    "pipeline",
+    "Dataset lifecycle: retirement is predictable, so downgrade early and "
+    "deep — cooled datasets never come back.",
+    **{
+        "downgrade.start_threshold": 0.80,
+        "downgrade.stop_threshold": 0.65,
+        "trainer.interval": 5 * MINUTES,
+    },
+)

@@ -52,6 +52,13 @@ class WriteLeg:
     node_id: str
 
 
+def _bottleneck_leg(legs: List[WriteLeg]) -> WriteLeg:
+    """The write leg queue delay is attributed to: the slowest medium
+    in the replica pipeline (shared by both pricing models so the
+    attribution cannot drift between them)."""
+    return min(legs, key=lambda leg: leg.device.profile.write_bw)
+
+
 class IoModel:
     """Tracks active streams/flows and prices read/write/transfer ops."""
 
@@ -86,6 +93,14 @@ class IoModel:
         self._ops_priced = 0
         self._priced_seconds = 0.0
         self._ideal_seconds = 0.0
+        #: Queue-delay accounting, both models: simulation seconds each
+        #: operation spent beyond its uncontended ideal, attributed to
+        #: the tier of the bottleneck device (reads/transfers: the
+        #: device served; writes: the slowest replica leg).  Pure
+        #: bookkeeping — never feeds back into pricing.
+        self.queue_delay_by_tier: Dict[str, float] = {
+            tier.name: 0.0 for tier in topology.hierarchy
+        }
         # -- fair-share resource graph --------------------------------------
         self.engine: Optional[FairShareEngine] = None
         self._dev_resource: Dict[str, Resource] = {}
@@ -209,7 +224,9 @@ class IoModel:
         duration = device.profile.seek_latency + size / bandwidth
         self._ops_priced += 1
         self._priced_seconds += duration
-        self._ideal_seconds += device.profile.seek_latency + size / ideal
+        ideal_duration = device.profile.seek_latency + size / ideal
+        self._ideal_seconds += ideal_duration
+        self.queue_delay_by_tier[device.tier.name] += duration - ideal_duration
         release = self._acquire([device_id], net_nodes)
         return duration, release
 
@@ -245,7 +262,11 @@ class IoModel:
         duration = latency + size / bandwidth
         self._ops_priced += 1
         self._priced_seconds += duration
-        self._ideal_seconds += latency + size / ideal
+        ideal_duration = latency + size / ideal
+        self._ideal_seconds += ideal_duration
+        self.queue_delay_by_tier[_bottleneck_leg(legs).device.tier.name] += (
+            duration - ideal_duration
+        )
         release = self._acquire(device_ids, sorted(net_nodes))
         return duration, release
 
@@ -307,6 +328,42 @@ class IoModel:
         links.add(self._nic_resource.get(accessing_node))
 
     # -- fair-share operations -----------------------------------------------
+    @staticmethod
+    def _lone_flow_bw(links: "IoModel._LinkSet") -> float:
+        """The rate the engine would give this flow running alone.
+
+        A lone flow on a resource of capacity ``C`` with weight ``w``
+        gets ``C / w`` (e.g. a write on a device resource of capacity
+        ``read_bw`` with weight ``read_bw/write_bw`` gets ``write_bw``).
+        Deriving the uncontended ideal from the flow's *actual* links
+        keeps it honest about structural caps (remote endpoints, rack
+        uplinks): only genuine contention counts as queue delay.
+        """
+        return min(
+            resource.capacity / weight for resource, weight in links.as_list()
+        )
+
+    def _track_queue_delay(
+        self,
+        tier_name: str,
+        ideal_duration: float,
+        on_complete: Callable[[], None],
+    ) -> Callable[[], None]:
+        """Wrap a flow completion to account realized-minus-ideal time.
+
+        The wrapper only adds bookkeeping at the completion instant —
+        flow rates, event order, and timing are untouched, so results
+        stay bit-identical with the accounting in place.
+        """
+        start = self.sim.now()
+
+        def done() -> None:
+            realized = self.sim.now() - start
+            self.queue_delay_by_tier[tier_name] += max(0.0, realized - ideal_duration)
+            on_complete()
+
+        return done
+
     def read(
         self,
         size: int,
@@ -325,6 +382,11 @@ class IoModel:
         if remote:
             self._add_network_legs(links, source_node, reader_node)
         self._add_endpoint_leg(links, device, reader_node)
+        on_complete = self._track_queue_delay(
+            device.tier.name,
+            device.profile.seek_latency + size / self._lone_flow_bw(links),
+            on_complete,
+        )
         return engine.submit(
             size,
             links.as_list(),
@@ -358,6 +420,11 @@ class IoModel:
             self._add_endpoint_leg(
                 links, leg.device, writer_node if writer_node else leg.node_id
             )
+        on_complete = self._track_queue_delay(
+            _bottleneck_leg(legs).device.tier.name,
+            latency + size / self._lone_flow_bw(links),
+            on_complete,
+        )
         return engine.submit(
             size, links.as_list(), on_complete, latency=latency, name=name
         )
@@ -391,11 +458,15 @@ class IoModel:
         # writing to one sends them from the source node.
         self._add_endpoint_leg(links, src, target_node)
         self._add_endpoint_leg(links, dst, source_node)
+        latency = src.profile.seek_latency + dst.profile.seek_latency
+        on_complete = self._track_queue_delay(
+            dst.tier.name, latency + size / self._lone_flow_bw(links), on_complete
+        )
         return engine.submit(
             size,
             links.as_list(),
             on_complete,
-            latency=src.profile.seek_latency + dst.profile.seek_latency,
+            latency=latency,
             name=name,
         )
 
@@ -440,9 +511,14 @@ class IoModel:
 
     def io_stats(self) -> Dict[str, Any]:
         """Cumulative contention statistics (benchmark-friendly)."""
+        queue_delays = {
+            name: round(delay, 6)
+            for name, delay in self.queue_delay_by_tier.items()
+        }
         if self.engine is not None:
             return {
                 "model": "fairshare",
+                "queue_delay_by_tier": queue_delays,
                 "flows_started": self.engine.flows_started,
                 "flows_completed": self.engine.flows_completed,
                 "recomputes": self.engine.recomputes,
@@ -456,6 +532,7 @@ class IoModel:
             }
         return {
             "model": "snapshot",
+            "queue_delay_by_tier": queue_delays,
             "ops_priced": self._ops_priced,
             "realized_io_seconds": self._priced_seconds,
             "ideal_io_seconds": self._ideal_seconds,

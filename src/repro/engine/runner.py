@@ -20,6 +20,7 @@ Octopus++          placement="octopus", downgrade/upgrade policies set
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional, Union
 
@@ -95,6 +96,12 @@ class SystemConfig:
     #: carry ``seed``/``scale`` plus any scenario-specific parameter.
     scenario: Optional[str] = None
     scenario_params: Dict[str, Any] = field(default_factory=dict)
+    #: Policy-preset selection (see repro.core.presets): "auto" picks the
+    #: preset registered for ``scenario`` (no-op when none is set, so
+    #: every pre-preset configuration reproduces bit-identically), a
+    #: preset name forces one, and None/"none" disables presets.  Preset
+    #: keys are defaults — anything in ``conf`` wins over them.
+    preset: Optional[str] = "auto"
 
     @property
     def uses_manager(self) -> bool:
@@ -108,9 +115,21 @@ class SystemConfig:
 
         return build_scenario(self.scenario, **self.scenario_params)
 
+    def resolve_preset(self):
+        """The :class:`~repro.core.presets.PolicyPreset` in effect, if any."""
+        from repro.core.presets import get_preset, preset_for_scenario
+
+        if self.preset in (None, "none"):
+            return None
+        if self.preset == "auto":
+            return preset_for_scenario(self.scenario)
+        return get_preset(self.preset)
+
     def effective_conf(self) -> Dict[str, Any]:
-        """The configuration dict with mode-implied keys folded in."""
-        conf = dict(self.conf)
+        """The configuration dict with preset and mode-implied keys folded in."""
+        preset = self.resolve_preset()
+        conf = dict(preset.conf) if preset is not None else {}
+        conf.update(self.conf)
         if self.cache_mode:
             conf.setdefault("manager.cache_mode", True)
             conf.setdefault("downgrade.action", "delete")
@@ -144,6 +163,23 @@ class RunResult:
     transfer_realized_seconds: float = 0.0
     downgrade_model_accuracy: list = field(default_factory=list)
     upgrade_model_accuracy: list = field(default_factory=list)
+    #: Back-pressure observability (streamed workloads).  Pump lead is
+    #: how far ahead of the simulation clock the next workload event was
+    #: when the pump scheduled it (simulation seconds): large leads mean
+    #: the generator is comfortably ahead, near-zero leads mean the
+    #: simulation is consuming events as fast as they arrive.
+    pump_events: int = 0
+    pump_lead_mean_seconds: float = 0.0
+    pump_lead_max_seconds: float = 0.0
+    #: Stream events whose timestamp was already behind the simulation
+    #: clock when pumped (clamped to "now"): the live back-pressure case.
+    pump_late_events: int = 0
+    #: Simulation-time seconds operations spent queued beyond their
+    #: ideal device time, keyed by tier name (from IoModel).
+    queue_delay_by_tier: Dict[str, float] = field(default_factory=dict)
+    #: Live-transport counters (reorder-buffer depth, late/dropped
+    #: events) when the workload was a LiveStream; None otherwise.
+    live_stats: Optional[Dict[str, Any]] = None
 
     def summary(self) -> Dict[str, Any]:
         return {
@@ -209,6 +245,12 @@ class WorkloadRunner:
         self.duration = workload.duration
         self.jobs_submitted = 0
         self.deletions_applied = 0
+        #: Pump instrumentation (streamed workloads; see RunResult).
+        self.pump_events = 0
+        self.pump_lead_total = 0.0
+        self.pump_lead_max = 0.0
+        self.pump_late_events = 0
+        self._stream_exhausted = False
         self.config = config
         self.sim = Simulator()
         self.conf = Configuration(config.effective_conf())
@@ -280,12 +322,26 @@ class WorkloadRunner:
         The pump holds exactly one upcoming workload event in the heap:
         when it fires, the event is applied and the next one is pulled
         from the iterator — the stream is consumed in lockstep with
-        simulation time, never materialized.
+        simulation time, never materialized.  For live sources the
+        ``next()`` call blocks on the transport, so simulation progress
+        naturally throttles to event arrival.
         """
         event = next(events, None)
         if event is None:
+            self._stream_exhausted = True
             return
         t = max(event_time(event), 0.0)
+        now = self.sim.now()
+        lead = t - now
+        self.pump_events += 1
+        if lead < 0:
+            # The event's timestamp is behind the simulation clock (a
+            # live producer falling behind, or a clamped late event):
+            # it fires immediately, at "now".
+            self.pump_late_events += 1
+        else:
+            self.pump_lead_total += lead
+            self.pump_lead_max = max(self.pump_lead_max, lead)
 
         def fire() -> None:
             self._apply_event(event)
@@ -294,7 +350,7 @@ class WorkloadRunner:
         # priority=-1: a pumped trace event must win same-time ties
         # against system events, exactly as pre-scheduled trace events
         # do through their lower sequence numbers (bit-identity).
-        self.sim.at(max(t, self.sim.now()), fire, name="stream-pump", priority=-1)
+        self.sim.at(max(t, now), fire, name="stream-pump", priority=-1)
 
     def _apply_event(self, event: StreamEvent) -> None:
         if isinstance(event, FileCreation):
@@ -329,7 +385,19 @@ class WorkloadRunner:
         """
         self._schedule_events()
         end = self.duration
-        self.sim.run(until=end)
+        if math.isinf(end):
+            # Live stream without a header duration: there is no nominal
+            # end time, so the submission window ends when the stream is
+            # exhausted.  The pump keeps exactly one upcoming event in
+            # the heap while the stream has more, so stepping until
+            # exhaustion consumes the whole stream (blocking on the
+            # transport as needed) without running periodic timers
+            # forever.
+            while not self._stream_exhausted and self.sim.step():
+                pass
+            end = self.duration = self.sim.now()
+        else:
+            self.sim.run(until=end)
         # Drain: keep running until all jobs finished (or the limit hits).
         deadline = end + drain_limit
         while not self.scheduler.idle and self.sim.now() < deadline:
@@ -365,7 +433,17 @@ class WorkloadRunner:
             jobs_submitted=self.jobs_submitted,
             deletions_applied=self.deletions_applied,
             io_stats=self.iomodel.io_stats(),
+            pump_events=self.pump_events,
+            pump_lead_mean_seconds=(
+                self.pump_lead_total / self.pump_events if self.pump_events else 0.0
+            ),
+            pump_lead_max_seconds=self.pump_lead_max,
+            pump_late_events=self.pump_late_events,
+            queue_delay_by_tier=dict(self.iomodel.queue_delay_by_tier),
         )
+        live_stats = getattr(self.stream, "live_stats", None)
+        if live_stats is not None:
+            result.live_stats = live_stats.as_dict()
         if self.manager is not None:
             monitor = self.manager.monitor
             result.transfer_ideal_seconds = monitor.transfer_ideal_seconds
@@ -410,5 +488,7 @@ def run_scenario(
     from repro.workload.scenarios import build_scenario
 
     if config is None:
-        config = SystemConfig(label=name)
+        # Name the scenario so preset auto-selection matches the CLI's
+        # behaviour for the same run; an explicit config is taken as-is.
+        config = SystemConfig(label=name, scenario=name)
     return WorkloadRunner(build_scenario(name, **params), config).run()

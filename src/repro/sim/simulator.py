@@ -99,6 +99,9 @@ class Simulator(Clock):
         #: Cumulative counters (diagnostics / benchmarks).
         self.events_cancelled = 0
         self.heap_compactions = 0
+        #: Peak raw heap length ever reached (tombstones included) —
+        #: the event-queue-depth half of the back-pressure picture.
+        self.max_heap_size = 0
 
     # -- Clock ------------------------------------------------------------
     def now(self) -> float:
@@ -142,6 +145,8 @@ class Simulator(Clock):
             )
         event = Event(time, next(self._seq), callback, name, self, priority)
         heapq.heappush(self._heap, event)
+        if len(self._heap) > self.max_heap_size:
+            self.max_heap_size = len(self._heap)
         return event
 
     def after(

@@ -2,37 +2,21 @@
 
 Real cluster traces (HDFS audit logs, job-history dumps, cache-simulator
 exports) can be replayed through the full system by converting them to
-one of two documented formats and wrapping the file in
+one of two formats and wrapping the file in
 :class:`ExternalTraceStream`.  Ingestion is lazy — lines are decoded one
 at a time — so trace length is bounded by disk, not memory.  Both
 formats are transparently gzip-decompressed for ``*.gz`` paths.
 
-**JSONL** (``*.jsonl`` / ``*.jsonl.gz``) — one event object per line,
-the schema of :func:`repro.workload.serialize.event_to_dict`::
+The normative schemas live in ``docs/stream-protocol.md``:
 
-    {"kind": "header", "format_version": 1, "name": "mytrace", "duration": 21600}
-    {"kind": "create", "time": 0.0, "path": "/data/a", "bytes": 134217728}
-    {"kind": "job", "time": 63.5, "inputs": ["/data/a"], "input_bytes": 134217728,
-     "outputs": [{"path": "/out/j0", "bytes": 1048576}],
-     "cpu_seconds_per_byte": 2.0e-8}
-    {"kind": "delete", "time": 7200.0, "path": "/data/a"}
+* **JSONL** (``*.jsonl`` / ``*.jsonl.gz``) — one event object per line,
+  the wire format of :func:`repro.workload.serialize.event_to_dict`,
+  with an optional header and end-sentinel line;
+* **CSV** (``*.csv`` / ``*.csv.gz``) — a header row naming the columns,
+  one event per row, at most one output per job.
 
-The header line is optional; ``job_id``, ``input_bytes``,
-``cpu_seconds_per_byte``, and ``outputs`` are optional per job.
-
-**CSV** (``*.csv`` / ``*.csv.gz``) — a header row naming any of the
-columns below, one event per row (``kind`` and ``time`` required)::
-
-    kind,time,path,bytes,inputs,output_path,output_bytes,cpu_seconds_per_byte
-    create,0.0,/data/a,134217728,,,,
-    job,63.5,,,/data/a;/data/b,/out/j0,1048576,2.0e-8
-    delete,7200.0,/data/a,,,,,
-
-``inputs`` is a ``;``-separated path list; ``bytes`` on a job row is the
-total input size.  CSV jobs carry at most one output (use JSONL for
-multi-output jobs).
-
-Conveniences applied during ingestion, for both formats:
+Conveniences applied during ingestion, for both formats (shared with
+live replay, :mod:`repro.workload.live`):
 
 * events must be time-ordered (a decreasing timestamp raises
   :class:`~repro.workload.streams.StreamOrderError` with the line context);
@@ -53,7 +37,6 @@ from repro.workload.jobs import (
     OutputSpec,
     StreamEvent,
     TraceJob,
-    event_time,
 )
 from repro.workload.serialize import _open_text, iter_events, read_stream_header
 from repro.workload.streams import (
@@ -125,8 +108,13 @@ def iter_csv_events(path: str) -> Iterator[StreamEvent]:
                 raise ValueError(f"{path}:{row_no}: bad trace row: {exc}") from exc
 
 
-def _fill_input_sizes(events: Iterator[StreamEvent]) -> Iterator[StreamEvent]:
-    """Infer missing job input sizes from the files created so far."""
+def fill_input_sizes(events: Iterator[StreamEvent]) -> Iterator[StreamEvent]:
+    """Infer missing job input sizes from the files created so far.
+
+    Shared by file ingestion and live replay
+    (:class:`repro.workload.live.LiveStream`) so both apply identical
+    conveniences to the same wire schema.
+    """
     sizes: Dict[str, int] = {}
     for event in events:
         if isinstance(event, FileCreation):
@@ -150,6 +138,11 @@ class ExternalTraceStream(WorkloadStream):
     and **lazy** — it runs only when ``duration`` is first read (the
     runner needs it; a bounded ``stats(max_events=...)`` pass does not)
     — and is skipped entirely when ``duration`` is passed explicitly.
+
+    The duration scan doubles as the statistics walk: whichever of
+    ``duration``/``stats()`` runs first caches a full
+    :class:`~repro.workload.streams.StreamStats`, so reading both costs
+    one decode pass over the file, not two.
     """
 
     def __init__(
@@ -170,13 +163,16 @@ class ExternalTraceStream(WorkloadStream):
         if duration is None and "duration" in header:
             duration = float(header["duration"])
         self._duration = None if duration is None else float(duration)
+        #: Cached unbounded statistics pass (see class docstring).
+        self._stats: Optional[StreamStats] = None
 
     @property
     def duration(self) -> float:
         if self._duration is None:
-            self._duration = max(
-                (event_time(e) for e in self._raw_events()), default=0.0
-            )
+            # The duration scan has to decode every event anyway, so run
+            # it as the full statistics walk and cache that too — a
+            # later stats() call costs nothing extra.
+            self._duration = self.stats().last_time
         return self._duration
 
     def _raw_events(self) -> Iterator[StreamEvent]:
@@ -186,12 +182,14 @@ class ExternalTraceStream(WorkloadStream):
 
     def events(self) -> Iterator[StreamEvent]:
         return number_jobs(
-            _fill_input_sizes(ordered(self._raw_events(), name=self.name))
+            fill_input_sizes(ordered(self._raw_events(), name=self.name))
         )
 
     def stats(self, max_events: Optional[int] = None) -> StreamStats:
         # Not via super(): the base implementation reads self.duration,
         # which would force the full-file scan a bounded pass avoids.
+        if max_events is None and self._stats is not None:
+            return self._stats
         stats = StreamStats(name=self.name, duration=self._duration or 0.0)
         for event in itertools.islice(self.events(), max_events):
             stats.add(event)
@@ -201,6 +199,8 @@ class ExternalTraceStream(WorkloadStream):
             if max_events is None:
                 self._duration = stats.last_time
             stats.duration = stats.last_time
+        if max_events is None:
+            self._stats = stats
         return stats
 
 

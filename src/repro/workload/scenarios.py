@@ -8,7 +8,7 @@ access pattern that stresses tiering differently:
 
 ``fb`` / ``cmu``
     The paper's derived workloads behind the stream protocol
-    (compat wrappers over :class:`TraceSynthesizer`).
+    (compat wrappers over :class:`~repro.workload.synthesis.TraceSynthesizer`).
 ``diurnal``
     Multi-tenant day/night cycles: phase-shifted sinusoidal arrival
     rates per tenant.  Tier demand swings hourly, so static placements
@@ -34,7 +34,8 @@ Every builder takes ``(seed, scale, **params)`` and returns a
 :class:`WorkloadStream`.  ``scale`` stretches the *length* of the
 generated scenarios (duration at constant rate — a 10x run streams 10x
 the events in the same memory); for ``fb``/``cmu`` it scales job count
-and bytes, matching :func:`scaled_profile`.  All randomness flows
+and bytes, matching :func:`~repro.workload.profiles.scaled_profile`.
+All randomness flows
 through ``numpy`` generators seeded from ``seed``, so
 ``build_scenario(name, seed=s, **params)`` is a pure function of its
 arguments: the registry round-trips name + params to the identical

@@ -8,10 +8,14 @@ Two formats live here:
 * **Streaming JSONL** (:func:`save_events` / :func:`iter_events` /
   :class:`EventWriter`): one event per line, readable and writable
   incrementally, transparently gzip-compressed for ``*.gz`` paths.  An
-  optional header line carries the workload name and duration.  This is
-  the on-disk form of the stream protocol
-  (:mod:`repro.workload.streams`) and the JSONL half of the external
-  trace schema (:mod:`repro.workload.external`).
+  optional header line carries the workload name and duration; an
+  optional ``{"kind": "end"}`` sentinel line marks a clean end of
+  stream (pipes and sockets cannot always rely on EOF).  This is the
+  on-disk *and* on-the-wire form of the stream protocol
+  (:mod:`repro.workload.streams`, :mod:`repro.workload.live`) and the
+  JSONL half of the external trace schema
+  (:mod:`repro.workload.external`).  The full line schema is specified
+  in ``docs/stream-protocol.md``.
 
 Synthesized workloads are deterministic given a seed, but exporting a
 trace pins the exact event sequence for sharing, regression baselines,
@@ -22,6 +26,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import sys
 from typing import Any, Dict, IO, Iterable, Iterator, Optional, Union
 
 from repro.workload.jobs import (
@@ -38,6 +43,9 @@ FORMAT_VERSION = 1
 
 #: Streaming JSONL format version (header line ``kind: "header"``).
 EVENT_FORMAT_VERSION = 1
+
+#: ``kind`` of the optional end-of-stream sentinel line.
+END_KIND = "end"
 
 
 def trace_to_dict(trace: Trace) -> Dict[str, Any]:
@@ -166,11 +174,21 @@ class EventWriter:
     continues an existing file (no header is written); otherwise a
     header line records the workload name, duration, and format version.
 
+    ``path`` may be ``"-"`` for standard output, which turns the writer
+    into the producing end of a pipe (``repro scenario run --out -``):
+    every line is flushed as it is written (``auto_flush`` defaults to
+    True for stdout) so a live consumer sees events as they are
+    generated, and a consumer that hangs up early (``SIGPIPE`` →
+    :class:`BrokenPipeError`) is treated as a clean stop — :meth:`close`
+    and context exit flush what the pipe will still take and swallow the
+    broken-pipe error instead of losing buffered events silently.
+
     Usable as a context manager::
 
         with EventWriter("trace.jsonl.gz", name="FB", duration=21600) as w:
             for event in stream:
                 w.write(event)
+            w.write_end()
     """
 
     def __init__(
@@ -179,10 +197,17 @@ class EventWriter:
         name: Optional[str] = None,
         duration: Optional[float] = None,
         append: bool = False,
+        auto_flush: Optional[bool] = None,
     ) -> None:
         self.path = path
-        self._handle: Optional[IO[str]] = _open_text(path, "a" if append else "w")
+        self._stdout = path == "-"
+        if self._stdout:
+            self._handle: Optional[IO[str]] = sys.stdout
+        else:
+            self._handle = _open_text(path, "a" if append else "w")
+        self.auto_flush = self._stdout if auto_flush is None else auto_flush
         self.events_written = 0
+        self._ended = False
         if not append:
             header = {
                 "kind": "header",
@@ -198,6 +223,8 @@ class EventWriter:
         if self._handle is None:
             raise ValueError(f"writer for {self.path} is closed")
         self._handle.write(json.dumps(record) + "\n")
+        if self.auto_flush:
+            self._handle.flush()
 
     def write(self, event: StreamEvent) -> None:
         self._write_line(event_to_dict(event))
@@ -208,10 +235,29 @@ class EventWriter:
             self.write(event)
         return self.events_written
 
+    def write_end(self) -> None:
+        """Write the end-of-stream sentinel line (idempotent)."""
+        if not self._ended:
+            self._write_line({"kind": END_KIND})
+            self._ended = True
+
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        """Flush and release the underlying handle (stdout stays open)."""
+        if self._handle is None:
+            return
+        handle, self._handle = self._handle, None
+        try:
+            handle.flush()
+        except BrokenPipeError:
+            # The consumer hung up (e.g. `| head`); everything it was
+            # willing to read has been delivered — not a data loss.
+            pass
+        finally:
+            if not self._stdout:
+                try:
+                    handle.close()
+                except BrokenPipeError:
+                    pass
 
     def __enter__(self) -> "EventWriter":
         return self
@@ -225,12 +271,15 @@ def save_events(
     path: str,
     name: Optional[str] = None,
     duration: Optional[float] = None,
+    end_sentinel: bool = False,
 ) -> int:
     """Stream ``workload`` (a trace or any event iterable) to JSONL.
 
     Returns the number of events written.  Traces and
     :class:`~repro.workload.streams.WorkloadStream` objects supply their
-    own name/duration unless overridden.
+    own name/duration unless overridden.  ``end_sentinel`` appends the
+    end-of-stream line — recommended when the output is a pipe
+    (``path="-"``) so the consumer need not rely on EOF.
     """
     if name is None:
         name = getattr(workload, "name", None)
@@ -238,7 +287,10 @@ def save_events(
         duration = getattr(workload, "duration", None)
     events = workload.events() if isinstance(workload, Trace) else iter(workload)
     with EventWriter(path, name=name, duration=duration) as writer:
-        return writer.write_all(events)
+        written = writer.write_all(events)
+        if end_sentinel:
+            writer.write_end()
+        return written
 
 
 def read_stream_header(path: str) -> Dict[str, Any]:
@@ -272,6 +324,8 @@ def iter_events(path: str) -> Iterator[StreamEvent]:
                 if line_no != 1:
                     raise ValueError(f"{path}:{line_no}: header after first line")
                 continue
+            if record.get("kind") == END_KIND:
+                return
             yield event_from_dict(record)
 
 

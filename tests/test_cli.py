@@ -247,3 +247,113 @@ class TestSimulateExtensions:
         assert code == 0
         out = capsys.readouterr().out
         assert "outages:" in out
+
+
+class TestLiveCommands:
+    def export(self, tmp_path, name="fb", out="stream.jsonl"):
+        path = str(tmp_path / out)
+        assert (
+            main(["scenario", "run", name, "--scale", "0.05", "--out", path]) == 0
+        )
+        return path
+
+    def test_scenario_run_out_exports_instead_of_running(self, tmp_path, capsys):
+        path = self.export(tmp_path)
+        err = capsys.readouterr().err
+        assert "wrote" in err and path in err
+        # The exported file ends with the end-of-stream sentinel.
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        assert json.loads(lines[0])["kind"] == "header"
+        assert json.loads(lines[-1])["kind"] == "end"
+
+    def test_live_replays_exported_stream(self, tmp_path, capsys):
+        path = self.export(tmp_path)
+        code = main(
+            [
+                "live",
+                path,
+                "--workers",
+                "4",
+                "--downgrade",
+                "lru",
+                "--upgrade",
+                "osa",
+                "--perf",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "live stream:      FB" in out
+        assert "events received:" in out
+        assert "jobs finished" in out
+        assert "pump lead:" in out
+
+    def test_live_gzip_export_round_trip(self, tmp_path, capsys):
+        path = self.export(tmp_path, out="stream.jsonl.gz")
+        assert main(["live", path, "--workers", "4"]) == 0
+        assert "jobs finished" in capsys.readouterr().out
+
+    def test_live_preset_by_scenario_flag(self, tmp_path, capsys):
+        path = self.export(tmp_path, name="flashcrowd")
+        code = main(
+            [
+                "live",
+                path,
+                "--workers",
+                "4",
+                "--downgrade",
+                "lru",
+                "--upgrade",
+                "osa",
+                "--scenario",
+                "flashcrowd",
+            ]
+        )
+        assert code == 0
+        assert "preset:           flashcrowd" in capsys.readouterr().out
+
+
+class TestPresetFlag:
+    def run_scenario(self, preset):
+        return main(
+            [
+                "scenario",
+                "run",
+                "flashcrowd",
+                "--scale",
+                "0.05",
+                "--downgrade",
+                "lru",
+                "--upgrade",
+                "osa",
+                "--workers",
+                "4",
+                "--preset",
+                preset,
+            ]
+        )
+
+    def test_preset_auto_reported(self, capsys):
+        assert self.run_scenario("auto") == 0
+        assert "preset:           flashcrowd" in capsys.readouterr().out
+
+    def test_preset_none_suppressed(self, capsys):
+        assert self.run_scenario("none") == 0
+        assert "preset:" not in capsys.readouterr().out
+
+    def test_preset_explicit(self, capsys):
+        assert self.run_scenario("mlscan") == 0
+        assert "preset:           mlscan" in capsys.readouterr().out
+
+    def test_unknown_preset_errors(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            self.run_scenario("nope")
+
+    def test_list_presets(self, capsys):
+        from repro.core.presets import preset_names
+
+        assert main(["list", "presets"]) == 0
+        out = capsys.readouterr().out
+        for name in preset_names():
+            assert name in out
