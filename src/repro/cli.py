@@ -164,8 +164,37 @@ def _system_config(args: argparse.Namespace, conf: Dict[str, Any]) -> SystemConf
         cache_mode=args.cache_mode,
         tier_aware_scheduler=args.tier_aware,
         preset=args.preset,
+        engine_mode=args.engine,
         conf=conf,
     )
+
+
+def _timed_run(runner, args: argparse.Namespace):
+    """Execute ``runner.run()``; returns (result, wall seconds).
+
+    With ``--profile`` the run happens under :mod:`cProfile` and the
+    hottest functions (by cumulative time) are printed first, so the
+    next optimization round is measured rather than guessed.
+    """
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        wall_start = time.perf_counter()
+        profiler.enable()
+        try:
+            result = runner.run()
+        finally:
+            profiler.disable()
+        wall = time.perf_counter() - wall_start
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        print("-- profile (top 25 by cumulative time) " + "-" * 13)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+        return result, wall
+    wall_start = time.perf_counter()
+    result = runner.run()
+    return result, time.perf_counter() - wall_start
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -189,9 +218,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             downtime=1800.0,
             seed=args.seed,
         )
-    wall_start = time.perf_counter()
-    result = runner.run()
-    wall = time.perf_counter() - wall_start
+    result, wall = _timed_run(runner, args)
     if args.outages:
         print(
             f"outages:          {injector.stats.failures} "
@@ -388,9 +415,7 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     # (external traces carry no scenario name, hence no auto preset).
     config.scenario = args.name
     runner = WorkloadRunner(stream, config)
-    wall_start = time.perf_counter()
-    result = runner.run()
-    wall = time.perf_counter() - wall_start
+    result, wall = _timed_run(runner, args)
     print(f"scenario:         {stream.name}")
     preset = config.resolve_preset()
     if preset is not None:
@@ -415,12 +440,10 @@ def cmd_live(args: argparse.Namespace) -> int:
     config.label = stream.name
     config.scenario = args.scenario
     runner = WorkloadRunner(stream, config)
-    wall_start = time.perf_counter()
     try:
-        result = runner.run()
+        result, wall = _timed_run(runner, args)
     finally:
         stream.close()
-    wall = time.perf_counter() - wall_start
     print(f"live stream:      {stream.name}")
     live = stream.live_stats
     print(
@@ -663,11 +686,29 @@ def _add_system_flags(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--engine",
+        choices=("reference", "fast"),
+        default="reference",
+        help=(
+            "simulation core: reference = classic object-per-event loop "
+            "(default, bit-identical reproduction); fast = slab-allocated "
+            "events with batched fast paths (validated metric-identical)"
+        ),
+    )
+    parser.add_argument(
         "--perf",
         action="store_true",
         help=(
             "print engine performance counters after the run "
             "(events/sec, heap compactions, flow re-solve statistics)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run under cProfile and print the hottest functions by "
+            "cumulative time (measure before optimizing)"
         ),
     )
 

@@ -442,6 +442,10 @@ class StorageDevice:
         self.capacity = int(capacity)
         self.used = 0
         self._replicas: Set[int] = set()
+        #: Installed by ClusterTopology.add_node: called with the signed
+        #: byte delta on every allocate/release so the topology can keep
+        #: aggregate per-tier usage without rescanning every device.
+        self.usage_listener: Optional[Callable[["StorageDevice", int], None]] = None
 
     @property
     def free(self) -> int:
@@ -468,16 +472,22 @@ class StorageDevice:
                 f"{self.device_id}: need {num_bytes}, free {self.free}"
             )
         self._replicas.add(replica_id)
-        self.used += int(num_bytes)
+        delta = int(num_bytes)
+        self.used += delta
+        if self.usage_listener is not None:
+            self.usage_listener(self, delta)
 
     def release(self, replica_id: int, num_bytes: int) -> None:
         """Free the space held by a replica.  Raises if unknown."""
         if replica_id not in self._replicas:
             raise ValueError(f"replica {replica_id} not on {self.device_id}")
         self._replicas.discard(replica_id)
-        self.used -= int(num_bytes)
+        delta = int(num_bytes)
+        self.used -= delta
         if self.used < 0:  # defensive: accounting must never go negative
             raise InsufficientSpaceError(f"{self.device_id}: negative usage")
+        if self.usage_listener is not None:
+            self.usage_listener(self, -delta)
 
     def holds(self, replica_id: int) -> bool:
         return replica_id in self._replicas

@@ -134,11 +134,20 @@ class Node:
     def best_device_for(
         self, tier: TierSpec, num_bytes: int
     ) -> Optional[StorageDevice]:
-        """The emptiest device of ``tier`` that fits ``num_bytes``, if any."""
-        candidates = [d for d in self._devices[tier] if d.has_space(num_bytes)]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda d: d.utilization)
+        """The emptiest device of ``tier`` that fits ``num_bytes``, if any.
+
+        Single pass with a strict ``<`` comparison: ties keep the first
+        fitting device, exactly like ``min()`` over the filtered list.
+        """
+        best: Optional[StorageDevice] = None
+        best_utilization = 0.0
+        for device in self._devices[tier]:
+            if device.capacity - device.used >= num_bytes:
+                utilization = device.used / device.capacity
+                if best is None or utilization < best_utilization:
+                    best = device
+                    best_utilization = utilization
+        return best
 
     def total_capacity(self) -> int:
         return sum(d.capacity for d in self.devices())

@@ -48,6 +48,12 @@ class ClusterTopology:
         self._racks: Dict[str, Rack] = {}
         self._nodes: Dict[str, Node] = {}
         self._hierarchy = hierarchy
+        # Aggregate per-tier byte accounting, maintained incrementally
+        # via each device's usage_listener (capacity is static once a
+        # node joins).  Exact integer bookkeeping: always equal to the
+        # sum over all nodes the queries below used to compute.
+        self._tier_capacity: Dict[TierSpec, int] = {}
+        self._tier_used: Dict[TierSpec, int] = {}
 
     @property
     def hierarchy(self) -> TierHierarchy:
@@ -68,6 +74,17 @@ class ClusterTopology:
         self._nodes[node.node_id] = node
         rack = self._racks.setdefault(node.rack, Rack(node.rack))
         rack.add(node)
+        for device in node.devices():
+            tier = device.tier
+            self._tier_capacity[tier] = (
+                self._tier_capacity.get(tier, 0) + device.capacity
+            )
+            self._tier_used[tier] = self._tier_used.get(tier, 0) + device.used
+            device.usage_listener = self._on_device_usage
+
+    def _on_device_usage(self, device, delta: int) -> None:
+        """Fold one device's allocate/release into the tier aggregate."""
+        self._tier_used[device.tier] += delta
 
     # -- lookups ---------------------------------------------------------------
     @property
@@ -109,20 +126,23 @@ class ClusterTopology:
         return self.OFF_RACK
 
     # -- aggregate capacity ------------------------------------------------------
+    # O(1) reads of the incrementally maintained per-tier aggregates;
+    # dead nodes stay counted, exactly like the per-node sums these
+    # replaced (``nodes`` never filtered on ``alive``).
     def tier_capacity(self, tier: TierSpec) -> int:
-        return sum(n.tier_capacity(tier) for n in self.nodes)
+        return self._tier_capacity.get(tier, 0)
 
     def tier_used(self, tier: TierSpec) -> int:
-        return sum(n.tier_used(tier) for n in self.nodes)
+        return self._tier_used.get(tier, 0)
 
     def tier_free(self, tier: TierSpec) -> int:
-        return sum(n.tier_free(tier) for n in self.nodes)
+        return self._tier_capacity.get(tier, 0) - self._tier_used.get(tier, 0)
 
     def tier_utilization(self, tier: TierSpec) -> float:
-        capacity = self.tier_capacity(tier)
+        capacity = self._tier_capacity.get(tier, 0)
         if capacity == 0:
             return 1.0
-        return self.tier_used(tier) / capacity
+        return self._tier_used.get(tier, 0) / capacity
 
     def nodes_with_tier(self, tier: TierSpec) -> List[Node]:
         """Alive nodes exposing ``tier`` (placement candidates)."""

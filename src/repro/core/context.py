@@ -67,16 +67,18 @@ class PolicyContext:
         """Files with at least one replica byte on ``tier`` and not in flight.
 
         These are the downgrade candidates: moving such a file off the
-        tier frees space there.
+        tier frees space there.  The namespace walk order is preserved
+        (policies that index into the list — the random baseline — rely
+        on it); the per-file check is an O(1) probe of the block
+        manager's tier index.
         """
         busy = self.in_flight_files()
-        result = []
-        for file in self.master.files():
-            if file.inode_id in busy:
-                continue
-            if self.master.blocks.file_bytes_on_tier(file, tier) > 0:
-                result.append(file)
-        return result
+        on_tier = self.master.blocks.tier_file_bytes(tier)
+        return [
+            file
+            for file in self.master.files()
+            if file.inode_id in on_tier and file.inode_id not in busy
+        ]
 
     def files_below_tier(self, tier: TierSpec) -> List[INodeFile]:
         """Files whose complete copy is only available below ``tier``.

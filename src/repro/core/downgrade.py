@@ -37,7 +37,41 @@ class LruDowngradePolicy(DowngradePolicy):
 
     name = "lru"
 
+    def __init__(self, ctx: PolicyContext) -> None:
+        super().__init__(ctx)
+        # Fast engine mode sorts the candidates once per round instead of
+        # re-scanning for the minimum on every selection.  Equivalent to
+        # the reference scan because no simulated time passes inside a
+        # round: the LRU keys cannot change and the candidate set can
+        # only shrink (files become busy or leave the tier), which the
+        # pop-time re-validation below accounts for.
+        self._fast = ctx.conf.get_str("engine.mode", "reference") == "fast"
+        self._round_queue: Optional[List[INodeFile]] = None
+
+    def begin_round(self, tier: TierSpec) -> None:
+        if not self._fast:
+            return
+        stats = self.ctx.stats
+        queue = self.ctx.files_on_tier(tier)
+        queue.sort(
+            key=lambda f: (stats.get_or_create(f).last_access_or_creation, f.inode_id),
+            reverse=True,
+        )
+        self._round_queue = queue
+
     def select_file_to_downgrade(self, tier: TierSpec) -> Optional[INodeFile]:
+        if self._fast and self._round_queue is not None:
+            busy = self.ctx.in_flight_files()
+            blocks = self.ctx.master.blocks
+            queue = self._round_queue
+            while queue:
+                file = queue.pop()
+                if file.inode_id in busy:
+                    continue
+                if blocks.file_bytes_on_tier(file, tier) == 0:
+                    continue
+                return file
+            return None
         candidates = self.ctx.files_on_tier(tier)
         if not candidates:
             return None

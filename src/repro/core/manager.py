@@ -73,6 +73,16 @@ class ReplicationManager(FileSystemListener):
         # replicas instead of moving the existing ones.
         self.cache_mode = self.conf.get_bool("manager.cache_mode", False)
         self._downgrading: Set[TierSpec] = set()
+        # Coarsened ticks (fast engine mode): a proactive tick may be
+        # skipped when it is provably a no-op — see _can_skip_tick.
+        self._coarse_ticks = self.conf.get_bool("manager.coarse_ticks", False)
+        self._tick_replica_version = -1
+        self._tick_was_inert = False
+        #: Downgrade rounds whose start condition held (diagnostics and
+        #: the coarse-tick inertness check).
+        self.downgrade_rounds_entered = 0
+        #: Proactive ticks skipped by the coarse-tick fast path.
+        self.ticks_skipped = 0
         self._proactive_timer: Optional[PeriodicTimer] = None
         interval = self.conf.get_duration("manager.proactive_interval", 60.0)
         if interval > 0:
@@ -162,7 +172,9 @@ class ReplicationManager(FileSystemListener):
         try:
             if not policy.start_downgrade(tier):
                 return 0
+            self.downgrade_rounds_entered += 1
             self._temp_excluded.clear()
+            policy.begin_round(tier)
             for _ in range(self.max_downgrades_per_run):
                 file = policy.select_file_to_downgrade(tier)
                 if file is None:
@@ -211,12 +223,50 @@ class ReplicationManager(FileSystemListener):
                 break
         return scheduled_files
 
+    def _can_skip_tick(self) -> bool:
+        """True when this proactive tick is provably a no-op.
+
+        A tick only acts through (a) the proactive upgrade pass and (b)
+        the downgrade safety net, whose start condition depends solely
+        on tier utilization (device allocations plus the monitor's
+        pending reservations).  So the tick cannot do anything new when:
+
+        * the upgrade policy is absent or not proactive (pass (a) is a
+          structural no-op),
+        * no replica was added or released since the last executed tick
+          (``BlockManager.replica_mutations`` unchanged) and no transfer
+          is in flight (no reservations, and none can complete),
+        * and the last executed tick itself was inert — it entered no
+          downgrade round — so replaying it against identical state
+          would be inert again.
+
+        Time-dependent policy internals (e.g. XGB scoring) only run
+        *inside* an entered round, which the inertness condition rules
+        out; hence skipping never consults — and never diverges — them.
+        """
+        policy = self.upgrade_policy
+        if policy is not None and policy.proactive:
+            return False
+        if self.downgrade_policy is None:
+            return True
+        return (
+            self._tick_was_inert
+            and self.monitor.pending_transfers == 0
+            and self.master.blocks.replica_mutations == self._tick_replica_version
+        )
+
     def _proactive_tick(self) -> None:
+        if self._coarse_ticks and self._can_skip_tick():
+            self.ticks_skipped += 1
+            return
+        entered_before = self.downgrade_rounds_entered
         self.run_upgrade(None)
         # Safety net: tiers can cross the threshold through transfers that
         # fire no on_data_added for this tier (e.g. pending reservations).
         for tier in self.master.hierarchy:
             self.run_downgrade(tier)
+        self._tick_was_inert = self.downgrade_rounds_entered == entered_before
+        self._tick_replica_version = self.master.blocks.replica_mutations
 
     # -- shared tracker helpers (used by the registry) -----------------------------
     def ensure_lrfu_weights(self) -> LrfuWeights:

@@ -29,6 +29,18 @@ class BlockManager:
         self._replicas: Dict[int, ReplicaInfo] = {}
         # (node_id, tier) -> replica ids, used by downgrade scans
         self._by_node_tier: Dict[tuple, Set[int]] = {}
+        # -- incremental file/tier indexes (hot-path queries in O(1)) --------
+        # tier -> inode_id -> replica bytes of that file on that tier
+        self._tier_file_bytes: Dict[TierSpec, Dict[int, int]] = {}
+        # inode_id -> tier -> number of the file's blocks with >=1 replica
+        # on that tier ("covered" blocks; == block count means whole file)
+        self._file_tier_blocks: Dict[int, Dict[TierSpec, int]] = {}
+        # block_id -> tier -> replica count (drives the coverage index)
+        self._block_tier_replicas: Dict[int, Dict[TierSpec, int]] = {}
+        #: Monotone version counter: bumped on every replica add or
+        #: release.  Consumers (the coarse-tick fast path) use it to
+        #: prove "no capacity-relevant state changed since X".
+        self.replica_mutations = 0
 
     # -- block lifecycle -----------------------------------------------------
     def allocate_block(self, file: INodeFile, index: int, size: int) -> BlockInfo:
@@ -73,6 +85,7 @@ class BlockManager:
         block.replicas[replica.replica_id] = replica
         self._replicas[replica.replica_id] = replica
         self._by_node_tier.setdefault((node_id, tier), set()).add(replica.replica_id)
+        self._index_add(replica)
         return replica
 
     def remove_replica(self, replica: ReplicaInfo) -> None:
@@ -93,6 +106,46 @@ class BlockManager:
         bucket = self._by_node_tier.get(key)
         if bucket is not None:
             bucket.discard(replica.replica_id)
+        self._index_remove(replica)
+
+    # -- incremental index maintenance -----------------------------------------
+    def _index_add(self, replica: ReplicaInfo) -> None:
+        """Charge ``replica`` to the byte and block-coverage indexes."""
+        self.replica_mutations += 1
+        block = replica.block
+        tier = replica.tier
+        per_tier = self._block_tier_replicas.setdefault(block.block_id, {})
+        count = per_tier.get(tier, 0)
+        per_tier[tier] = count + 1
+        if count == 0:  # block newly covered on this tier
+            covered = self._file_tier_blocks.setdefault(block.file_id, {})
+            covered[tier] = covered.get(tier, 0) + 1
+        bytes_by_file = self._tier_file_bytes.setdefault(tier, {})
+        bytes_by_file[block.file_id] = bytes_by_file.get(block.file_id, 0) + block.size
+
+    def _index_remove(self, replica: ReplicaInfo) -> None:
+        """Release ``replica`` from the byte and block-coverage indexes."""
+        self.replica_mutations += 1
+        block = replica.block
+        tier = replica.tier
+        per_tier = self._block_tier_replicas[block.block_id]
+        per_tier[tier] -= 1
+        if per_tier[tier] == 0:  # block no longer covered on this tier
+            del per_tier[tier]
+            if not per_tier:
+                del self._block_tier_replicas[block.block_id]
+            covered = self._file_tier_blocks[block.file_id]
+            covered[tier] -= 1
+            if covered[tier] == 0:
+                del covered[tier]
+                if not covered:
+                    del self._file_tier_blocks[block.file_id]
+        bytes_by_file = self._tier_file_bytes[tier]
+        remaining = bytes_by_file[block.file_id] - block.size
+        if remaining:
+            bytes_by_file[block.file_id] = remaining
+        else:
+            del bytes_by_file[block.file_id]
 
     # -- queries ---------------------------------------------------------------
     def block(self, block_id: int) -> BlockInfo:
@@ -127,30 +180,49 @@ class BlockManager:
         gains require the whole file in a higher tier ("all-or-nothing",
         PACMan).  A zero-block file reports no tiers.
         """
-        blocks = self.blocks_of(file)
-        if not blocks:
+        nblocks = len(self._file_blocks.get(file.inode_id, ()))
+        if nblocks == 0:
             return set()
-        tier_sets = [set(b.tiers()) for b in blocks]
-        return set.intersection(*tier_sets)
+        covered = self._file_tier_blocks.get(file.inode_id)
+        if not covered:
+            return set()
+        return {tier for tier, count in covered.items() if count == nblocks}
 
     def file_best_tier(self, file: INodeFile) -> Optional[TierSpec]:
         """Fastest tier holding the complete file, or None."""
-        tiers = self.file_tiers(file)
-        return min(tiers) if tiers else None
+        nblocks = len(self._file_blocks.get(file.inode_id, ()))
+        if nblocks == 0:
+            return None
+        covered = self._file_tier_blocks.get(file.inode_id)
+        if not covered:
+            return None
+        best: Optional[TierSpec] = None
+        for tier, count in covered.items():
+            if count == nblocks and (best is None or tier < best):
+                best = tier
+        return best
 
     def file_has_tier(self, file: INodeFile, tier: TierSpec) -> bool:
-        return tier in self.file_tiers(file)
+        nblocks = len(self._file_blocks.get(file.inode_id, ()))
+        if nblocks == 0:
+            return False
+        covered = self._file_tier_blocks.get(file.inode_id)
+        return covered is not None and covered.get(tier, 0) == nblocks
 
     def file_has_tier_or_better(self, file: INodeFile, tier: TierSpec) -> bool:
         best = self.file_best_tier(file)
         return best is not None and best <= tier
 
     def file_bytes_on_tier(self, file: INodeFile, tier: TierSpec) -> int:
-        """Total replica bytes of ``file`` stored on ``tier``."""
-        total = 0
-        for block in self.blocks_of(file):
-            total += sum(r.size for r in block.replicas_on_tier(tier))
-        return total
+        """Total replica bytes of ``file`` stored on ``tier`` (O(1))."""
+        bytes_by_file = self._tier_file_bytes.get(tier)
+        if not bytes_by_file:
+            return 0
+        return bytes_by_file.get(file.inode_id, 0)
+
+    def tier_file_bytes(self, tier: TierSpec) -> Dict[int, int]:
+        """inode_id -> replica bytes on ``tier`` (live index; read-only)."""
+        return self._tier_file_bytes.get(tier, {})
 
     # -- replication health (used by the Replication Monitor) ----------------------
     def under_replicated(self, files: Iterable[INodeFile]) -> List[BlockInfo]:

@@ -412,7 +412,8 @@ class Master:
         return self.topology.tier_capacity(tier)
 
     def files(self) -> List[INodeFile]:
-        return list(self.fs.iter_files())
+        """All files in namespace-walk order (cached; treat as read-only)."""
+        return self.fs.all_files()
 
     def open_ticket_count(self) -> int:
         return len(self._open_tickets)

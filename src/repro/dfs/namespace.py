@@ -135,6 +135,11 @@ class FSDirectory:
     def __init__(self) -> None:
         self._next_inode_id = 0
         self.root = INodeDirectory(self._allocate_id(), "", creation_time=0.0)
+        #: Bumped on every namespace mutation; lets :meth:`all_files`
+        #: cache the (expensive) sorted tree walk between mutations.
+        self._mutations = 0
+        self._files_cache: Optional[List[INodeFile]] = None
+        self._files_cache_at = -1
 
     def _allocate_id(self) -> int:
         inode_id = self._next_inode_id
@@ -186,6 +191,7 @@ class FSDirectory:
             if child is None:
                 child = INodeDirectory(self._allocate_id(), part, creation_time)
                 node.add_child(child)
+                self._mutations += 1
             node = child
         if not isinstance(node, INodeDirectory):
             raise InvalidPathError(f"{path!r} exists and is a file")
@@ -211,6 +217,7 @@ class FSDirectory:
             replication=replication,
         )
         parent.add_child(inode)
+        self._mutations += 1
         return inode
 
     def delete(self, path: str, recursive: bool = False) -> INode:
@@ -224,6 +231,7 @@ class FSDirectory:
         if isinstance(node, INodeDirectory) and node.children and not recursive:
             raise InvalidPathError(f"directory not empty: {path!r}")
         assert node.parent is not None
+        self._mutations += 1
         return node.parent.remove_child(node.name)
 
     def rename(self, src: str, dst: str) -> INode:
@@ -242,6 +250,7 @@ class FSDirectory:
         node.parent.remove_child(node.name)
         node.name = basename(dst)
         new_parent.add_child(node)
+        self._mutations += 1
         return node
 
     # -- iteration ----------------------------------------------------------------
@@ -262,6 +271,20 @@ class FSDirectory:
                 yield node
             elif isinstance(node, INodeDirectory):
                 stack.extend(sorted(node.children, key=lambda n: n.name, reverse=True))
+
+    def all_files(self) -> List[INodeFile]:
+        """Every file in the tree, in :meth:`iter_files` order, cached.
+
+        The sorted depth-first walk is O(n log n) and sits on the policy
+        hot path (every candidate-set query starts from it), so the
+        result is memoized and invalidated by the mutation counter that
+        every create/delete/rename bumps.  Callers must not mutate the
+        returned list.
+        """
+        if self._files_cache is None or self._files_cache_at != self._mutations:
+            self._files_cache = list(self.iter_files())
+            self._files_cache_at = self._mutations
+        return self._files_cache
 
     def file_count(self) -> int:
         return sum(1 for _ in self.iter_files())

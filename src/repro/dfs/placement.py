@@ -393,6 +393,8 @@ class OctopusPlacementPolicy(PlacementPolicy):
         used_tiers: Set[TierSpec],
         prefer_node: Optional[str],
     ) -> Optional[float]:
+        """Score one candidate (kept for tests/tools; the hot loop in
+        :meth:`_best_candidate` inlines the same arithmetic)."""
         device = node.best_device_for(tier, size)
         if device is None:
             return None
@@ -424,27 +426,52 @@ class OctopusPlacementPolicy(PlacementPolicy):
         used_tiers: Set[TierSpec],
         prefer_node: Optional[str],
     ) -> Optional[PlacementTarget]:
+        # Inlined scoring: per-tier and per-node terms are hoisted out of
+        # the inner loop, but every product and the left-to-right sum
+        # order match _score exactly, so the selected candidate (and the
+        # tie-breaks) are bit-identical to scoring each pair afresh.
         best: Optional[PlacementTarget] = None
         best_score = float("-inf")
+        w_data = self.w_data_balance
+        w_fault = self.w_fault_tolerance
+        load_scores = self.node_manager.load_score
+        tier_terms = [
+            (
+                tier,
+                self.w_throughput * self.tier_scores.get(tier, 0.0),
+                0.0 if tier in used_tiers else 0.5,
+            )
+            for tier in tiers
+        ]
         for node in self.topology.nodes:
             if not node.alive or node.node_id in excluded_nodes:
                 continue
-            for tier in tiers:
+            load_term = self.w_load_balance * (1.0 - load_scores(node.node_id))
+            rack_bonus = 0.0 if node.rack in used_racks else 0.5
+            locality_term = self.w_locality * (
+                1.0
+                if prefer_node is not None and node.node_id == prefer_node
+                else 0.0
+            )
+            for tier, throughput_term, tier_bonus in tier_terms:
                 if not node.has_tier(tier):
                     continue
-                score = self._score(
-                    node, tier, size, used_racks, used_tiers, prefer_node
-                )
-                if score is None:
+                device = node.best_device_for(tier, size)
+                if device is None:
                     continue
+                score = (
+                    throughput_term
+                    + w_data * (1.0 - device.utilization)
+                    + load_term
+                    + w_fault * (rack_bonus + tier_bonus)
+                    + locality_term
+                )
                 # Deterministic tie-break on (score, node id, tier).
                 if score > best_score or (
                     score == best_score
                     and best is not None
                     and (node.node_id, tier) < (best.node_id, best.tier)
                 ):
-                    device = node.best_device_for(tier, size)
-                    assert device is not None
                     best = PlacementTarget(node.node_id, tier, device.device_id)
                     best_score = score
         return best

@@ -84,6 +84,7 @@ class Flow:
         "ideal_duration",
         "admit_seq",
         "dup_links",
+        "link_names",
     )
 
     def __init__(
@@ -108,10 +109,12 @@ class Flow:
         self.ideal_duration = 0.0
         #: Admission order (latency can reorder relative to flow_id).
         self.admit_seq = 0
+        #: Resource names in link order (cached for the component walk).
+        self.link_names: Tuple[str, ...] = tuple(r.name for r, _ in self.links)
         #: Whether two links name the same resource (their weights then
         #: add up in the solver, so shortcuts assuming one weight per
         #: resource do not apply).
-        self.dup_links = len({r.name for r, _ in self.links}) < len(self.links)
+        self.dup_links = len(set(self.link_names)) < len(self.link_names)
 
     def standalone_rate(self) -> float:
         """The rate this flow would get with the graph to itself."""
@@ -449,7 +452,7 @@ class FairShareEngine:
         sweeping every active flow.
         """
         users = self._users
-        resources = {r.name for r, _ in seed.links}
+        resources = set(seed.link_names)
         members: Dict[int, Flow] = {}
         frontier = list(resources)
         while frontier:
@@ -462,26 +465,27 @@ class FairShareEngine:
                     if flow_id in members:
                         continue
                     members[flow_id] = flow
-                    for r, _ in flow.links:
-                        if r.name not in resources:
-                            resources.add(r.name)
-                            next_frontier.append(r.name)
+                    for name in flow.link_names:
+                        if name not in resources:
+                            resources.add(name)
+                            next_frontier.append(name)
             frontier = next_frontier
         if len(members) <= 1:
             return list(members.values())
         candidates = sorted(members.values(), key=lambda f: f.admit_seq)
-        reachable = {r.name for r, _ in seed.links}
+        reachable = set(seed.link_names)
         component: List[Flow] = []
         grew = True
         while grew:
             grew = False
             rest: List[Flow] = []
             for flow in candidates:
-                if any(r.name in reachable for r, _ in flow.links):
+                names = flow.link_names
+                if any(name in reachable for name in names):
                     component.append(flow)
-                    for r, _ in flow.links:
-                        if r.name not in reachable:
-                            reachable.add(r.name)
+                    for name in names:
+                        if name not in reachable:
+                            reachable.add(name)
                             grew = True
                 else:
                     rest.append(flow)
@@ -512,10 +516,10 @@ class FairShareEngine:
         if seed.flow_id not in self._flows:
             # seed just finished and was deregistered; empty registries
             # mean an empty component — nothing to re-price.
-            if all(not users[r.name] for r, _ in seed.links):
+            if all(not users[name] for name in seed.link_names):
                 return
         elif not seed.dup_links and all(
-            len(users[r.name]) == 1 for r, _ in seed.links
+            len(users[name]) == 1 for name in seed.link_names
         ):
             # seed just started on all-idle resources: it is the whole
             # component and gets its standalone rate.

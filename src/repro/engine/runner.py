@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Dict, Iterator, Optional, Union
 
 from repro.cluster.builder import build_tiered_cluster
@@ -102,6 +103,14 @@ class SystemConfig:
     #: preset name forces one, and None/"none" disables presets.  Preset
     #: keys are defaults — anything in ``conf`` wins over them.
     preset: Optional[str] = "auto"
+    #: Simulation core selection: "reference" (default) runs the classic
+    #: object-per-event loop, kept bit-identical for reproduction;
+    #: "fast" swaps in the slab-allocated core (repro.sim.fastsim) and
+    #: enables the batched fast paths (lower vectorized-solver
+    #: threshold, coarsened proactive ticks, pump batching).  Fast mode
+    #: is validated to produce identical simulated metrics — see
+    #: docs/benchmarks.md ("Engine modes").
+    engine_mode: str = "reference"
 
     @property
     def uses_manager(self) -> bool:
@@ -133,6 +142,23 @@ class SystemConfig:
         if self.cache_mode:
             conf.setdefault("manager.cache_mode", True)
             conf.setdefault("downgrade.action", "delete")
+        if self.engine_mode not in ("reference", "fast"):
+            raise ValueError(
+                f"unknown engine_mode {self.engine_mode!r} "
+                "(expected 'reference' or 'fast')"
+            )
+        conf.setdefault("engine.mode", self.engine_mode)
+        if conf["engine.mode"] == "fast":
+            # Fast-mode defaults (each individually overridable): skip
+            # provably idle proactive ticks and pump non-live streams in
+            # batches.  The vector threshold is pinned (rather than
+            # lowered) because measurement shows the scalar dirty-set
+            # solver beats from-scratch numpy solves for mid-size
+            # components: at 10x FB scale, threshold 32 tripled the
+            # vector solves and was ~7% slower end to end.
+            conf.setdefault("io.vector_threshold", 128)
+            conf.setdefault("manager.coarse_ticks", True)
+            conf.setdefault("pump.batch", 32)
         return conf
 
 
@@ -252,8 +278,20 @@ class WorkloadRunner:
         self.pump_late_events = 0
         self._stream_exhausted = False
         self.config = config
-        self.sim = Simulator()
         self.conf = Configuration(config.effective_conf())
+        self.engine_mode = self.conf.get("engine.mode", "reference")
+        if self.engine_mode == "fast":
+            from repro.sim.fastsim import FastSimulator
+
+            self.sim: Simulator = FastSimulator()
+        else:
+            self.sim = Simulator()
+        batch = self.conf.get_int("pump.batch", 1)
+        if self.stream is not None and getattr(self.stream, "live_stats", None) is not None:
+            # A live transport blocks in next(): batching would stall
+            # the simulation until a whole batch arrived.
+            batch = 1
+        self._pump_batch = max(1, batch)
         self.hierarchy = get_hierarchy(config.tiers)
         overrides = (
             {"MEMORY": config.memory_per_node} if "MEMORY" in self.hierarchy else {}
@@ -317,40 +355,79 @@ class WorkloadRunner:
             self._pump(self.stream.events())
 
     def _pump(self, events: Iterator[StreamEvent]) -> None:
-        """Schedule the next stream event; reschedule on each firing.
+        """Schedule the next stream event(s); reschedule on firing.
 
-        The pump holds exactly one upcoming workload event in the heap:
-        when it fires, the event is applied and the next one is pulled
-        from the iterator — the stream is consumed in lockstep with
-        simulation time, never materialized.  For live sources the
-        ``next()`` call blocks on the transport, so simulation progress
-        naturally throttles to event arrival.
+        The pump holds at most ``pump.batch`` upcoming workload events
+        in the heap (default 1: exactly one, the classic lockstep pump;
+        fast mode raises it for non-live streams).  When the last
+        scheduled event fires, the next batch is pulled from the
+        iterator — the stream is consumed in step with simulation time,
+        never materialized.  For live sources the ``next()`` call blocks
+        on the transport, so batching stays disabled there and
+        simulation progress naturally throttles to event arrival.
+
+        Batching is observation-equivalent to the one-event pump: each
+        event's fire time is the running maximum ``max(t, previous fire
+        time)`` — exactly what chained ``max(t, now)`` clamping yields —
+        and the lead/late accounting uses the same reference point.
         """
         event = next(events, None)
         if event is None:
             self._stream_exhausted = True
             return
-        t = max(event_time(event), 0.0)
-        now = self.sim.now()
-        lead = t - now
-        self.pump_events += 1
-        if lead < 0:
-            # The event's timestamp is behind the simulation clock (a
-            # live producer falling behind, or a clamped late event):
-            # it fires immediately, at "now".
-            self.pump_late_events += 1
-        else:
-            self.pump_lead_total += lead
-            self.pump_lead_max = max(self.pump_lead_max, lead)
+        last = self.sim.now()
+        remaining = self._pump_batch
+        sim_at = self.sim.at
+        while True:
+            t = max(event_time(event), 0.0)
+            lead = t - last
+            self.pump_events += 1
+            if lead < 0:
+                # The event's timestamp is behind the simulation clock
+                # (a live producer falling behind, or a clamped late
+                # event): it fires immediately, at "now".
+                self.pump_late_events += 1
+            else:
+                self.pump_lead_total += lead
+                if lead > self.pump_lead_max:
+                    self.pump_lead_max = lead
+            fire_at = t if t > last else last
+            # priority=-1: a pumped trace event must win same-time ties
+            # against system events, exactly as pre-scheduled trace
+            # events do through their lower sequence numbers.
+            remaining -= 1
+            if remaining <= 0:
+                # Last event of the batch re-enters the pump when fired.
+                sim_at(
+                    fire_at,
+                    partial(self._fire_and_pump, event, events),
+                    name="stream-pump",
+                    priority=-1,
+                )
+                return
+            nxt = next(events, None)
+            if nxt is None:
+                self._stream_exhausted = True
+                sim_at(
+                    fire_at,
+                    partial(self._apply_event, event),
+                    name="stream-pump",
+                    priority=-1,
+                )
+                return
+            sim_at(
+                fire_at,
+                partial(self._apply_event, event),
+                name="stream-pump",
+                priority=-1,
+            )
+            last = fire_at
+            event = nxt
 
-        def fire() -> None:
-            self._apply_event(event)
-            self._pump(events)
-
-        # priority=-1: a pumped trace event must win same-time ties
-        # against system events, exactly as pre-scheduled trace events
-        # do through their lower sequence numbers (bit-identity).
-        self.sim.at(max(t, now), fire, name="stream-pump", priority=-1)
+    def _fire_and_pump(self, event: StreamEvent, events: Iterator[StreamEvent]) -> None:
+        """Apply the batch's last event, then schedule the next batch."""
+        self._apply_event(event)
+        self._pump(events)
 
     def _apply_event(self, event: StreamEvent) -> None:
         if isinstance(event, FileCreation):

@@ -17,8 +17,8 @@ bit-identical with or without it.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, List, Optional
 
 from repro.common.errors import SimulationError
@@ -144,7 +144,7 @@ class Simulator(Clock):
                 f"cannot schedule event at {time} before now={self._now}"
             )
         event = Event(time, next(self._seq), callback, name, self, priority)
-        heapq.heappush(self._heap, event)
+        heappush(self._heap, event)
         if len(self._heap) > self.max_heap_size:
             self.max_heap_size = len(self._heap)
         return event
@@ -168,14 +168,18 @@ class Simulator(Clock):
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (order-preserving)."""
-        self._heap = [e for e in self._heap if not e.cancelled]
-        heapq.heapify(self._heap)
+        """Drop cancelled entries and re-heapify (order-preserving).
+
+        Mutates the heap list in place so that callers holding a local
+        binding to it (the :meth:`run` drain loop) stay valid.
+        """
+        self._heap[:] = [e for e in self._heap if not e.cancelled]
+        heapify(self._heap)
         self._tombstones = 0
         self.heap_compactions += 1
 
     def _pop(self) -> Event:
-        event = heapq.heappop(self._heap)
+        event = heappop(self._heap)
         if event.cancelled:
             self._tombstones -= 1
         event._sim = None
@@ -208,17 +212,29 @@ class Simulator(Clock):
         real callbacks regardless of how many tombstones the heap holds.
         """
         executed = 0
-        while self._heap:
-            head = self._heap[0]
+        # The drain loop is the single hottest frame of every run;
+        # binding the heap and heappop locally and inlining step()'s pop
+        # saves an attribute lookup and a method call per event.  The
+        # heap list itself is stable: _compact() mutates it in place.
+        heap = self._heap
+        pop = heappop
+        while heap:
+            head = heap[0]
             if head.cancelled:
-                self._pop()
+                pop(heap)
+                self._tombstones -= 1
+                head._sim = None
                 continue
             if until is not None and head.time > until:
                 break
             if max_events is not None and executed >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
-            if self.step():
-                executed += 1
+            pop(heap)
+            head._sim = None
+            self._now = head.time
+            self._events_processed += 1
+            head.callback()
+            executed += 1
         if until is not None and until > self._now:
             self._now = until
         return executed

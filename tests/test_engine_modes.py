@@ -1,0 +1,165 @@
+"""Fast engine mode must reproduce the reference results exactly.
+
+The fast engine (``SystemConfig(engine_mode="fast")``) changes event
+storage, pump batching, tick skipping, and solver routing — none of
+which may alter a single simulated metric.  These tests run every
+registered scenario under both engines and both I/O models and require
+identical outcomes, plus targeted checks for the conf routing and the
+simulator-core equivalence under randomized schedules.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.runner import SystemConfig, WorkloadRunner
+from repro.sim.fastsim import FastSimulator
+from repro.sim.simulator import Simulator
+from repro.workload.scenarios import build_scenario, scenario_names
+
+#: Tiny builds: classic traces (fb/cmu) scale by job count, the
+#: generator scenarios by duration.
+_SCALE = {"fb": 0.05, "cmu": 0.05}
+_DEFAULT_SCALE = 0.1
+
+
+def _fingerprint(scenario: str, io_model: str, engine: str):
+    """Every deterministic outcome of one scenario run."""
+    stream = build_scenario(
+        scenario, seed=17, scale=_SCALE.get(scenario, _DEFAULT_SCALE)
+    )
+    config = SystemConfig(
+        label=f"{scenario}/{io_model}/{engine}",
+        placement="octopus",
+        downgrade="lru",
+        upgrade="osa",
+        io_model=io_model,
+        seed=17,
+        engine_mode=engine,
+    )
+    runner = WorkloadRunner(stream, config)
+    result = runner.run()
+    sim = runner.sim
+    # Queue-depth diagnostics (max_heap_size, heap_compactions) are
+    # intentionally absent: pump batching queues up to a batch of stream
+    # events at once, so heap depth differs between engines even though
+    # every simulated outcome matches.
+    return {
+        "events_processed": sim.events_processed,
+        "events_cancelled": sim.events_cancelled,
+        "jobs_finished": result.jobs_finished,
+        "jobs_submitted": result.jobs_submitted,
+        "deletions_applied": result.deletions_applied,
+        "hit_ratio": result.metrics.hit_ratio(),
+        "byte_hit_ratio": result.metrics.byte_hit_ratio(),
+        "task_seconds": result.metrics.total_task_seconds(),
+        "transfers_committed": result.transfers_committed,
+        "elapsed": result.elapsed,
+    }
+
+
+class TestScenarioEquivalence:
+    @pytest.mark.parametrize("scenario", sorted(scenario_names()))
+    @pytest.mark.parametrize("io_model", ["snapshot", "fairshare"])
+    def test_fast_matches_reference(self, scenario, io_model):
+        reference = _fingerprint(scenario, io_model, "reference")
+        fast = _fingerprint(scenario, io_model, "fast")
+        assert fast == reference
+
+    def test_fast_uses_fast_simulator(self):
+        stream = build_scenario("fb", seed=1, scale=0.05)
+        fast = WorkloadRunner(stream, SystemConfig(engine_mode="fast"))
+        assert isinstance(fast.sim, FastSimulator)
+        reference = WorkloadRunner(
+            build_scenario("fb", seed=1, scale=0.05), SystemConfig()
+        )
+        assert not isinstance(reference.sim, FastSimulator)
+
+
+class TestConfRouting:
+    def test_fast_mode_defaults(self):
+        conf = SystemConfig(engine_mode="fast").effective_conf()
+        assert conf["engine.mode"] == "fast"
+        assert conf["io.vector_threshold"] == 128
+        assert conf["manager.coarse_ticks"] is True
+        assert conf["pump.batch"] == 32
+
+    def test_fast_mode_defaults_overridable(self):
+        conf = SystemConfig(
+            engine_mode="fast",
+            conf={"io.vector_threshold": 16, "pump.batch": 1},
+        ).effective_conf()
+        assert conf["io.vector_threshold"] == 16
+        assert conf["pump.batch"] == 1
+
+    def test_reference_mode_sets_no_fast_keys(self):
+        conf = SystemConfig().effective_conf()
+        assert conf["engine.mode"] == "reference"
+        assert "manager.coarse_ticks" not in conf
+        assert "pump.batch" not in conf
+
+    def test_unknown_engine_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine_mode"):
+            SystemConfig(engine_mode="turbo").effective_conf()
+
+    def test_live_streams_disable_pump_batching(self):
+        """Batching would block on next() for live sources."""
+        from repro.workload.streams import WorkloadStream
+
+        class FakeLive(WorkloadStream):
+            live_stats = object()
+
+            def events(self):
+                return iter(())
+
+        runner = WorkloadRunner(FakeLive(), SystemConfig(engine_mode="fast"))
+        assert runner._pump_batch == 1
+
+    def test_coarse_ticks_skip_only_in_fast_mode(self):
+        results = {}
+        for engine in ("reference", "fast"):
+            stream = build_scenario("fb", seed=3, scale=0.05)
+            config = SystemConfig(
+                placement="octopus",
+                downgrade="lru",
+                upgrade="osa",
+                engine_mode=engine,
+            )
+            runner = WorkloadRunner(stream, config)
+            runner.run()
+            results[engine] = runner.manager.ticks_skipped
+        assert results["reference"] == 0
+        assert results["fast"] > 0
+
+
+class TestSimulatorCoreEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        schedule=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.sampled_from([-1, 0, 1]),
+                st.booleans(),  # cancel this event before running?
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_random_schedules_fire_identically(self, schedule):
+        logs = {}
+        for cls in (Simulator, FastSimulator):
+            sim = cls()
+            log = logs.setdefault(cls.__name__, [])
+            handles = []
+            for i, (t, prio, _cancel) in enumerate(schedule):
+                handles.append(
+                    sim.at(t, lambda i=i: log.append((i, sim.now())), priority=prio)
+                )
+            for handle, (_t, _prio, cancel) in zip(handles, schedule):
+                if cancel:
+                    handle.cancel()
+            sim.run()
+            log.append(
+                ("counters", sim.events_processed, sim.events_cancelled, sim.now())
+            )
+        assert logs["Simulator"] == logs["FastSimulator"]

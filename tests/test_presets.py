@@ -52,10 +52,11 @@ class TestRegistry:
 
 class TestSystemConfigWiring:
     def test_no_scenario_resolves_no_preset(self):
-        # Every pre-preset configuration: auto + no scenario = no-op.
+        # Every pre-preset configuration: auto + no scenario = no-op
+        # (the engine mode is always folded in).
         config = SystemConfig(label="x")
         assert config.resolve_preset() is None
-        assert config.effective_conf() == {}
+        assert config.effective_conf() == {"engine.mode": "reference"}
 
     def test_auto_selects_scenario_preset(self):
         config = SystemConfig(label="x", scenario="flashcrowd")
@@ -71,7 +72,7 @@ class TestSystemConfigWiring:
         for off in (None, "none"):
             config = SystemConfig(label="x", scenario="flashcrowd", preset=off)
             assert config.resolve_preset() is None
-            assert config.effective_conf() == {}
+            assert config.effective_conf() == {"engine.mode": "reference"}
 
     def test_unknown_preset_rejected(self):
         with pytest.raises(ValueError, match="unknown preset"):
