@@ -10,11 +10,19 @@ the report (``FAIRSHARE_BUDGET``), plus the fast-engine verdicts: fast
 and reference rows must agree on every simulated metric, and the
 10x-scale speedup is recorded per I/O model.
 
+Every row is one :mod:`repro.sweep` cell executed by the shared sweep
+worker, so ``--jobs N`` runs each repeat-pass of the matrix across
+worker processes (simulated metrics are bit-identical to serial; the
+wall-clock fields are per-cell and stay comparable because each cell
+still runs on one core).  Rows also carry ``rss_mb`` — the worker
+process RSS right after the run — informationally.
+
 Usage::
 
     python benchmarks/bench_engine.py [--out BENCH_engine.json]
     python benchmarks/bench_engine.py --smoke          # CI-sized subset
     python benchmarks/bench_engine.py --scales 1 10    # add a 10x FB run
+    python benchmarks/bench_engine.py --jobs 4         # parallel cells
 """
 
 from __future__ import annotations
@@ -22,12 +30,11 @@ from __future__ import annotations
 import argparse
 import json
 import platform
-import time
+import tempfile
 from pathlib import Path
 
-from repro.engine.runner import SystemConfig, WorkloadRunner
-from repro.workload.profiles import PROFILES, scaled_profile
-from repro.workload.synthesis import synthesize_trace
+from repro.sweep import SweepStore, make_cell, run_cell, run_cells
+from repro.workload.profiles import PROFILES
 
 #: (cluster workers, workload scale, io models, engines) rows of the
 #: full matrix.  The fast engine runs where its speedup claim is gated:
@@ -64,94 +71,119 @@ SMOKE_MATRIX = (
 )
 
 
-def bench_one(
+#: The established row schema of this report (projection of the sweep
+#: worker's superset row; the committed baselines are keyed to it).
+#: ``rss_mb`` rides along informationally; the fairshare solver
+#: counters are appended when present.
+ROW_KEYS = (
+    "workload",
+    "engine",
+    "scale",
+    "workers",
+    "io_model",
+    "seed",
+    "runtime_seconds",
+    "events_processed",
+    "events_per_second",
+    "events_cancelled",
+    "heap_compactions",
+    "max_heap_size",
+    "live_pending_at_end",
+    "ticks_skipped",
+    "jobs_finished",
+    "hit_ratio",
+    "byte_hit_ratio",
+    "task_hours",
+    "transfers_committed",
+    "rss_mb",
+)
+FAIRSHARE_KEYS = (
+    "flow_recomputes",
+    "max_component",
+    "vector_solves",
+    "peak_concurrency",
+)
+
+
+def engine_cell(
     workload: str,
     scale: float,
     workers: int,
     io_model: str,
     seed: int,
     engine: str = "reference",
-) -> dict:
-    trace = synthesize_trace(
-        scaled_profile(PROFILES[workload], scale), seed=seed
-    )
-    config = SystemConfig(
-        label=f"{workload}x{scale:g}/w{workers}/{io_model}/{engine}",
-        placement="octopus",
+):
+    """The sweep cell reproducing one row of this benchmark's matrix."""
+    return make_cell(
+        kind="profile",
+        workload=workload,
+        scale=scale,
+        seed=seed,
+        system_seed=seed,
         downgrade="lru",
         upgrade="osa",
         workers=workers,
         io_model=io_model,
-        seed=seed,
-        engine_mode=engine,
+        engine=engine,
     )
-    runner = WorkloadRunner(trace, config)
-    start = time.perf_counter()
-    result = runner.run()
-    runtime = time.perf_counter() - start
-    sim = runner.sim
-    row = {
-        "workload": workload,
-        "engine": engine,
-        "scale": scale,
-        "workers": workers,
-        "io_model": io_model,
-        "seed": seed,
-        "runtime_seconds": round(runtime, 3),
-        "events_processed": sim.events_processed,
-        "events_per_second": round(sim.events_processed / runtime, 1),
-        "events_cancelled": sim.events_cancelled,
-        "heap_compactions": sim.heap_compactions,
-        "max_heap_size": sim.max_heap_size,
-        "live_pending_at_end": sim.pending,
-        "ticks_skipped": (
-            runner.manager.ticks_skipped if runner.manager is not None else 0
-        ),
-        # Simulated-result metrics: deterministic, compared exactly by
-        # the CI regression gate.
-        "jobs_finished": result.jobs_finished,
-        "hit_ratio": round(result.metrics.hit_ratio(), 6),
-        "byte_hit_ratio": round(result.metrics.byte_hit_ratio(), 6),
-        "task_hours": round(result.metrics.total_task_seconds() / 3600.0, 4),
-        "transfers_committed": result.transfers_committed,
-    }
-    io_stats = result.io_stats
-    if io_model == "fairshare":
-        row["flow_recomputes"] = io_stats["recomputes"]
-        row["max_component"] = io_stats["max_component"]
-        row["vector_solves"] = io_stats["vector_solves"]
-        row["peak_concurrency"] = io_stats["peak_concurrency"]
+
+
+def project_row(worker_row: dict) -> dict:
+    """Select this report's established fields from the superset row."""
+    row = {key: worker_row[key] for key in ROW_KEYS}
+    for key in FAIRSHARE_KEYS:
+        if key in worker_row:
+            row[key] = worker_row[key]
     return row
 
 
-def run_matrix(matrix, workload: str, seed: int, repeats: int) -> list:
-    rows = []
-    for spec in matrix:
-        for engine in spec.get("engines", ("reference",)):
-            for io_model in spec["io_models"]:
-                best = None
-                for _ in range(repeats):
-                    row = bench_one(
-                        workload,
-                        spec["scale"],
-                        spec["workers"],
-                        io_model,
-                        seed,
-                        engine=engine,
-                    )
-                    if (
-                        best is None
-                        or row["runtime_seconds"] < best["runtime_seconds"]
-                    ):
-                        best = row
-                rows.append(best)
-                print(
-                    f"  {best['workload']}x{best['scale']:g} "
-                    f"w={best['workers']} {best['io_model']} "
-                    f"[{best['engine']}]: {best['runtime_seconds']}s, "
-                    f"{best['events_per_second']} ev/s"
+def matrix_cells(matrix, workload: str, seed: int) -> list:
+    """Expand the benchmark matrix into its sweep cells, in row order."""
+    return [
+        engine_cell(
+            workload, spec["scale"], spec["workers"], io_model, seed, engine
+        )
+        for spec in matrix
+        for engine in spec.get("engines", ("reference",))
+        for io_model in spec["io_models"]
+    ]
+
+
+def run_matrix(matrix, workload: str, seed: int, repeats: int, jobs: int = 1):
+    """Run every cell ``repeats`` times (fastest wall wins per cell).
+
+    With ``jobs > 1`` each repeat-pass fans across worker processes;
+    simulated metrics are identical pass to pass (and to serial), so
+    best-of-N only selects among wall-clock measurements.
+    """
+    cells = matrix_cells(matrix, workload, seed)
+    best = [None] * len(cells)
+    for _ in range(repeats):
+        if jobs == 1:
+            pass_rows = [project_row(run_cell(cell.config)) for cell in cells]
+        else:
+            with tempfile.TemporaryDirectory(prefix="bench-engine-") as tmp:
+                payloads = run_cells(
+                    cells, SweepStore(tmp, "bench"), jobs=jobs, retries=1
                 )
-    return rows
+            bad = [p for p in payloads if p["status"] != "ok"]
+            if bad:
+                raise SystemExit(
+                    f"{len(bad)} cell(s) failed: "
+                    + "; ".join(f"{p['cell_id']}: {p['error']}" for p in bad)
+                )
+            pass_rows = [project_row(p["row"]) for p in payloads]
+        for i, row in enumerate(pass_rows):
+            if best[i] is None or row["runtime_seconds"] < best[i]["runtime_seconds"]:
+                best[i] = row
+    for row in best:
+        print(
+            f"  {row['workload']}x{row['scale']:g} "
+            f"w={row['workers']} {row['io_model']} "
+            f"[{row['engine']}]: {row['runtime_seconds']}s, "
+            f"{row['events_per_second']} ev/s"
+        )
+    return best
 
 
 #: Fair-share wall-clock budget relative to snapshot at full FB scale.
@@ -294,6 +326,12 @@ def main(argv=None) -> int:
         default=None,
         help="override workload scales (11 workers each; replaces the matrix)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per repeat-pass (default 1 = in-process serial)",
+    )
     args = parser.parse_args(argv)
 
     if args.scales is not None:
@@ -304,7 +342,9 @@ def main(argv=None) -> int:
     else:
         matrix = SMOKE_MATRIX if args.smoke else FULL_MATRIX
     print(f"engine benchmark: {args.workload}, seed {args.seed}")
-    rows = run_matrix(matrix, args.workload, args.seed, args.repeats)
+    rows = run_matrix(
+        matrix, args.workload, args.seed, args.repeats, jobs=args.jobs
+    )
     report = {
         "benchmark": "engine",
         "workload": args.workload,

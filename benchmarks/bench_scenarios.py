@@ -8,21 +8,27 @@ under both I/O pricing models and records, per run:
   ``check_regression.py`` against the committed baseline;
 * generator/engine throughput (``events_per_second``) and the process
   RSS measured right after each run (``rss_mb``, from
-  ``/proc/self/status``) — informational, since streamed replay is the
-  memory-boundedness story: per-run RSS must not scale with stream
-  length.  (``ru_maxrss`` would be useless here — it is a
-  process-lifetime high-water mark, so one big early run would mask
-  everything after it.);
+  ``/proc/self/status`` via :func:`repro.common.proc.current_rss_mb`)
+  — informational, since streamed replay is the memory-boundedness
+  story: per-run RSS must not scale with stream length.  (``ru_maxrss``
+  would be useless here — it is a process-lifetime high-water mark, so
+  one big early run would mask everything after it.);
 * the back-pressure counters (``pump_lead_{mean,max}_seconds``,
   ``pump_late_events``, ``queue_delay_seconds``) — deterministic
-  simulation-time values, but compared informationally first (see
-  ``docs/benchmarks.md``).
+  simulation-time values, exact-gated.
+
+Each run is one :mod:`repro.sweep` cell: the rows come from the shared
+sweep worker (:func:`repro.sweep.worker.run_cell`), so ``--jobs N``
+fans the matrix across worker processes through the sweep orchestrator
+with bit-identical simulated metrics (only the host-dependent wall /
+throughput / RSS fields differ between serial and parallel execution).
 
 Usage::
 
     python benchmarks/bench_scenarios.py [--out BENCH_scenarios.json]
     python benchmarks/bench_scenarios.py --smoke      # CI-sized subset
     python benchmarks/bench_scenarios.py --scenarios pipeline mlscan
+    python benchmarks/bench_scenarios.py --jobs 4     # parallel cells
 """
 
 from __future__ import annotations
@@ -30,12 +36,10 @@ from __future__ import annotations
 import argparse
 import json
 import platform
-import resource
-import time
 from pathlib import Path
 
-from repro.engine.runner import SystemConfig, WorkloadRunner
-from repro.workload.scenarios import build_scenario, scenario_names
+from repro.sweep import make_cell, run_cell
+from repro.workload.scenarios import scenario_names
 
 #: Replay scale per mode: classic (fb/cmu) scales job count, generated
 #: scenarios scale duration.
@@ -44,57 +48,49 @@ SMOKE_SCALES = {"classic": 0.1, "generated": 0.15}
 
 IO_MODELS = ("snapshot", "fairshare")
 
+#: The established row schema of this report (projection of the sweep
+#: worker's superset row; the committed baselines are keyed to it).
+ROW_KEYS = (
+    "scenario",
+    "io_model",
+    "scale",
+    "seed",
+    "workers",
+    "jobs_submitted",
+    "jobs_finished",
+    "deletions_applied",
+    "hit_ratio",
+    "byte_hit_ratio",
+    "task_hours",
+    "transfers_committed",
+    "events_processed",
+    "runtime_seconds",
+    "events_per_second",
+    "rss_mb",
+    "pump_lead_mean_seconds",
+    "pump_lead_max_seconds",
+    "pump_late_events",
+    "queue_delay_seconds",
+)
 
-def current_rss_mb() -> float:
-    """Current process RSS in MB (per-run signal, unlike ru_maxrss)."""
-    try:
-        with open("/proc/self/status") as handle:
-            for line in handle:
-                if line.startswith("VmRSS:"):
-                    return int(line.split()[1]) / 1024.0
-    except OSError:
-        pass
-    # Non-Linux fallback: lifetime peak is the best available.
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
-
-def bench_one(name: str, scale: float, io_model: str, seed: int, workers: int):
-    stream = build_scenario(name, seed=seed, scale=scale)
-    config = SystemConfig(
-        label=f"{name}/{io_model}",
-        placement="octopus",
+def scenario_cell(name: str, scale: float, io_model: str, seed: int, workers: int):
+    """The sweep cell reproducing one row of this benchmark's matrix."""
+    return make_cell(
+        kind="scenario",
+        workload=name,
+        scale=scale,
+        seed=seed,
         downgrade="lru",
         upgrade="osa",
         workers=workers,
         io_model=io_model,
     )
-    runner = WorkloadRunner(stream, config)
-    start = time.perf_counter()
-    result = runner.run()
-    wall = time.perf_counter() - start
-    events = runner.sim.events_processed
-    return {
-        "scenario": name,
-        "io_model": io_model,
-        "scale": scale,
-        "seed": seed,
-        "workers": workers,
-        "jobs_submitted": result.jobs_submitted,
-        "jobs_finished": result.jobs_finished,
-        "deletions_applied": result.deletions_applied,
-        "hit_ratio": round(result.metrics.hit_ratio(), 6),
-        "byte_hit_ratio": round(result.metrics.byte_hit_ratio(), 6),
-        "task_hours": round(result.metrics.total_task_seconds() / 3600.0, 4),
-        "transfers_committed": result.transfers_committed,
-        "events_processed": events,
-        "runtime_seconds": round(wall, 3),
-        "events_per_second": round(events / wall, 1) if wall > 0 else 0.0,
-        "rss_mb": round(current_rss_mb(), 1),
-        "pump_lead_mean_seconds": round(result.pump_lead_mean_seconds, 3),
-        "pump_lead_max_seconds": round(result.pump_lead_max_seconds, 3),
-        "pump_late_events": result.pump_late_events,
-        "queue_delay_seconds": round(sum(result.queue_delay_by_tier.values()), 3),
-    }
+
+
+def project_row(worker_row: dict) -> dict:
+    """Select this report's established fields from the superset row."""
+    return {key: worker_row[key] for key in ROW_KEYS}
 
 
 def main(argv=None) -> int:
@@ -111,32 +107,61 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--workers", type=int, default=11)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the matrix (default 1 = in-process serial)",
+    )
     args = parser.parse_args(argv)
 
     scales = SMOKE_SCALES if args.smoke else FULL_SCALES
     names = args.scenarios or scenario_names()
-    runs = []
-    for name in names:
-        scale = scales["classic" if name in ("fb", "cmu") else "generated"]
-        for io_model in IO_MODELS:
-            row = bench_one(name, scale, io_model, args.seed, args.workers)
-            runs.append(row)
-            print(
-                f"{name:12s} {io_model:9s} scale={scale:g} "
-                f"jobs={row['jobs_finished']}/{row['jobs_submitted']} "
-                f"hit={row['hit_ratio']:.3f} "
-                f"{row['events_per_second']:>9,.0f} ev/s "
-                f"rss={row['rss_mb']:.0f}MB"
+    cells = [
+        scenario_cell(
+            name,
+            scales["classic" if name in ("fb", "cmu") else "generated"],
+            io_model,
+            args.seed,
+            args.workers,
+        )
+        for name in names
+        for io_model in IO_MODELS
+    ]
+    if args.jobs == 1:
+        rows = [project_row(run_cell(cell.config)) for cell in cells]
+    else:
+        from repro.sweep import SweepStore, run_cells
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="bench-scenarios-") as tmp:
+            payloads = run_cells(
+                cells, SweepStore(tmp, "bench"), jobs=args.jobs, retries=1
             )
+        bad = [p for p in payloads if p["status"] != "ok"]
+        if bad:
+            raise SystemExit(
+                f"{len(bad)} cell(s) failed: "
+                + "; ".join(f"{p['cell_id']}: {p['error']}" for p in bad)
+            )
+        rows = [project_row(p["row"]) for p in payloads]
+    for row in rows:
+        print(
+            f"{row['scenario']:12s} {row['io_model']:9s} scale={row['scale']:g} "
+            f"jobs={row['jobs_finished']}/{row['jobs_submitted']} "
+            f"hit={row['hit_ratio']:.3f} "
+            f"{row['events_per_second']:>9,.0f} ev/s "
+            f"rss={row['rss_mb']:.0f}MB"
+        )
 
     report = {
         "benchmark": "scenarios",
         "seed": args.seed,
         "python": platform.python_version(),
-        "runs": runs,
+        "runs": rows,
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.out} ({len(runs)} runs)")
+    print(f"wrote {args.out} ({len(rows)} runs)")
     return 0
 
 

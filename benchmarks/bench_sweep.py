@@ -1,0 +1,109 @@
+"""Sweep-orchestrator benchmark (BENCH_sweep.json).
+
+Runs a builtin sweep spec twice — serially (``--jobs 1``) and through
+the multiprocess orchestrator (``--jobs N``, default 4) — and records:
+
+* **equivalence** (``fingerprints_match``, exact-gated): both runs must
+  produce bit-identical per-cell simulated metrics; only the
+  host-dependent wall/throughput/RSS fields may differ
+  (:data:`repro.sweep.spec.HOST_KEYS`).
+* **speedup** (informational): parallel wall time over serial wall
+  time.  ``within_target`` compares against ``--target`` (default 3x)
+  but is only asserted when the host actually has ``--jobs`` cores —
+  a 1-core CI runner cannot demonstrate a parallel speedup, and
+  pretending otherwise would gate on the weather.  ``cpu_count`` is
+  recorded alongside so the artifact is honest about what it measured.
+* the serial run's full merged cell table (exact-gated like any sweep
+  report).
+
+Usage::
+
+    python benchmarks/bench_sweep.py [--out BENCH_sweep.json]
+    python benchmarks/bench_sweep.py --smoke          # CI-sized spec
+    python benchmarks/bench_sweep.py --jobs 8 --target 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from pathlib import Path
+
+from repro.sweep import builtin_specs, report_fingerprints, run_sweep
+
+#: Parallel speedup the orchestrator must reach at ``--jobs 4`` on a
+#: host with at least that many cores (sweep cells are independent
+#: whole-system simulations, so near-linear scaling is expected).
+SPEEDUP_TARGET = 3.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_sweep.json"),
+    )
+    parser.add_argument(
+        "--spec",
+        default="scenario-matrix",
+        choices=sorted(builtin_specs()),
+        help="builtin sweep spec to measure",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="shorthand for --spec smoke"
+    )
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--target", type=float, default=SPEEDUP_TARGET)
+    args = parser.parse_args(argv)
+
+    spec = builtin_specs()["smoke" if args.smoke else args.spec]
+    cpu_count = os.cpu_count() or 1
+    print(f"sweep benchmark: {spec.name}, jobs={args.jobs}, cpus={cpu_count}")
+
+    serial = run_sweep(spec, jobs=1)
+    print(f"  serial:   {serial['sweep_wall_seconds']}s")
+    parallel = run_sweep(spec, jobs=args.jobs)
+    print(f"  parallel: {parallel['sweep_wall_seconds']}s")
+
+    matches = report_fingerprints(serial) == report_fingerprints(parallel)
+    serial_s = serial["sweep_wall_seconds"]
+    parallel_s = parallel["sweep_wall_seconds"]
+    speedup = round(serial_s / parallel_s, 2) if parallel_s > 0 else None
+    # The target is only meaningful when the host can actually run
+    # --jobs cells at once; otherwise record the measurement but no
+    # verdict.
+    within = speedup >= args.target if cpu_count >= args.jobs else None
+
+    report = {
+        "benchmark": "sweep_speedup",
+        "name": spec.name,
+        "spec_id": spec.spec_id,
+        "python": platform.python_version(),
+        "cpu_count": cpu_count,
+        "jobs": args.jobs,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": speedup,
+        "speedup_target": args.target,
+        "within_target": within,
+        "fingerprints_match": matches,
+        "summary": serial["summary"],
+        "cells": serial["cells"],
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        json.dumps(
+            {k: report[k] for k in (
+                "speedup", "within_target", "fingerprints_match", "cpu_count"
+            )},
+            indent=2,
+        )
+    )
+    print(f"wrote {args.out}")
+    return 0 if matches else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,8 @@ models with the LRU/OSA policy pair and records wall-clock runtime, hit
 ratios, per-tier movement, and contention / transfer-delay statistics,
 so future PRs can track the performance trajectory of the simulator,
 the effect of hierarchy depth, and the cost of fair-share re-pricing.
+Each row also carries the process RSS right after the run (``rss_mb``,
+informational — never gated).
 
 Usage::
 
@@ -21,6 +23,7 @@ import platform
 import time
 from pathlib import Path
 
+from repro.common.proc import current_rss_mb
 from repro.common.units import GB
 from repro.engine.iomodel import IO_MODEL_NAMES
 from repro.engine.runner import SystemConfig, run_workload
@@ -51,6 +54,7 @@ def bench_one(trace, tiers: str, seed: int, io_model: str = "snapshot") -> dict:
         "tiers": tiers,
         "io_model": io_model,
         "runtime_seconds": round(runtime, 3),
+        "rss_mb": current_rss_mb(),
         "jobs_finished": result.jobs_finished,
         "hit_ratio": round(result.metrics.hit_ratio(), 4),
         "byte_hit_ratio": round(result.metrics.byte_hit_ratio(), 4),

@@ -37,11 +37,20 @@ BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
 
 #: Host-dependent metrics: banded comparison instead of exact.
 WALL_CLOCK_KEYS = frozenset(
-    {"runtime_seconds", "snapshot_seconds", "fairshare_seconds"}
+    {
+        "runtime_seconds",
+        "snapshot_seconds",
+        "fairshare_seconds",
+        "wall_seconds_total",
+        "sweep_wall_seconds",
+        "serial_seconds",
+        "parallel_seconds",
+    }
 )
-#: Shown in the diff table but never gating: throughput, ratios, and
-#: process RSS are too host-sensitive for a pass/fail band on shared CI
-#: runners.
+#: Shown in the diff table but never gating: throughput, ratios,
+#: process RSS, and sweep-host descriptors (worker counts, retry
+#: attempts, core counts, measured speedups) are too host-sensitive for
+#: a pass/fail band on shared CI runners.
 INFORMATIONAL_KEYS = frozenset(
     {
         "events_per_second",
@@ -52,6 +61,13 @@ INFORMATIONAL_KEYS = frozenset(
         "within_budget",
         "rss_mb",
         "pump_late_events",
+        "attempts",
+        "retried",
+        "jobs",
+        "cpu_count",
+        "events_per_second_aggregate",
+        "within_target",
+        "speedup_target",
     }
 )
 

@@ -9,6 +9,9 @@ Usage::
     python -m repro scenario run --trace mytrace.jsonl.gz
     python -m repro scenario run fb --out - | python -m repro live -
     python -m repro experiment fig06 fig07
+    python -m repro experiment scenarios --jobs 4
+    python -m repro sweep run --smoke --jobs 2 --out report.json
+    python -m repro sweep run myspec.json --store sweeps --resume
     python -m repro synthesize --workload CMU --out cmu.json
     python -m repro list scenarios
     python -m repro list-experiments
@@ -18,9 +21,10 @@ in :mod:`repro.experiments`, printing the same text tables the benchmark
 harness emits; ``scenario`` drives the streaming workload subsystem
 (:mod:`repro.workload.scenarios`); ``live`` replays a JSONL event
 stream arriving over a pipe, FIFO, or socket through the full system
-online (:mod:`repro.workload.live`); ``list`` enumerates every
-pluggable dimension from one registry helper
-(:mod:`repro.common.catalog`).
+online (:mod:`repro.workload.live`); ``sweep`` fans experiment matrices
+across worker processes with a resumable results store
+(:mod:`repro.sweep`); ``list`` enumerates every pluggable dimension
+from one registry helper (:mod:`repro.common.catalog`).
 """
 
 from __future__ import annotations
@@ -40,8 +44,15 @@ from repro.workload.profiles import PROFILES, scaled_profile
 from repro.workload.synthesis import synthesize_trace
 
 
-def _experiment_registry() -> Dict[str, Tuple[Callable[[], object], Callable]]:
-    """Lazy imports keep CLI startup fast."""
+def _experiment_registry(
+    jobs: int = 1,
+) -> Dict[str, Tuple[Callable[[], object], Callable]]:
+    """Lazy imports keep CLI startup fast.
+
+    ``jobs`` is threaded into the experiments that can fan their cells
+    across worker processes (``scenarios``, ``tuning-presets`` — see
+    :mod:`repro.sweep`); the per-figure reproductions stay serial.
+    """
     from repro.experiments import ablations as ab
     from repro.experiments import autocache as ac
     from repro.experiments import downgrade_only as dg
@@ -95,7 +106,10 @@ def _experiment_registry() -> Dict[str, Tuple[Callable[[], object], Callable]]:
             lambda r: ab.render_ablation(r, "XGB candidate width sweep"),
         ),
         "tuning": (tu.run_tuning, tu.render_tuning),
-        "tuning-presets": (pt.run_preset_tuning, pt.render_preset_tuning),
+        "tuning-presets": (
+            lambda: pt.run_preset_tuning(jobs=jobs),
+            pt.render_preset_tuning,
+        ),
         "autocache": (ac.run_autocache, ac.render_autocache),
         "fault-tolerance": (
             ft.run_fault_tolerance,
@@ -105,7 +119,10 @@ def _experiment_registry() -> Dict[str, Tuple[Callable[[], object], Callable]]:
             ep.run_extended_policies,
             ep.render_extended_policies,
         ),
-        "scenarios": (sn.run_scenarios, sn.render_scenarios),
+        "scenarios": (
+            lambda: sn.run_scenarios(jobs=jobs),
+            sn.render_scenarios,
+        ),
     }
 
 
@@ -116,7 +133,7 @@ def cmd_list_experiments(_args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    registry = _experiment_registry()
+    registry = _experiment_registry(jobs=args.jobs)
     cache: Dict[int, object] = {}
     for name in args.names:
         if name not in registry:
@@ -479,6 +496,98 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_spec(args: argparse.Namespace):
+    """The SweepSpec named by ``sweep`` flags: builtin, file, or --smoke."""
+    from repro.sweep import SweepSpec, builtin_specs
+
+    if getattr(args, "smoke", False):
+        if args.spec:
+            print("--smoke and an explicit spec are mutually exclusive",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        return builtin_specs()["smoke"]
+    if not args.spec:
+        print(
+            "need a sweep spec: a JSON file, a builtin name "
+            f"({' '.join(sorted(builtin_specs()))}), or --smoke",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    builtins = builtin_specs()
+    if args.spec in builtins:
+        return builtins[args.spec]
+    if not os.path.exists(args.spec):
+        print(
+            f"no such sweep spec {args.spec!r} (not a builtin, not a file)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return SweepSpec.from_file(args.spec)
+
+
+def cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.sweep import render_markdown, run_sweep
+
+    spec = _resolve_spec(args)
+    report = run_sweep(
+        spec,
+        store_root=args.store,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        resume=args.resume,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    if args.out:
+        import json
+        from pathlib import Path
+
+        from repro.sweep.store import atomic_write_json
+
+        if args.out == "-":
+            print(json.dumps(report, indent=2))
+        else:
+            atomic_write_json(Path(args.out), report)
+            print(f"wrote {args.out}", file=sys.stderr)
+    summary = report["summary"]
+    print(
+        f"sweep {report['name']}: {summary['completed']}/{summary['cells']} "
+        f"cells ok, {summary['failed']} failed "
+        f"(jobs={report['jobs']}, "
+        f"wall {report.get('sweep_wall_seconds', 0.0):.1f}s, "
+        f"cell-wall total {summary['wall_seconds_total']:.1f}s)"
+    )
+    if args.markdown:
+        print(render_markdown(report))
+    return 1 if summary["failed"] else 0
+
+
+def cmd_sweep_cells(args: argparse.Namespace) -> int:
+    spec = _resolve_spec(args)
+    cells = spec.expand()
+    for cell in cells:
+        print(f"{cell.cell_id}  {cell.label}")
+    print(f"{len(cells)} cell(s) (spec {spec.spec_id})", file=sys.stderr)
+    return 0
+
+
+def cmd_sweep_report(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepSpec, merge_report, render_markdown
+    from repro.sweep.store import SweepStore
+
+    store = SweepStore(args.store, args.name)
+    manifest = store.manifest()
+    if manifest is None:
+        print(f"no sweep manifest under {store.dir}", file=sys.stderr)
+        return 2
+    spec = SweepSpec.from_dict(manifest["spec"])
+    payloads = list(store.iter_cells())
+    report = merge_report(spec, payloads)
+    store.write_report(report)
+    print(render_markdown(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Octopus++ reproduction toolkit"
@@ -490,6 +599,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="run experiments by name")
     p_exp.add_argument("names", nargs="+")
+    p_exp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the sweep-capable experiments "
+            "(scenarios, tuning-presets); default 1 = in-process serial"
+        ),
+    )
     p_exp.set_defaults(func=cmd_experiment)
 
     p_catalog = sub.add_parser(
@@ -597,6 +715,77 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_flags(p_live)
     p_live.set_defaults(func=cmd_live)
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="parallel experiment sweeps: run, cells, report",
+    )
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+
+    p_sweep_run = sweep_sub.add_parser(
+        "run", help="execute a sweep spec across worker processes"
+    )
+    _add_sweep_spec_flags(p_sweep_run)
+    p_sweep_run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: every available core; 1 = serial "
+        "in-process execution)",
+    )
+    p_sweep_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells the store already holds as completed (requires "
+        "--store and the identical spec)",
+    )
+    p_sweep_run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock limit in seconds (over-deadline workers "
+        "are killed and the cell retried; multi-process runs only)",
+    )
+    p_sweep_run.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="re-runs allowed after a cell fails or crashes (default 1)",
+    )
+    p_sweep_run.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="results-store root (sweeps land in DIR/<name>/); default: an "
+        "ephemeral temporary store, which disables --resume",
+    )
+    p_sweep_run.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the merged report JSON here ('-' = stdout)",
+    )
+    p_sweep_run.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print the merged report as a markdown table",
+    )
+    p_sweep_run.set_defaults(func=cmd_sweep_run)
+
+    p_sweep_cells = sweep_sub.add_parser(
+        "cells", help="expand a spec and list its content-hashed cells"
+    )
+    _add_sweep_spec_flags(p_sweep_cells)
+    p_sweep_cells.set_defaults(func=cmd_sweep_cells)
+
+    p_sweep_report = sweep_sub.add_parser(
+        "report", help="re-merge a stored sweep into its report"
+    )
+    p_sweep_report.add_argument("name", help="sweep name (store subdirectory)")
+    p_sweep_report.add_argument(
+        "--store", default="sweeps", metavar="DIR", help="results-store root"
+    )
+    p_sweep_report.set_defaults(func=cmd_sweep_report)
+
     p_syn = sub.add_parser("synthesize", help="export a synthesized trace")
     p_syn.add_argument("--workload", choices=sorted(PROFILES), default="FB")
     p_syn.add_argument("--scale", type=float, default=1.0)
@@ -608,6 +797,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_syn.set_defaults(func=cmd_synthesize)
     return parser
+
+
+def _add_sweep_spec_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags naming a sweep spec: builtin name, JSON file, or --smoke."""
+    parser.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="builtin spec name (see: repro list sweeps) or a JSON spec file",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shorthand for the builtin CI-sized 'smoke' spec (~12 cells)",
+    )
 
 
 def _add_stream_flags(parser: argparse.ArgumentParser) -> None:

@@ -23,6 +23,7 @@ def catalog() -> Dict[str, List[str]]:
     )
     from repro.engine.iomodel import IO_MODEL_NAMES
     from repro.engine.runner import PLACEMENT_NAMES
+    from repro.sweep.spec import builtin_specs
     from repro.workload.profiles import PROFILES
     from repro.workload.scenarios import scenario_names
 
@@ -33,6 +34,7 @@ def catalog() -> Dict[str, List[str]]:
         "workloads": sorted(PROFILES),
         "scenarios": scenario_names(),
         "presets": preset_names(),
+        "sweeps": sorted(builtin_specs()),
         "downgrade-policies": sorted(
             set(DOWNGRADE_POLICY_NAMES) | set(EXTRA_DOWNGRADE_POLICY_NAMES)
         ),

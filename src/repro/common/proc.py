@@ -1,0 +1,26 @@
+"""Process introspection helpers shared by benchmarks and the sweep worker.
+
+The benchmark harness records the *current* resident set size after each
+run (``rss_mb``) so memory growth is attributable to the run that caused
+it.  ``resource.ru_maxrss`` cannot do that — it is a process-lifetime
+high-water mark, so one large early run would mask everything after it —
+hence the ``/proc/self/status`` read with the lifetime peak kept only as
+the non-Linux fallback.
+"""
+
+from __future__ import annotations
+
+import resource
+
+
+def current_rss_mb() -> float:
+    """Current process RSS in MB (per-run signal, unlike ``ru_maxrss``)."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    # Non-Linux fallback: lifetime peak is the best available.
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0

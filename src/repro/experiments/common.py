@@ -83,6 +83,70 @@ def standard_configs(
     ]
 
 
+class RowMetrics:
+    """The :class:`~repro.engine.metrics.MetricsCollector` read surface
+    the experiment renderers use, backed by a sweep worker row."""
+
+    def __init__(self, row: Dict[str, object]):
+        self._row = row
+
+    def hit_ratio(self) -> float:
+        return float(self._row["hit_ratio"])
+
+    def byte_hit_ratio(self) -> float:
+        return float(self._row["byte_hit_ratio"])
+
+    def total_task_seconds(self) -> float:
+        return float(self._row["task_hours"]) * 3600.0
+
+
+class RowResult:
+    """RunResult-shaped view over a sweep worker row.
+
+    Lets experiments fan their runs across the sweep orchestrator
+    (``--jobs N``) while keeping their renderers unchanged: the row's
+    deterministic metrics are bit-identical to an in-process run (only
+    ratio/task-hour rounding in the row — finer than any renderer's
+    display precision — differs).
+    """
+
+    def __init__(self, row: Dict[str, object], label: str):
+        self.row = dict(row)
+        self.label = label
+        self.jobs_submitted = row["jobs_submitted"]
+        self.jobs_finished = row["jobs_finished"]
+        self.deletions_applied = row["deletions_applied"]
+        self.transfers_committed = row["transfers_committed"]
+        self.metrics = RowMetrics(self.row)
+
+
+def run_labelled_cells(labelled_cells, jobs: int):
+    """Run ``(label, cell)`` pairs through the sweep orchestrator.
+
+    Returns one :class:`RowResult` per pair, in order.  Raises
+    ``RuntimeError`` naming every failed cell (after the orchestrator's
+    bounded retry) so experiments fail loudly rather than render a
+    partial table.
+    """
+    import tempfile
+
+    from repro.sweep import SweepStore, run_cells
+
+    cells = [cell for _, cell in labelled_cells]
+    with tempfile.TemporaryDirectory(prefix="experiment-sweep-") as tmp:
+        payloads = run_cells(cells, SweepStore(tmp, "experiment"), jobs=jobs)
+    bad = [p for p in payloads if p["status"] != "ok"]
+    if bad:
+        raise RuntimeError(
+            f"{len(bad)} experiment cell(s) failed: "
+            + "; ".join(f"{p['cell_id']}: {p['error']}" for p in bad)
+        )
+    return [
+        RowResult(payload["row"], label)
+        for (label, _), payload in zip(labelled_cells, payloads)
+    ]
+
+
 def format_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.presets import PRESETS, preset_for_scenario
 from repro.engine.runner import RunResult, SystemConfig, WorkloadRunner
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, run_labelled_cells
 from repro.workload.scenarios import build_scenario
 
 #: Replay scale per scenario kind (mirrors the ``scenarios`` sweep).
@@ -80,14 +80,23 @@ def run_preset_tuning(
     workers: int = 11,
     policies: Tuple[str, str] = ("lru", "osa"),
     scenarios: Optional[List[str]] = None,
+    jobs: int = 1,
 ) -> List[PresetDelta]:
-    """Replay each preset-carrying scenario under default and preset conf."""
+    """Replay each preset-carrying scenario under default and preset conf.
+
+    ``jobs > 1`` runs both legs of every scenario concurrently through
+    the sweep orchestrator (identical figures; the legs are independent
+    simulations).
+    """
     names = scenarios if scenarios is not None else sorted(PRESETS)
+    names = [n for n in names if preset_for_scenario(n) is not None]
+    if jobs != 1:
+        return _run_preset_tuning_parallel(
+            names, policies, scale, seed, workers, jobs
+        )
     deltas: List[PresetDelta] = []
     for name in names:
         preset = preset_for_scenario(name)
-        if preset is None:
-            continue
         default = _run_once(name, None, policies, scale, seed, workers)
         tuned = _run_once(name, name, policies, scale, seed, workers)
         deltas.append(
@@ -99,6 +108,47 @@ def run_preset_tuning(
             )
         )
     return deltas
+
+
+def _run_preset_tuning_parallel(
+    names: List[str],
+    policies: Tuple[str, str],
+    scale: float,
+    seed: int,
+    workers: int,
+    jobs: int,
+) -> List[PresetDelta]:
+    """The ``jobs > 1`` path: default and tuned legs as sweep cells."""
+    from repro.sweep import make_cell
+
+    downgrade, upgrade = policies
+    labelled = [
+        (
+            f"{name}/{preset or 'default'}",
+            make_cell(
+                kind="scenario",
+                workload=name,
+                scale=_scenario_scale(name, scale),
+                seed=seed,
+                downgrade=downgrade,
+                upgrade=upgrade,
+                workers=workers,
+                preset=preset,
+            ),
+        )
+        for name in names
+        for preset in (None, name)
+    ]
+    rows = run_labelled_cells(labelled, jobs)
+    return [
+        PresetDelta(
+            scenario=name,
+            default=rows[2 * i],
+            preset=rows[2 * i + 1],
+            conf=dict(preset_for_scenario(name).conf),
+        )
+        for i, name in enumerate(names)
+    ]
 
 
 def render_preset_tuning(deltas: List[PresetDelta]) -> str:

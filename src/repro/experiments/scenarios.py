@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.engine.runner import RunResult, SystemConfig, WorkloadRunner
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, run_labelled_cells
 from repro.workload.scenarios import build_scenario, scenario_names
 
 #: Replay scale per scenario kind: the classic traces are dense, the
@@ -40,8 +40,17 @@ def run_scenarios(
     io_model: str = "snapshot",
     seed: int = 42,
     workers: int = 11,
+    jobs: int = 1,
 ) -> Dict[str, List[RunResult]]:
-    """Replay every registered scenario under each policy configuration."""
+    """Replay every registered scenario under each policy configuration.
+
+    ``jobs > 1`` fans the (scenario × configuration) matrix across
+    worker processes through the sweep orchestrator; the table values
+    are identical to the serial run (the simulated metrics are
+    deterministic per cell).
+    """
+    if jobs != 1:
+        return _run_scenarios_parallel(scale, io_model, seed, workers, jobs)
     results: Dict[str, List[RunResult]] = {}
     for name in scenario_names():
         rows: List[RunResult] = []
@@ -60,6 +69,38 @@ def run_scenarios(
             rows.append(WorkloadRunner(stream, config).run())
         results[name] = rows
     return results
+
+
+def _run_scenarios_parallel(
+    scale: float, io_model: str, seed: int, workers: int, jobs: int
+) -> Dict[str, List]:
+    """The ``jobs > 1`` path: one sweep cell per (scenario, config)."""
+    from repro.sweep import make_cell
+
+    names = scenario_names()
+    labelled = [
+        (
+            label,
+            make_cell(
+                kind="scenario",
+                workload=name,
+                scale=_scenario_scale(name, scale),
+                seed=seed,
+                downgrade=downgrade,
+                upgrade=upgrade,
+                workers=workers,
+                io_model=io_model,
+            ),
+        )
+        for name in names
+        for label, downgrade, upgrade in CONFIGS
+    ]
+    rows = run_labelled_cells(labelled, jobs)
+    per_config = len(CONFIGS)
+    return {
+        name: rows[i * per_config : (i + 1) * per_config]
+        for i, name in enumerate(names)
+    }
 
 
 def render_scenarios(results: Dict[str, List[RunResult]]) -> str:

@@ -1,0 +1,132 @@
+"""Merged sweep reports: one JSON/markdown artifact per sweep.
+
+:func:`merge_report` aggregates the per-cell payloads into a single
+report shaped for ``benchmarks/check_regression.py``:
+
+* ``cells`` is a **dict keyed by cell_id** (not a list), so the
+  regression gate's flattener produces collision-free dotted keys even
+  when two cells differ only in a scenario parameter;
+* deterministic simulated metrics sit directly on each cell row and are
+  exact-gated; host-dependent fields (``runtime_seconds``,
+  ``events_per_second``, ``rss_mb``, ``attempts``, ``jobs``,
+  ``cpu_count``) are wall-banded or informational (see the key sets in
+  ``check_regression.py``);
+* ``summary`` carries the sweep-level counts and the aggregate
+  throughput.
+
+:func:`render_markdown` renders the same data as a table for step
+summaries and docs.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.sweep.spec import SweepSpec, fingerprint
+
+
+def merge_report(
+    spec: SweepSpec,
+    payloads: Sequence[Mapping[str, Any]],
+    *,
+    jobs: Optional[int] = None,
+    sweep_wall_seconds: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Fold cell payloads into the canonical sweep report."""
+    cells: Dict[str, Any] = {}
+    completed = failed = retried = 0
+    wall_total = 0.0
+    events_total = 0
+    for payload in sorted(payloads, key=lambda p: p["cell_id"]):
+        row: Dict[str, Any] = {
+            "cell_id": payload["cell_id"],
+            "status": payload["status"],
+            "attempts": payload.get("attempts", 1),
+        }
+        if payload.get("attempts", 1) > 1:
+            retried += 1
+        if payload["status"] == "ok":
+            completed += 1
+            row.update(payload["row"])
+            wall_total += payload["row"].get("runtime_seconds", 0.0)
+            events_total += payload["row"].get("events_processed", 0)
+        else:
+            failed += 1
+            row["error"] = payload.get("error")
+        cells[payload["cell_id"]] = row
+    report: Dict[str, Any] = {
+        "benchmark": "sweep",
+        "name": spec.name,
+        "spec_id": spec.spec_id,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "summary": {
+            "cells": len(cells),
+            "completed": completed,
+            "failed": failed,
+            "retried": retried,
+            "events_total": events_total,
+            "wall_seconds_total": round(wall_total, 3),
+            "events_per_second_aggregate": (
+                round(events_total / wall_total, 1) if wall_total > 0 else 0.0
+            ),
+        },
+        "cells": cells,
+    }
+    if sweep_wall_seconds is not None:
+        report["sweep_wall_seconds"] = round(sweep_wall_seconds, 3)
+    return report
+
+
+def report_fingerprints(report: Mapping[str, Any]) -> Dict[str, Any]:
+    """Deterministic view of a report's cells (host metrics stripped).
+
+    Two runs of the same spec — serial, parallel, resumed — must
+    produce equal fingerprints; this is the equivalence the tests and
+    ``bench_sweep.py`` gate exactly.
+    """
+    return {
+        cell_id: fingerprint(row)
+        for cell_id, row in report["cells"].items()
+    }
+
+
+def render_markdown(report: Mapping[str, Any]) -> str:
+    """A compact markdown table of the merged report."""
+    summary = report["summary"]
+    lines: List[str] = [
+        f"### Sweep `{report['name']}` "
+        f"({summary['completed']}/{summary['cells']} cells ok, "
+        f"{summary['failed']} failed, jobs={report.get('jobs')})",
+        "",
+        "| cell | workload | io | engine | jobs done | hit | task-h "
+        "| events | wall s | status |",
+        "|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for cell_id, row in report["cells"].items():
+        workload = row.get("scenario") or row.get("workload") or "?"
+        if row["status"] != "ok":
+            lines.append(
+                f"| `{cell_id}` | {workload} | | | | | | | | "
+                f"**{row['status']}**: {row.get('error')} |"
+            )
+            continue
+        lines.append(
+            "| `{id}` | {wl} | {io} | {eng} | {jobs} | {hit:.3f} "
+            "| {hours:.2f} | {events} | {wall} | ok |".format(
+                id=cell_id,
+                wl=workload,
+                io=row["io_model"],
+                eng=row["engine"],
+                jobs=f"{row['jobs_finished']}/{row['jobs_submitted']}",
+                hit=row["hit_ratio"],
+                hours=row["task_hours"],
+                events=row["events_processed"],
+                wall=row["runtime_seconds"],
+            )
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,347 @@
+"""Declarative sweep specifications and their expansion into cells.
+
+A :class:`SweepSpec` names a cross-product of experiment dimensions —
+scenarios (or workload profiles) × parameter grids × policy pairs ×
+tier hierarchies × I/O models × engine modes × seeds × scales — and
+:meth:`SweepSpec.expand` turns it into a deterministic list of
+:class:`Cell` objects.  Each cell is one end-to-end simulation run,
+identified by a **content hash** of its canonical configuration: the
+same cell always hashes to the same id, across processes, hosts, and
+re-runs, which is what makes the on-disk results store
+(:mod:`repro.sweep.store`) resumable and the parallel/serial
+equivalence checkable.
+
+Specs come from three places, all meeting in :func:`SweepSpec.from_dict`:
+
+* python (build the dataclass directly),
+* a JSON file (``repro sweep run spec.json``),
+* the builtin registry (:func:`builtin_specs` — e.g. the CI ``smoke``
+  spec and the full ``scenario-matrix``).
+
+Scenario parameter grids apply to every listed scenario; keys a
+scenario does not define are pruned for that scenario (and the
+resulting duplicate cells deduplicated), so one grid can span scenarios
+with different parameter sets without erroring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Row fields that vary with the host/process rather than the simulated
+#: system: excluded from result fingerprints when checking that parallel
+#: and serial executions of the same spec produced identical results.
+HOST_KEYS = frozenset({"runtime_seconds", "events_per_second", "rss_mb"})
+
+
+def cell_hash(config: Mapping[str, Any]) -> str:
+    """Content hash identifying one cell (16 hex chars of SHA-256)."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def fingerprint(row: Mapping[str, Any]) -> Dict[str, Any]:
+    """The deterministic part of a result row (host metrics stripped)."""
+    return {k: v for k, v in row.items() if k not in HOST_KEYS}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One simulation run of a sweep: canonical config plus content id."""
+
+    cell_id: str
+    config: Mapping[str, Any]
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity used in progress output."""
+        c = self.config
+        policy = f"{c['downgrade'] or 'none'}-{c['upgrade'] or 'none'}"
+        return (
+            f"{c['workload']}/{c['io_model']}/{c['engine']}/{policy}"
+            f"/s{c['seed']}"
+        )
+
+
+def make_cell(
+    *,
+    kind: str = "scenario",
+    workload: str,
+    params: Optional[Mapping[str, Any]] = None,
+    scale: float = 1.0,
+    seed: int = 42,
+    system_seed: Optional[int] = None,
+    placement: str = "octopus",
+    downgrade: Optional[str] = None,
+    upgrade: Optional[str] = None,
+    workers: int = 11,
+    tiers: str = "default3",
+    io_model: str = "snapshot",
+    engine: str = "reference",
+    preset: Optional[str] = None,
+    cache_mode: bool = False,
+    tier_aware: bool = False,
+    conf: Optional[Mapping[str, Any]] = None,
+) -> Cell:
+    """Build one canonical cell (every field present, hash-stable).
+
+    ``kind`` selects the workload source: ``"scenario"`` builds a
+    registered stream (``workload`` is the scenario name, ``params`` its
+    parameter overrides); ``"profile"`` synthesizes a classic trace
+    (``workload`` is a profile name like ``"FB"``).  ``seed`` seeds the
+    workload; ``system_seed`` (default: SystemConfig's own default)
+    seeds the system side (scheduler tie-breaks, policy RNG).
+    """
+    if kind not in ("scenario", "profile"):
+        raise ValueError(f"unknown cell kind {kind!r}")
+    config = {
+        "kind": kind,
+        "workload": workload,
+        "params": dict(params or {}),
+        "scale": scale,
+        "seed": seed,
+        "system_seed": system_seed,
+        "placement": placement,
+        "downgrade": downgrade,
+        "upgrade": upgrade,
+        "workers": workers,
+        "tiers": tiers,
+        "io_model": io_model,
+        "engine": engine,
+        "preset": preset,
+        "cache_mode": cache_mode,
+        "tier_aware": tier_aware,
+        "conf": dict(conf or {}),
+    }
+    return Cell(cell_id=cell_hash(config), config=config)
+
+
+def parse_policy(policy: Any) -> Tuple[Optional[str], Optional[str]]:
+    """Normalize a policy spec to a ``(downgrade, upgrade)`` pair.
+
+    Accepts ``"none"`` (no tiering manager), ``"lru:osa"`` style pairs,
+    a bare name applied to both sides (``"xgb"``), or a mapping with
+    ``downgrade``/``upgrade`` keys.
+    """
+    if isinstance(policy, Mapping):
+        return policy.get("downgrade"), policy.get("upgrade")
+    if not isinstance(policy, str):
+        raise ValueError(f"policy must be a string or mapping, got {policy!r}")
+    if policy == "none":
+        return None, None
+    if ":" in policy:
+        downgrade, upgrade = policy.split(":", 1)
+        return downgrade or None, upgrade or None
+    return policy, policy
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative cross-product of simulation cells.
+
+    Dimensions multiply: ``len(expand())`` is (scenarios + workloads) ×
+    grid combinations × policies × tiers × io_models × engines × seeds
+    × scales, minus duplicates created by per-scenario parameter
+    pruning.
+    """
+
+    name: str
+    #: Registered scenario names driven through the streaming path.
+    scenarios: Tuple[str, ...] = ()
+    #: Workload profile names (``FB``/``CMU``) replayed as classic traces.
+    workloads: Tuple[str, ...] = ()
+    #: Scenario parameter grid: key -> list of values (cross product).
+    #: Keys a given scenario does not define are pruned for it.
+    params: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    #: Policy pairs (see :func:`parse_policy`).
+    policies: Tuple[Any, ...] = ("lru:osa",)
+    tiers: Tuple[str, ...] = ("default3",)
+    io_models: Tuple[str, ...] = ("snapshot",)
+    engines: Tuple[str, ...] = ("reference",)
+    seeds: Tuple[int, ...] = (42,)
+    scales: Tuple[float, ...] = (1.0,)
+    workers: int = 11
+    placement: str = "octopus"
+    #: Preset selection per cell: None/"none" (disabled), "auto"
+    #: (scenario-registered preset), or an explicit preset name.
+    preset: Optional[str] = None
+    #: Extra configuration keys applied to every cell.
+    conf: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a sweep needs a name (it keys the results store)")
+        if not self.scenarios and not self.workloads:
+            raise ValueError(
+                f"sweep {self.name!r} lists no scenarios and no workloads"
+            )
+
+    @property
+    def spec_id(self) -> str:
+        """Content hash of the spec (manifest identity for resume checks)."""
+        return cell_hash(self.to_dict())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready canonical form (round-trips via :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "scenarios": list(self.scenarios),
+            "workloads": list(self.workloads),
+            "params": {k: list(v) for k, v in sorted(self.params.items())},
+            "policies": [
+                p if isinstance(p, str) else dict(p) for p in self.policies
+            ],
+            "tiers": list(self.tiers),
+            "io_models": list(self.io_models),
+            "engines": list(self.engines),
+            "seeds": list(self.seeds),
+            "scales": list(self.scales),
+            "workers": self.workers,
+            "placement": self.placement,
+            "preset": self.preset,
+            "conf": dict(self.conf),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        """Build a spec from a plain mapping (JSON file contents)."""
+        known = {
+            "name",
+            "scenarios",
+            "workloads",
+            "params",
+            "policies",
+            "tiers",
+            "io_models",
+            "engines",
+            "seeds",
+            "scales",
+            "workers",
+            "placement",
+            "preset",
+            "conf",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown sweep spec field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        if "name" not in data:
+            raise ValueError("sweep spec needs a 'name'")
+        kwargs: Dict[str, Any] = {"name": data["name"]}
+        for key in ("scenarios", "workloads", "policies", "tiers",
+                    "io_models", "engines", "seeds", "scales"):
+            if key in data:
+                kwargs[key] = tuple(data[key])
+        for key in ("workers", "placement", "preset"):
+            if key in data:
+                kwargs[key] = data[key]
+        if "params" in data:
+            kwargs["params"] = {k: list(v) for k, v in data["params"].items()}
+        if "conf" in data:
+            kwargs["conf"] = dict(data["conf"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_file(cls, path: str) -> "SweepSpec":
+        """Load a JSON spec file."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def _param_grid(self, scenario: Optional[str]) -> List[Dict[str, Any]]:
+        """Parameter combinations valid for ``scenario`` (pruned grid)."""
+        if scenario is None or not self.params:
+            return [{}]
+        from repro.workload.scenarios import get_scenario
+
+        known = set(get_scenario(scenario).defaults)
+        keys = sorted(k for k in self.params if k in known)
+        if not keys:
+            return [{}]
+        combos = itertools.product(*(self.params[k] for k in keys))
+        return [dict(zip(keys, values)) for values in combos]
+
+    def expand(self) -> List[Cell]:
+        """The deterministic, deduplicated cell list of this spec.
+
+        Iteration order is stable (spec order per dimension, sorted
+        grid keys); pruning scenario-unknown grid keys can alias
+        combinations to the same canonical cell, which dedupes by
+        content hash keeping the first occurrence.
+        """
+        cells: List[Cell] = []
+        seen = set()
+        sources: List[Tuple[str, str]] = [
+            ("scenario", name) for name in self.scenarios
+        ] + [("profile", name) for name in self.workloads]
+        for kind, workload in sources:
+            grid = self._param_grid(workload if kind == "scenario" else None)
+            for params, policy, tiers, io_model, engine, seed, scale in (
+                itertools.product(
+                    grid,
+                    self.policies,
+                    self.tiers,
+                    self.io_models,
+                    self.engines,
+                    self.seeds,
+                    self.scales,
+                )
+            ):
+                downgrade, upgrade = parse_policy(policy)
+                cell = make_cell(
+                    kind=kind,
+                    workload=workload,
+                    params=params,
+                    scale=scale,
+                    seed=seed,
+                    placement=self.placement,
+                    downgrade=downgrade,
+                    upgrade=upgrade,
+                    workers=self.workers,
+                    tiers=tiers,
+                    io_model=io_model,
+                    engine=engine,
+                    preset=self.preset,
+                    conf=self.conf,
+                )
+                if cell.cell_id in seen:
+                    continue
+                seen.add(cell.cell_id)
+                cells.append(cell)
+        return cells
+
+
+def builtin_specs() -> Dict[str, SweepSpec]:
+    """The named specs shipped with the toolkit.
+
+    ``smoke``
+        The CI-sized matrix (~12 cells): three fast generated scenarios
+        under both I/O models and both engine modes at reduced scale.
+    ``scenario-matrix``
+        The full scenario benchmark matrix (every registered scenario ×
+        both I/O models at full scale) — the reference point for the
+        parallel-speedup measurement in ``BENCH_sweep.json``.
+    """
+    from repro.workload.scenarios import scenario_names
+
+    return {
+        "smoke": SweepSpec(
+            name="smoke",
+            scenarios=("mlscan", "oscillating", "pipeline"),
+            policies=("lru:osa",),
+            io_models=("snapshot", "fairshare"),
+            engines=("reference", "fast"),
+            scales=(0.15,),
+        ),
+        "scenario-matrix": SweepSpec(
+            name="scenario-matrix",
+            scenarios=tuple(scenario_names()),
+            policies=("lru:osa",),
+            io_models=("snapshot", "fairshare"),
+        ),
+    }

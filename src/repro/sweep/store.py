@@ -1,0 +1,154 @@
+"""Resumable on-disk results store for sweeps.
+
+Layout (all JSON, human-inspectable)::
+
+    <root>/<sweep name>/
+        manifest.json          # spec + spec_id + expanded cell ids
+        report.json            # last merged report (see repro.sweep.report)
+        cells/<cell_id>.json   # one payload per finished cell
+
+Every write is **atomic**: the payload lands in a same-directory temp
+file first and is ``os.replace``-d into place, so a worker killed
+mid-write (crash, SIGKILL, per-cell timeout) can never leave a
+half-written payload that a later ``--resume`` would mistake for a
+completed cell.  Unreadable or truncated payloads are treated as
+missing for the same reason.
+
+A cell payload records::
+
+    {"cell_id": ..., "cell": {<canonical config>}, "status": "ok"|"failed",
+     "attempts": N, "error": null | "...", "row": {<result row>} | null}
+
+``--resume`` skips cells whose stored status is ``ok`` and re-runs
+everything else; the manifest's ``spec_id`` must match the spec being
+resumed (resuming a *different* spec into the same store is an error,
+not silent cell mixing).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence
+
+from repro.sweep.spec import Cell, SweepSpec
+
+MANIFEST = "manifest.json"
+REPORT = "report.json"
+
+
+def atomic_write_json(path: Path, payload: Mapping[str, Any]) -> None:
+    """Write JSON atomically: temp file in the same directory + rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """Read a JSON file; ``None`` when missing, truncated, or corrupt."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+class SweepStore:
+    """One sweep's results directory (``<root>/<name>``)."""
+
+    def __init__(self, root: str, name: str) -> None:
+        self.root = Path(root)
+        self.name = name
+        self.dir = self.root / name
+        self.cells_dir = self.dir / "cells"
+
+    # -- manifest ------------------------------------------------------------
+    def init(self, spec: SweepSpec, cells: Sequence[Cell], resume: bool) -> None:
+        """Prepare the store for a run.
+
+        Fresh runs clear any previous cell payloads; resumed runs keep
+        them but refuse to resume under a *different* spec (the cell
+        ids would silently not line up).
+        """
+        manifest = read_json(self.dir / MANIFEST)
+        if resume and manifest is not None:
+            if manifest.get("spec_id") != spec.spec_id:
+                raise ValueError(
+                    f"store {self.dir} holds sweep spec "
+                    f"{manifest.get('spec_id')} but --resume was asked for "
+                    f"{spec.spec_id}; use a fresh store (or the same spec)"
+                )
+        elif not resume:
+            self.clear_cells()
+        atomic_write_json(
+            self.dir / MANIFEST,
+            {
+                "name": spec.name,
+                "spec_id": spec.spec_id,
+                "spec": spec.to_dict(),
+                "cells": [cell.cell_id for cell in cells],
+            },
+        )
+
+    def manifest(self) -> Optional[Dict[str, Any]]:
+        """The stored manifest, or ``None`` for an uninitialized store."""
+        return read_json(self.dir / MANIFEST)
+
+    def clear_cells(self) -> None:
+        """Delete every stored cell payload (fresh-run semantics)."""
+        if self.cells_dir.is_dir():
+            for path in self.cells_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    # -- cells ---------------------------------------------------------------
+    def cell_path(self, cell_id: str) -> Path:
+        """Path of one cell's payload file."""
+        return self.cells_dir / f"{cell_id}.json"
+
+    def write_cell(self, payload: Mapping[str, Any]) -> None:
+        """Atomically persist one cell payload (keyed by its cell_id)."""
+        atomic_write_json(self.cell_path(payload["cell_id"]), payload)
+
+    def read_cell(self, cell_id: str) -> Optional[Dict[str, Any]]:
+        """One cell's payload, or ``None`` when absent/unreadable."""
+        return read_json(self.cell_path(cell_id))
+
+    def iter_cells(self) -> Iterator[Dict[str, Any]]:
+        """Every readable cell payload, in cell_id order."""
+        if not self.cells_dir.is_dir():
+            return
+        for path in sorted(self.cells_dir.glob("*.json")):
+            payload = read_json(path)
+            if payload is not None:
+                yield payload
+
+    def completed_ids(self) -> set:
+        """Cell ids whose stored payload says ``status == "ok"``."""
+        return {
+            payload["cell_id"]
+            for payload in self.iter_cells()
+            if payload.get("status") == "ok"
+        }
+
+    # -- report --------------------------------------------------------------
+    def write_report(self, report: Mapping[str, Any]) -> Path:
+        """Persist the merged report next to the cells; returns its path."""
+        path = self.dir / REPORT
+        atomic_write_json(path, report)
+        return path

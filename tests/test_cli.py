@@ -357,3 +357,120 @@ class TestPresetFlag:
         out = capsys.readouterr().out
         for name in preset_names():
             assert name in out
+
+
+class TestSweepCommands:
+    def spec_file(self, tmp_path):
+        """A two-cell JSON spec (mlscan at tiny scale, two seeds)."""
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "tiny",
+                    "scenarios": ["mlscan"],
+                    "seeds": [1, 2],
+                    "scales": [0.05],
+                }
+            )
+        )
+        return str(path)
+
+    def test_sweep_cells_smoke_lists_twelve(self, capsys):
+        assert main(["sweep", "cells", "--smoke"]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 12
+        # Each line: <16-hex cell id>  <label>
+        for line in lines:
+            cell_id, label = line.split(None, 1)
+            assert len(cell_id) == 16
+            assert int(cell_id, 16) >= 0
+        assert "12 cell(s)" in captured.err
+
+    def test_sweep_spec_and_smoke_conflict(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "cells", "smoke", "--smoke"])
+
+    def test_sweep_unknown_spec_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "run", "no-such-spec"])
+        assert "no such sweep spec" in capsys.readouterr().err
+
+    def test_sweep_run_resume_and_report(self, tmp_path, capsys):
+        spec = self.spec_file(tmp_path)
+        store = str(tmp_path / "sweeps")
+        out = str(tmp_path / "report.json")
+        assert (
+            main(["sweep", "run", spec, "--store", store, "--out", out]) == 0
+        )
+        captured = capsys.readouterr()
+        assert "2/2 cells ok" in captured.out
+        report = json.loads(open(out).read())
+        assert report["summary"]["completed"] == 2
+
+        # Resuming recomputes nothing.
+        assert (
+            main(
+                ["sweep", "run", spec, "--store", store, "--out", out,
+                 "--resume"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "reusing 2, running 0" in captured.err
+
+        # The stored sweep re-merges into the same report.
+        assert main(["sweep", "report", "tiny", "--store", store]) == 0
+        assert "2/2 cells ok" in capsys.readouterr().out
+
+    def test_sweep_report_without_store_errors(self, tmp_path, capsys):
+        assert (
+            main(["sweep", "report", "ghost", "--store", str(tmp_path)]) == 2
+        )
+        assert "no sweep manifest" in capsys.readouterr().err
+
+    def test_sweep_run_markdown(self, tmp_path, capsys):
+        spec = self.spec_file(tmp_path)
+        assert main(["sweep", "run", spec, "--markdown"]) == 0
+        assert "| cell |" in capsys.readouterr().out
+
+    def test_list_sweeps(self, capsys):
+        assert main(["list", "sweeps"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out
+        assert "scenario-matrix" in out
+
+
+class TestProfileFlag:
+    """--profile is one shared flag: simulate, scenario run, and live all
+    route through the same cProfile wrapper."""
+
+    def test_scenario_run_profile(self, capsys):
+        code = main(
+            ["scenario", "run", "mlscan", "--scale", "0.05", "--workers",
+             "4", "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- profile (top 25 by cumulative time)" in out
+        assert "cumtime" in out
+
+    def test_live_profile(self, tmp_path, capsys):
+        path = str(tmp_path / "stream.jsonl")
+        assert (
+            main(
+                ["scenario", "run", "fb", "--scale", "0.05", "--out", path]
+            )
+            == 0
+        )
+        code = main(["live", path, "--workers", "4", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- profile (top 25 by cumulative time)" in out
+
+    def test_simulate_profile(self, capsys):
+        code = main(
+            ["simulate", "--workload", "FB", "--scale", "0.05", "--profile"]
+        )
+        assert code == 0
+        assert "-- profile (top 25 by cumulative time)" in capsys.readouterr().out

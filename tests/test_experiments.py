@@ -128,3 +128,26 @@ class TestFaultToleranceExperiment:
         assert worst.failures == 3
         assert worst.under_replicated_at_end == 0
         assert "Fault tolerance" in render_fault_tolerance(result)
+
+
+class TestParallelExperimentPaths:
+    """The --jobs paths fan experiment cells through the sweep
+    orchestrator and must reproduce the serial figures exactly (to
+    renderer precision)."""
+
+    def test_preset_tuning_parallel_matches_serial(self):
+        from repro.experiments.preset_tuning import (
+            render_preset_tuning,
+            run_preset_tuning,
+        )
+
+        serial = run_preset_tuning(scale=0.35, scenarios=["mlscan"])
+        parallel = run_preset_tuning(scale=0.35, scenarios=["mlscan"], jobs=2)
+        assert render_preset_tuning(serial) == render_preset_tuning(parallel)
+
+    def test_scenarios_parallel_matches_serial(self):
+        from repro.experiments.scenarios import render_scenarios, run_scenarios
+
+        serial = run_scenarios(scale=0.15)
+        parallel = run_scenarios(scale=0.15, jobs=2)
+        assert render_scenarios(serial) == render_scenarios(parallel)

@@ -1,0 +1,363 @@
+"""Tests for the parallel sweep subsystem (repro.sweep).
+
+Covers spec expansion and content hashing, the atomic resumable store,
+serial/parallel result equivalence, crash isolation (raise, SIGKILL,
+hang + timeout) via the test-only ``sweep.*`` conf hooks, bounded
+retry, and resume-without-recompute.
+"""
+
+import json
+import os
+from collections import Counter
+
+import pytest
+
+from repro.sweep import (
+    SweepSpec,
+    SweepStore,
+    builtin_specs,
+    cell_hash,
+    fingerprint,
+    make_cell,
+    merge_report,
+    parse_policy,
+    render_markdown,
+    report_fingerprints,
+    run_cell,
+    run_cells,
+    run_sweep,
+)
+from repro.sweep.store import atomic_write_json, read_json
+
+#: A cheap two-cell spec (mlscan at tiny scale, two seeds) used by the
+#: orchestrator tests; ``conf`` carries the crash hooks.
+def tiny_spec(name="tiny", conf=None, seeds=(1, 2)):
+    return SweepSpec(
+        name=name,
+        scenarios=("mlscan",),
+        io_models=("snapshot",),
+        seeds=seeds,
+        scales=(0.05,),
+        conf=conf or {},
+    )
+
+
+class TestSpec:
+    def test_smoke_spec_expands_to_twelve_cells(self):
+        cells = builtin_specs()["smoke"].expand()
+        assert len(cells) == 12
+        assert len({c.cell_id for c in cells}) == 12
+
+    def test_expansion_is_deterministic(self):
+        spec = builtin_specs()["smoke"]
+        first = [c.cell_id for c in spec.expand()]
+        second = [c.cell_id for c in spec.expand()]
+        assert first == second
+
+    def test_cell_hash_is_content_addressed(self):
+        a = make_cell(workload="mlscan", seed=1)
+        b = make_cell(workload="mlscan", seed=1)
+        c = make_cell(workload="mlscan", seed=2)
+        assert a.cell_id == b.cell_id
+        assert a.cell_id != c.cell_id
+        assert a.cell_id == cell_hash(a.config)
+
+    def test_make_cell_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown cell kind"):
+            make_cell(kind="nope", workload="mlscan")
+
+    def test_parse_policy_forms(self):
+        assert parse_policy("none") == (None, None)
+        assert parse_policy("lru:osa") == ("lru", "osa")
+        assert parse_policy("xgb") == ("xgb", "xgb")
+        assert parse_policy({"downgrade": "lru"}) == ("lru", None)
+        with pytest.raises(ValueError, match="policy"):
+            parse_policy(42)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown sweep spec field"):
+            SweepSpec.from_dict({"name": "x", "scenarios": ["fb"], "bogus": 1})
+
+    def test_from_dict_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            SweepSpec.from_dict({"scenarios": ["fb"]})
+
+    def test_spec_needs_some_workload(self):
+        with pytest.raises(ValueError, match="no scenarios"):
+            SweepSpec(name="empty")
+
+    def test_round_trip_preserves_identity(self):
+        spec = tiny_spec()
+        again = SweepSpec.from_dict(spec.to_dict())
+        assert again.spec_id == spec.spec_id
+        assert [c.cell_id for c in again.expand()] == [
+            c.cell_id for c in spec.expand()
+        ]
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(tiny_spec().to_dict()))
+        assert SweepSpec.from_file(str(path)).spec_id == tiny_spec().spec_id
+
+    def test_unknown_params_prune_and_dedupe(self):
+        spec = tiny_spec()
+        grid = SweepSpec.from_dict(
+            {**spec.to_dict(), "params": {"not_a_real_knob": [1, 2, 3]}}
+        )
+        # The pruned grid collapses; no duplicate cells survive.
+        ids = [c.cell_id for c in grid.expand()]
+        assert len(ids) == len(set(ids)) == len(spec.expand())
+
+    def test_fingerprint_strips_host_keys(self):
+        row = {"hit_ratio": 0.5, "runtime_seconds": 1.2,
+               "events_per_second": 9.0, "rss_mb": 40.0}
+        assert fingerprint(row) == {"hit_ratio": 0.5}
+
+
+class TestStore:
+    def test_atomic_write_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "x.json"
+        atomic_write_json(path, {"a": 1})
+        assert read_json(path) == {"a": 1}
+        # No temp litter left behind.
+        assert os.listdir(path.parent) == ["x.json"]
+
+    def test_corrupt_payload_reads_as_missing(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"truncated": ')
+        assert read_json(path) is None
+
+    def test_completed_ids_ignores_failed_and_corrupt(self, tmp_path):
+        store = SweepStore(str(tmp_path), "s")
+        store.write_cell({"cell_id": "aaa", "status": "ok", "row": {}})
+        store.write_cell({"cell_id": "bbb", "status": "failed", "row": None})
+        store.cell_path("ccc").write_text("not json")
+        assert store.completed_ids() == {"aaa"}
+
+    def test_fresh_init_clears_cells(self, tmp_path):
+        spec = tiny_spec()
+        store = SweepStore(str(tmp_path), spec.name)
+        store.write_cell({"cell_id": "stale", "status": "ok", "row": {}})
+        store.init(spec, spec.expand(), resume=False)
+        assert store.completed_ids() == set()
+        assert store.manifest()["spec_id"] == spec.spec_id
+
+    def test_resume_refuses_different_spec(self, tmp_path):
+        spec = tiny_spec()
+        store = SweepStore(str(tmp_path), spec.name)
+        store.init(spec, spec.expand(), resume=False)
+        other = tiny_spec(seeds=(7, 8))
+        with pytest.raises(ValueError, match="fresh store"):
+            store.init(other, other.expand(), resume=True)
+
+    def test_resume_accepts_same_spec(self, tmp_path):
+        spec = tiny_spec()
+        store = SweepStore(str(tmp_path), spec.name)
+        store.init(spec, spec.expand(), resume=False)
+        store.write_cell({"cell_id": "keep", "status": "ok", "row": {}})
+        store.init(spec, spec.expand(), resume=True)
+        assert store.completed_ids() == {"keep"}
+
+
+class TestWorker:
+    def test_run_cell_row_shape(self):
+        row = run_cell(make_cell(workload="mlscan", scale=0.05, seed=1).config)
+        for key in ("scenario", "jobs_finished", "hit_ratio", "task_hours",
+                    "events_processed", "runtime_seconds", "rss_mb"):
+            assert key in row
+        assert row["scenario"] == "mlscan"
+
+    def test_run_cell_is_deterministic(self):
+        config = make_cell(workload="mlscan", scale=0.05, seed=1).config
+        assert fingerprint(run_cell(config)) == fingerprint(run_cell(config))
+
+    def test_profile_cell_runs_classic_trace(self):
+        row = run_cell(
+            make_cell(
+                kind="profile", workload="FB", scale=0.05, seed=42,
+                system_seed=42, downgrade="lru", upgrade="osa",
+            ).config
+        )
+        assert row["workload"] == "FB"
+        assert row["jobs_finished"] > 0
+
+
+class TestOrchestrator:
+    def test_parallel_matches_serial_exactly(self, tmp_path):
+        spec = tiny_spec()
+        cells = spec.expand()
+        serial_store = SweepStore(str(tmp_path / "serial"), spec.name)
+        serial_store.init(spec, cells, resume=False)
+        serial = run_cells(cells, serial_store, jobs=1)
+        parallel_store = SweepStore(str(tmp_path / "parallel"), spec.name)
+        parallel_store.init(spec, cells, resume=False)
+        parallel = run_cells(cells, parallel_store, jobs=2)
+        assert report_fingerprints(
+            merge_report(spec, serial)
+        ) == report_fingerprints(merge_report(spec, parallel))
+
+    def test_raise_isolates_one_cell(self, tmp_path):
+        spec = tiny_spec(
+            conf={"sweep.test_crash": "raise", "sweep.test_crash_seed": 2}
+        )
+        cells = spec.expand()
+        store = SweepStore(str(tmp_path), spec.name)
+        store.init(spec, cells, resume=False)
+        payloads = run_cells(cells, store, jobs=2, retries=1)
+        by_seed = {p["cell"]["seed"]: p for p in payloads}
+        assert by_seed[1]["status"] == "ok"
+        assert by_seed[2]["status"] == "failed"
+        assert "injected failure" in by_seed[2]["error"]
+        # retries=1 means the failing cell was attempted twice.
+        assert by_seed[2]["attempts"] == 2
+
+    def test_sigkill_fails_one_cell_not_the_sweep(self, tmp_path):
+        spec = tiny_spec(
+            conf={"sweep.test_crash": "sigkill", "sweep.test_crash_seed": 2}
+        )
+        cells = spec.expand()
+        store = SweepStore(str(tmp_path), spec.name)
+        store.init(spec, cells, resume=False)
+        payloads = run_cells(cells, store, jobs=2, retries=0)
+        by_seed = {p["cell"]["seed"]: p for p in payloads}
+        assert by_seed[1]["status"] == "ok"
+        assert by_seed[2]["status"] == "failed"
+        assert "worker died" in by_seed[2]["error"]
+
+    def test_hang_is_killed_by_cell_timeout(self, tmp_path):
+        spec = tiny_spec(
+            conf={"sweep.test_crash": "hang", "sweep.test_crash_seed": 2}
+        )
+        cells = spec.expand()
+        store = SweepStore(str(tmp_path), spec.name)
+        store.init(spec, cells, resume=False)
+        payloads = run_cells(cells, store, jobs=2, timeout=5.0, retries=0)
+        by_seed = {p["cell"]["seed"]: p for p in payloads}
+        assert by_seed[1]["status"] == "ok"
+        assert by_seed[2]["status"] == "failed"
+        assert "timeout" in by_seed[2]["error"]
+
+    def test_transient_failure_recovers_via_retry(self, tmp_path):
+        once_dir = tmp_path / "once"
+        once_dir.mkdir()
+        spec = tiny_spec(
+            conf={
+                "sweep.test_crash": "raise",
+                "sweep.test_crash_once_dir": str(once_dir),
+            },
+            seeds=(1,),
+        )
+        cells = spec.expand()
+        store = SweepStore(str(tmp_path / "store"), spec.name)
+        store.init(spec, cells, resume=False)
+        (payload,) = run_cells(cells, store, jobs=1, retries=1)
+        assert payload["status"] == "ok"
+        assert payload["attempts"] == 2
+
+    def test_retry_budget_is_bounded(self, tmp_path):
+        spec = tiny_spec(conf={"sweep.test_crash": "raise"}, seeds=(1,))
+        cells = spec.expand()
+        store = SweepStore(str(tmp_path), spec.name)
+        store.init(spec, cells, resume=False)
+        (payload,) = run_cells(cells, store, jobs=1, retries=2)
+        assert payload["status"] == "failed"
+        assert payload["attempts"] == 3
+
+
+def _touch_counts(touch_dir) -> Counter:
+    """Executions per cell id recorded by the sweep.test_touch_dir hook."""
+    return Counter(p.name.split(".")[0] for p in touch_dir.iterdir())
+
+
+class TestResume:
+    def test_resume_runs_only_the_remainder(self, tmp_path):
+        touch_dir = tmp_path / "touch"
+        touch_dir.mkdir()
+        spec = tiny_spec(conf={"sweep.test_touch_dir": str(touch_dir)})
+        cells = spec.expand()
+        store = SweepStore(str(tmp_path / "store"), spec.name)
+        store.init(spec, cells, resume=False)
+
+        # Interrupted sweep: only the first cell completed.
+        run_cells(cells[:1], store, jobs=1)
+        assert _touch_counts(touch_dir) == {cells[0].cell_id: 1}
+
+        # Resume finishes the remainder without re-running cell 0.
+        store.init(spec, cells, resume=True)
+        payloads = run_cells(cells, store, jobs=1, resume=True)
+        assert all(p["status"] == "ok" for p in payloads)
+        assert _touch_counts(touch_dir) == {
+            cells[0].cell_id: 1,
+            cells[1].cell_id: 1,
+        }
+
+        # The merged report equals a clean, uninterrupted run.
+        clean_store = SweepStore(str(tmp_path / "clean"), spec.name)
+        clean_store.init(spec, cells, resume=False)
+        clean = run_cells(cells, clean_store, jobs=1)
+        assert report_fingerprints(
+            merge_report(spec, payloads)
+        ) == report_fingerprints(merge_report(spec, clean))
+
+    def test_corrupt_cell_is_recomputed_on_resume(self, tmp_path):
+        spec = tiny_spec()
+        cells = spec.expand()
+        store = SweepStore(str(tmp_path), spec.name)
+        store.init(spec, cells, resume=False)
+        run_cells(cells, store, jobs=1)
+        # A worker killed mid-write leaves nothing (atomic rename), but a
+        # truncated file must also read as missing.
+        store.cell_path(cells[0].cell_id).write_text('{"cell_id": ')
+        store.init(spec, cells, resume=True)
+        payloads = run_cells(cells, store, jobs=1, resume=True)
+        assert all(p["status"] == "ok" for p in payloads)
+
+    def test_failed_cells_rerun_on_resume(self, tmp_path):
+        spec = tiny_spec(
+            conf={"sweep.test_crash": "raise", "sweep.test_crash_seed": 2}
+        )
+        cells = spec.expand()
+        store = SweepStore(str(tmp_path), spec.name)
+        store.init(spec, cells, resume=False)
+        first = run_cells(cells, store, jobs=1, retries=0)
+        assert {p["status"] for p in first} == {"ok", "failed"}
+        # Clearing the hook is a different spec; keep it and observe the
+        # failed cell being retried (it fails again — the point is that
+        # resume does not treat "failed" as done).
+        store.init(spec, cells, resume=True)
+        again = run_cells(cells, store, jobs=1, retries=0, resume=True)
+        by_seed = {p["cell"]["seed"]: p for p in again}
+        assert by_seed[1]["status"] == "ok"
+        assert by_seed[2]["status"] == "failed"
+
+
+class TestRunSweepAndReport:
+    def test_ephemeral_run_sweep_report_shape(self):
+        report = run_sweep(tiny_spec(), jobs=1)
+        assert report["benchmark"] == "sweep"
+        assert report["summary"]["cells"] == 2
+        assert report["summary"]["completed"] == 2
+        assert report["summary"]["failed"] == 0
+        assert set(report["cells"]) == {
+            c.cell_id for c in tiny_spec().expand()
+        }
+        assert report["sweep_wall_seconds"] >= 0.0
+
+    def test_persistent_run_sweep_writes_report(self, tmp_path):
+        spec = tiny_spec()
+        report = run_sweep(spec, store_root=str(tmp_path), jobs=1)
+        on_disk = read_json(tmp_path / spec.name / "report.json")
+        assert on_disk["spec_id"] == report["spec_id"]
+        assert report_fingerprints(on_disk) == report_fingerprints(report)
+
+    def test_markdown_renders_ok_and_failed_rows(self, tmp_path):
+        spec = tiny_spec(
+            conf={"sweep.test_crash": "raise", "sweep.test_crash_seed": 2}
+        )
+        report = run_sweep(
+            spec, store_root=str(tmp_path), jobs=1, retries=0
+        )
+        text = render_markdown(report)
+        assert "mlscan" in text
+        assert "**failed**" in text
+        assert "injected failure" in text
