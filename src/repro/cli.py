@@ -452,6 +452,7 @@ def cmd_live(args: argparse.Namespace) -> int:
         name=args.name,
         duration=args.duration,
         compression="gzip" if args.gzip else None,
+        pace=args.pace,
     )
     config = _system_config(args, conf={})
     config.label = stream.name
@@ -477,6 +478,48 @@ def cmd_live(args: argparse.Namespace) -> int:
     if preset is not None:
         print(f"preset:           {preset.name}")
     _print_run(result, runner, args, wall)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant tiering daemon until drained.
+
+    Binds the data plane (``--port``) and control plane
+    (``--control-port``), prints both bound addresses (machine-parsable
+    first line), then serves until a graceful shutdown — SIGTERM,
+    SIGINT, or ``POST /shutdown`` — drains all tenants, and prints the
+    final run summary as JSON.  See ``docs/service.md``.
+    """
+    import json
+
+    from repro.service import TieringService, result_to_dict
+
+    config = _system_config(args, conf={})
+    config.label = "service"
+    service = TieringService(
+        config,
+        host=args.host,
+        port=args.port,
+        control_port=args.control_port,
+        pace=args.pace,
+        reorder_depth=args.reorder_depth,
+        late=args.late,
+        drain_grace=args.drain_grace,
+    )
+    service.install_signal_handlers()
+    service.start()
+    print(
+        f"serving data=tcp://{args.host}:{service.data_port} "
+        f"control=http://{args.host}:{service.control_port}",
+        flush=True,
+    )
+    # Poll rather than block indefinitely so SIGTERM/SIGINT handlers
+    # run promptly on every platform.
+    while service.engine.alive():
+        service.wait(timeout=0.5)
+    result = service.stop()
+    if result is not None:
+        print(json.dumps(result_to_dict(result), indent=2))
     return 0
 
 
@@ -677,8 +720,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_live.add_argument(
         "source",
         help=(
-            "event source: '-' (stdin), a file/FIFO path (.gz aware), or "
-            "tcp://host:port"
+            "event source: '-' (stdin), a file/FIFO path (.gz aware), "
+            "tcp://host:port (dial out), or listen://[host:]port (bind "
+            "and wait for one producer)"
         ),
     )
     p_live.add_argument(
@@ -712,8 +756,68 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="scenario name for preset auto-selection (see --preset)",
     )
+    p_live.add_argument(
+        "--pace",
+        type=float,
+        default=None,
+        help="wall-clock replay speed in simulated seconds per wall "
+        "second (1.0 = real time; default: as fast as the source "
+        "delivers)",
+    )
     _add_system_flags(p_live)
     p_live.set_defaults(func=cmd_live)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived multi-tenant tiering daemon (see docs/service.md)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="data-plane TCP port: each connection is one tenant JSONL "
+        "stream session (0 = ephemeral, reported at startup)",
+    )
+    p_serve.add_argument(
+        "--control-port",
+        type=int,
+        default=0,
+        help="HTTP/JSON control-plane port: /healthz /metrics /tenants "
+        "(0 = ephemeral, reported at startup)",
+    )
+    p_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for both planes (default loopback)",
+    )
+    p_serve.add_argument(
+        "--pace",
+        type=float,
+        default=None,
+        help="wall-clock pacing applied to every tenant (simulated "
+        "seconds per wall second; default: as fast as streams deliver)",
+    )
+    p_serve.add_argument(
+        "--reorder-depth",
+        type=int,
+        default=64,
+        help="per-session reorder buffer (as for `repro live`)",
+    )
+    p_serve.add_argument(
+        "--late",
+        choices=("clamp", "drop", "error"),
+        default="clamp",
+        help="per-session late-event policy (as for `repro live`)",
+    )
+    p_serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        help="seconds open sessions get to finish after SIGTERM or "
+        "POST /shutdown before their transports are force-closed",
+    )
+    _add_system_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_sweep = sub.add_parser(
         "sweep",

@@ -24,11 +24,13 @@ def catalog() -> Dict[str, List[str]]:
     from repro.engine.iomodel import IO_MODEL_NAMES
     from repro.engine.runner import PLACEMENT_NAMES
     from repro.sweep.spec import builtin_specs
+    from repro.workload.live import LIVE_TRANSPORTS
     from repro.workload.profiles import PROFILES
     from repro.workload.scenarios import scenario_names
 
     return {
         "tiers": sorted(hierarchy_names()),
+        "live-transports": sorted(LIVE_TRANSPORTS),
         "io-models": sorted(IO_MODEL_NAMES),
         "placements": sorted(PLACEMENT_NAMES),
         "workloads": sorted(PROFILES),

@@ -170,6 +170,15 @@ class RunResult:
     metrics: MetricsCollector
     elapsed: float
     jobs_finished: int
+    #: Nominal submission-window end of the workload, in simulation
+    #: seconds.  ``None`` means *open-ended*: a header-less live stream
+    #: whose end is unknown until exhaustion (the runner rewrites its
+    #: duration to the exhaustion time once reached, so completed runs
+    #: report a finite value; mid-flight snapshots of a live service may
+    #: legitimately carry ``None``).  Never ``inf`` — open-ended
+    #: durations serialize as JSON ``null``, not a non-standard
+    #: ``Infinity`` token (see docs/benchmarks.md).
+    duration: Optional[float] = None
     #: Jobs submitted during replay (streamed workloads have no job list
     #: to ``len()``, so the runner counts submissions as they happen).
     jobs_submitted: int = 0
@@ -499,13 +508,23 @@ class WorkloadRunner:
             self.iomodel.assert_drained()
             if self.manager is not None:
                 self.manager.monitor.assert_idle()
-        return self._result()
+        return self.snapshot()
 
-    def _result(self) -> RunResult:
+    def snapshot(self) -> RunResult:
+        """A :class:`RunResult` view of the run *as it stands now*.
+
+        :meth:`run` returns this at quiescence, but the method is safe to
+        call mid-flight — the service mode's control plane reports live
+        per-run metrics from it while the engine thread is still
+        replaying (see :mod:`repro.service`).  Counters are read
+        point-in-time; a concurrent snapshot is a consistent-enough
+        observability view, not a transaction.
+        """
         result = RunResult(
             label=self.config.label,
             metrics=self.metrics,
             elapsed=self.sim.now(),
+            duration=None if math.isinf(self.duration) else self.duration,
             jobs_finished=self.scheduler.jobs_finished,
             jobs_submitted=self.jobs_submitted,
             deletions_applied=self.deletions_applied,

@@ -59,6 +59,14 @@ class JobExecution:
 class TaskScheduler:
     """Dispatches tasks onto node slots and times their execution."""
 
+    #: Optional per-job metrics fanout (multi-tenant service mode):
+    #: maps a :class:`TraceJob` to an *extra* collector that records
+    #: alongside the global one, so a shared cluster can keep
+    #: per-tenant hit-ratio/completion projections.  ``None`` (the
+    #: default) keeps the classic single-collector recording path
+    #: bit-identical.
+    metrics_for_job: Optional[Callable[[TraceJob], Optional[MetricsCollector]]] = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -104,6 +112,16 @@ class TaskScheduler:
         self.jobs_finished = 0
         self.dropped_outputs = 0
         self.missing_inputs = 0
+
+    def _sinks(self, trace_job: TraceJob):
+        """Collectors recording this job: the global one, plus any
+        per-tenant projection supplied through :attr:`metrics_for_job`."""
+        if self.metrics_for_job is None:
+            return (self.metrics,)
+        extra = self.metrics_for_job(trace_job)
+        if extra is None:
+            return (self.metrics,)
+        return (self.metrics, extra)
 
     # -- slot accounting (failure-aware) -------------------------------------
     def free_slots(self, node_id: str) -> int:
@@ -152,9 +170,8 @@ class TaskScheduler:
             # Fires access notifications (statistics + upgrade policies)
             # and records the location-based hit ratio.
             plan = self.master.read_file(path)
-            self.metrics.record_file_access(
-                plan.memory_location, plan.file.size
-            )
+            for sink in self._sinks(job):
+                sink.record_file_access(plan.memory_location, plan.file.size)
             blocks.extend(self.master.blocks.blocks_of(plan.file))
         execution.maps_remaining = len(blocks)
         execution.outputs_remaining = len(job.outputs)
@@ -227,8 +244,9 @@ class TaskScheduler:
             elapsed = self.sim.now() - start
             job = task.job
             job.task_seconds += elapsed
-            self.metrics.record_task_read(job.bin_name, tier, block.size)
-            self.metrics.record_task_time(job.bin_name, elapsed)
+            for sink in self._sinks(job.trace_job):
+                sink.record_task_read(job.bin_name, tier, block.size)
+                sink.record_task_time(job.bin_name, elapsed)
             job.maps_remaining -= 1
             if job.maps_remaining == 0:
                 self._maps_done(job)
@@ -307,7 +325,8 @@ class TaskScheduler:
 
         if self.iomodel.fairshare:
             overhead = float(self._rng.uniform(*self.task_overhead))
-            self.metrics.record_write(total_size)
+            for sink in self._sinks(job.trace_job):
+                sink.record_write(total_size)
             if not legs:
                 self.sim.after(overhead, finish, name=f"out-{file.inode_id}")
                 return
@@ -334,7 +353,8 @@ class TaskScheduler:
         else:
             duration, release = 0.0, lambda: None
         overhead = float(self._rng.uniform(*self.task_overhead))
-        self.metrics.record_write(total_size)
+        for sink in self._sinks(job.trace_job):
+            sink.record_write(total_size)
 
         def finish_snapshot() -> None:
             release()
@@ -347,7 +367,8 @@ class TaskScheduler:
     def _output_done(self, job: JobExecution, start: float) -> None:
         elapsed = self.sim.now() - start
         job.task_seconds += elapsed
-        self.metrics.record_task_time(job.bin_name, elapsed)
+        for sink in self._sinks(job.trace_job):
+            sink.record_task_time(job.bin_name, elapsed)
         job.outputs_remaining -= 1
         if job.outputs_remaining == 0 and job.maps_remaining == 0:
             self._finish_job(job)
@@ -359,7 +380,8 @@ class TaskScheduler:
         self.active_jobs -= 1
         self.jobs_finished += 1
         completion = self.sim.now() - job.submit_time
-        self.metrics.record_job_completion(job.bin_name, completion)
+        for sink in self._sinks(job.trace_job):
+            sink.record_job_completion(job.bin_name, completion)
         if self.on_job_finished is not None:
             self.on_job_finished(job)
 

@@ -1,0 +1,46 @@
+"""Service mode: a long-lived multi-tenant tiering daemon.
+
+The paper's tiering manager runs *inside* a live cluster — a resident
+service observing file accesses from many applications at once and
+moving replicas between tiers as the mix shifts.  This package turns
+the single-shot replay engine into exactly that shape:
+
+* :class:`~repro.service.server.TieringService` (``repro serve``) — the
+  daemon: a data plane accepting many concurrent tenant streams over
+  the JSONL wire protocol (``docs/stream-protocol.md``), plus a stdlib
+  HTTP/JSON control plane (``/healthz``, ``/metrics``, ``/tenants``).
+* :class:`~repro.service.engine.ServiceEngine` — one shared simulated
+  cluster (a :class:`~repro.engine.runner.WorkloadRunner`) fed by the
+  merged stream, reporting metrics mid-flight through
+  :meth:`~repro.engine.runner.WorkloadRunner.snapshot`.
+* :class:`~repro.service.mux.TenantMux` — the live-admission merge: the
+  online counterpart of
+  :func:`~repro.workload.streams.merge_timed_sources`, admitting
+  tenants while the simulation runs and preserving its ordering
+  invariants.
+* :class:`~repro.service.tenants.TenantRegistry` — per-tenant identity,
+  lifecycle state, and isolated :class:`~repro.engine.metrics.MetricsCollector`
+  projections of the shared run.
+
+Everything here is additive: the offline paths (``repro simulate``,
+``repro live``, ``repro scenario run``) never construct these classes
+and stay bit-identical.  Operator documentation lives in
+``docs/service.md``.
+"""
+
+from repro.service.engine import ServiceEngine, json_safe, result_to_dict
+from repro.service.mux import ServiceClosed, TenantMux
+from repro.service.server import TieringService
+from repro.service.tenants import Tenant, TenantRegistry, tenant_collector_for_job
+
+__all__ = [
+    "ServiceEngine",
+    "ServiceClosed",
+    "Tenant",
+    "TenantMux",
+    "TenantRegistry",
+    "TieringService",
+    "json_safe",
+    "result_to_dict",
+    "tenant_collector_for_job",
+]

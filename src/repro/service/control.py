@@ -1,0 +1,189 @@
+"""The daemon's HTTP/JSON control plane (stdlib ``http.server``).
+
+Small on purpose: a :class:`~http.server.ThreadingHTTPServer` whose
+handler dispatches on path, answering monitoring probes and tenant
+submissions with JSON.  Endpoints (full operator reference in
+``docs/service.md``):
+
+====================================  =======================================
+``GET /healthz``                      liveness + tenant counts
+``GET /metrics``                      engine/run counters (pump lead, queue
+                                      delay by tier, heap peak, events/sec)
+``GET /tenants``                      tenant list with lifecycle states
+``GET /tenants/<id>/metrics``         per-tenant RunResult projection
+``POST /tenants``                     admit a tenant: a JSON scenario spec
+                                      (``{"scenario": ..., "params": ...,
+                                      "pace": ...}``) or a raw JSONL stream
+                                      body
+``POST /shutdown``                    ``{"mode": "drain"|"now"}`` graceful
+                                      stop
+====================================  =======================================
+
+Responses are always JSON, always :func:`~repro.service.engine.json_safe`
+(non-finite floats serialize as ``null``, never ``Infinity``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.engine import json_safe
+from repro.service.mux import ServiceClosed
+
+
+class ControlHandler(BaseHTTPRequestHandler):
+    """Routes control-plane requests to the owning service."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging (the daemon's stdout is
+        the operator surface; probes would flood it)."""
+
+    @property
+    def service(self):
+        """The :class:`~repro.service.server.TieringService` this
+        control server fronts."""
+        return self.server.service
+
+    # -- plumbing ------------------------------------------------------------
+    def _send_json(self, code: int, body: Dict[str, Any]) -> None:
+        payload = json.dumps(json_safe(body), indent=2).encode() + b"\n"
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    # -- routes --------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        """Dispatch GET: healthz, metrics, tenant listing/projections."""
+        engine = self.service.engine
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            body = engine.healthz()
+            body["data_port"] = self.service.data_port
+            self._send_json(200 if body["ok"] else 503, body)
+        elif path == "/metrics":
+            self._send_json(200, engine.metrics())
+        elif path == "/tenants":
+            self._send_json(
+                200, {"tenants": [t.as_dict() for t in engine.registry.list()]}
+            )
+        elif path.startswith("/tenants/") and path.endswith("/metrics"):
+            tenant_id = path[len("/tenants/") : -len("/metrics")]
+            tenant = engine.registry.get(tenant_id)
+            if tenant is None:
+                self._send_json(404, {"error": f"no tenant {tenant_id!r}"})
+            else:
+                self._send_json(200, tenant.metrics_dict())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        """Dispatch POST: tenant submission and shutdown."""
+        path = self.path.rstrip("/")
+        if path == "/tenants":
+            self._post_tenant()
+        elif path == "/shutdown":
+            self._post_shutdown()
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def _post_tenant(self) -> None:
+        engine = self.service.engine
+        body = self._read_body()
+        content_type = (self.headers.get("Content-Type") or "").split(";")[0].strip()
+        try:
+            if content_type == "application/json":
+                spec = json.loads(body.decode() or "{}")
+                isolate = bool(spec.get("isolate", True))
+                if "scenario" in spec:
+                    tenant = engine.attach_scenario(
+                        spec["scenario"],
+                        params=spec.get("params"),
+                        name=spec.get("name"),
+                        pace=spec.get("pace"),
+                        isolate=isolate,
+                    )
+                elif "events" in spec:
+                    tenant = engine.attach_jsonl(
+                        spec["events"],
+                        name=spec.get("name"),
+                        pace=spec.get("pace"),
+                        isolate=isolate,
+                    )
+                else:
+                    self._send_json(
+                        400, {"error": "spec needs 'scenario' or 'events'"}
+                    )
+                    return
+            elif body:
+                # Raw JSONL stream body (e.g. `repro scenario run --out -`
+                # piped through curl --data-binary).
+                tenant = engine.attach_jsonl(body.decode())
+            else:
+                self._send_json(400, {"error": "empty tenant submission"})
+                return
+        except ServiceClosed as exc:
+            self._send_json(409, {"error": str(exc)})
+            return
+        except (KeyError, ValueError, TypeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self._send_json(201, {"tenant": tenant.as_dict()})
+
+    def _post_shutdown(self) -> None:
+        try:
+            spec = json.loads(self._read_body().decode() or "{}")
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        mode = spec.get("mode", "drain")
+        if mode not in ("drain", "now"):
+            self._send_json(400, {"error": f"mode {mode!r} not in ('drain', 'now')"})
+            return
+        grace = spec.get("grace")
+        self.service.begin_drain(
+            grace=float(grace) if grace is not None else None, mode=mode
+        )
+        self._send_json(202, {"status": "draining", "mode": mode})
+
+
+class ControlPlane:
+    """Owns the threaded HTTP server for one service instance."""
+
+    def __init__(self, service, host: str, port: int) -> None:
+        self._server = ThreadingHTTPServer((host, port), ControlHandler)
+        self._server.daemon_threads = True
+        self._server.service = service
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (port resolved when 0 was asked)."""
+        return self._server.server_address[:2]
+
+    def start(self) -> None:
+        """Serve requests on a daemon thread until :meth:`stop`."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="service-control",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop serving and release the port."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)

@@ -1,0 +1,158 @@
+"""The daemon itself: data plane + control plane + signal-driven drain.
+
+:class:`TieringService` is what ``repro serve`` runs: it binds two
+ports —
+
+* the **data plane** (``--port``): a TCP listener where each accepted
+  connection becomes one tenant session speaking the JSONL stream
+  protocol (the many-session generalization of the ``listen://`` live
+  source), and
+* the **control plane** (``--control-port``): the HTTP/JSON surface in
+  :mod:`repro.service.control` —
+
+and runs the shared cluster on the
+:class:`~repro.service.engine.ServiceEngine`'s engine thread.  Both
+ports accept ``0`` (bind an ephemeral port and report it), which is how
+tests and the CI smoke job avoid port collisions.
+
+Graceful shutdown (``SIGTERM``, ``SIGINT``, or ``POST /shutdown``)
+drains rather than drops: admissions close, open sessions get a grace
+period to finish, stragglers are force-closed, and the engine completes
+its normal end-of-run drain — in-flight jobs and transfers finish and
+the final :class:`~repro.engine.runner.RunResult` is published.
+"""
+
+from __future__ import annotations
+
+import signal
+import socket as socket_module
+import threading
+from typing import Optional, Set
+
+from repro.engine.runner import RunResult, SystemConfig
+from repro.service.control import ControlPlane
+from repro.service.engine import ServiceEngine
+from repro.workload.live import DEFAULT_REORDER_DEPTH
+
+
+class TieringService:
+    """A long-lived multi-tenant tiering daemon over one shared cluster."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        control_port: int = 0,
+        pace: Optional[float] = None,
+        reorder_depth: int = DEFAULT_REORDER_DEPTH,
+        late: str = "clamp",
+        drain_grace: float = 30.0,
+        drain_limit: float = 4 * 3600.0,
+    ) -> None:
+        self.host = host
+        #: Replay pacing applied to every admitted tenant (simulated
+        #: seconds per wall second; None = as fast as streams deliver).
+        self.pace = pace
+        self.reorder_depth = reorder_depth
+        self.late = late
+        self.drain_grace = drain_grace
+        self.engine = ServiceEngine(config, drain_limit=drain_limit)
+        self._listener = socket_module.create_server(
+            (host, port), family=socket_module.AF_INET, backlog=16
+        )
+        self._control = ControlPlane(self, host, control_port)
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conns: Set[socket_module.socket] = set()
+        self._conns_lock = threading.Lock()
+        self._draining = False
+        self._stopped = threading.Event()
+
+    # -- addresses -----------------------------------------------------------
+    @property
+    def data_port(self) -> int:
+        """The bound data-plane port (resolved when 0 was requested)."""
+        return self._listener.getsockname()[1]
+
+    @property
+    def control_port(self) -> int:
+        """The bound control-plane port."""
+        return self._control.address[1]
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Start the engine thread, data-plane accept loop, and control
+        plane; returns once all three are live."""
+        self.engine.start()
+        self._control.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="service-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: drain/stop
+            peer = f"{addr[0]}:{addr[1]}"
+            with self._conns_lock:
+                self._conns.add(conn)
+            self.engine.attach_socket(
+                conn,
+                peer,
+                reorder_depth=self.reorder_depth,
+                late=self.late,
+                pace=self.pace,
+            )
+
+    def begin_drain(
+        self, grace: Optional[float] = None, mode: str = "drain"
+    ) -> None:
+        """Stop accepting work and drain (idempotent, returns at once).
+
+        ``mode="drain"`` gives open sessions ``grace`` wall seconds
+        (default: the service's ``drain_grace``) to finish before their
+        transports are force-closed; ``mode="now"`` skips the grace.
+        The engine thread then completes its end-of-run drain and
+        publishes the final result (:meth:`wait`).
+        """
+        self._draining = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        effective = 0.0 if mode == "now" else (
+            grace if grace is not None else self.drain_grace
+        )
+        self.engine.begin_drain(grace=effective)
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[RunResult]:
+        """Block until the engine finishes; the final run result."""
+        return self.engine.join(timeout)
+
+    def stop(self, grace: Optional[float] = None) -> Optional[RunResult]:
+        """Full shutdown: drain, wait for the engine, close everything."""
+        self.begin_drain(grace=grace, mode="drain" if grace else "now")
+        result = self.wait()
+        with self._conns_lock:
+            conns, self._conns = set(self._conns), set()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if not self._stopped.is_set():
+            self._control.stop()
+            self._stopped.set()
+        return result
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain (main thread only)."""
+
+        def handler(signum, frame) -> None:
+            self.begin_drain(mode="drain")
+
+        signal.signal(signal.SIGTERM, handler)
+        signal.signal(signal.SIGINT, handler)

@@ -32,6 +32,13 @@ being a live transport rather than a seekable file:
 * **Unknown duration** — when the header carries no duration the stream
   reports ``float("inf")`` and the runner ends the submission window
   when the stream is exhausted instead of at a nominal end time.
+  (:class:`~repro.engine.runner.RunResult` serializes the open-ended
+  case as ``duration=None``, never JSON ``Infinity``.)
+* **Pacing** — ``pace`` meters replay against the wall clock
+  (:func:`paced_events`): ``pace=1.0`` consumes a recorded file in real
+  time, turning any offline trace into a live-looking producer.  The
+  long-lived multi-tenant daemon built on top of this module lives in
+  :mod:`repro.service` (``repro serve``).
 
 Replay fidelity: events pass through the same
 :func:`~repro.workload.external.fill_input_sizes` /
@@ -49,8 +56,9 @@ import io
 import json
 import socket as socket_module
 import sys
+import time as time_module
 from dataclasses import dataclass, replace
-from typing import Any, Dict, IO, Iterator, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, IO, Iterator, List, Optional, Tuple, Union
 
 from repro.workload.external import fill_input_sizes
 from repro.workload.jobs import (
@@ -67,6 +75,14 @@ from repro.workload.serialize import (
 from repro.workload.streams import StreamOrderError, WorkloadStream, number_jobs
 
 LATE_POLICIES = ("clamp", "drop", "error")
+
+#: Source kinds :func:`open_live_source` understands (the ``repro list
+#: live-transports`` catalog dimension).  ``stdin`` is ``-``; ``file``
+#: covers regular files and FIFOs (``.gz`` aware); ``tcp`` dials out to
+#: a producer; ``listen`` binds a port and waits for one producer to
+#: connect (the single-session half of the service's data plane — the
+#: daemon in :mod:`repro.service` accepts many).
+LIVE_TRANSPORTS = ("stdin", "file", "fifo", "tcp", "listen")
 
 #: Default reorder-buffer depth (events held back for re-sorting).
 DEFAULT_REORDER_DEPTH = 64
@@ -117,8 +133,12 @@ def open_live_source(
 
     ``spec`` may be an open file-like object (used as-is unless
     ``compression`` asks for a gzip wrap), ``"-"`` for standard input, a
-    ``tcp://host:port`` address to connect to, or a filesystem path
-    (regular files and FIFOs both work; ``*.gz`` implies gzip).
+    ``tcp://host:port`` address to connect to, ``listen://[host:]port``
+    to bind and wait for one producer to connect (host defaults to all
+    interfaces; the accepted connection becomes the source and the
+    listening socket closes — one session per listen, see
+    :mod:`repro.service` for the many-session daemon), or a filesystem
+    path (regular files and FIFOs both work; ``*.gz`` implies gzip).
 
     ``owned`` says whether closing is this module's job: True only for
     transports opened *here* (paths, tcp connections) — caller-supplied
@@ -134,22 +154,93 @@ def open_live_source(
         raw = sys.stdin.buffer
         return _wrap_compression(raw, compression), False, _seekable(raw)
     if spec.startswith("tcp://"):
-        host, _, port = spec[len("tcp://") :].rpartition(":")
-        if host.startswith("[") and host.endswith("]"):
-            host = host[1:-1]  # bracketed IPv6 literal, tcp://[::1]:9000
-        if not host or not port.isdigit():
+        host, port = parse_endpoint(spec, "tcp")
+        if not host:
             raise ValueError(f"bad live source address {spec!r}; want tcp://host:port")
-        sock = socket_module.create_connection((host, int(port)))
+        sock = socket_module.create_connection((host, port))
         handle = sock.makefile("rb")
         # makefile() reference-counts the fd: dropping our socket handle
         # here means closing the file (LiveStream.close) closes the
         # connection instead of leaking it until garbage collection.
         sock.close()
         return _wrap_compression(handle, compression), True, False
+    if spec.startswith("listen://"):
+        handle = _accept_one(spec)
+        return _wrap_compression(handle, compression), True, False
     if compression is None and spec.endswith(".gz"):
         compression = "gzip"
     raw = open(spec, "rb")
     return _wrap_compression(raw, compression), True, _seekable(raw)
+
+
+def parse_endpoint(spec: str, scheme: str) -> Tuple[str, int]:
+    """Split ``scheme://[host:]port`` into ``(host, port)``.
+
+    ``host`` defaults to ``""`` (all interfaces) for ``listen://`` specs
+    given as a bare port; bracketed IPv6 literals are unwrapped.  Raises
+    :class:`ValueError` for anything that does not end in a numeric
+    port.
+    """
+    prefix = f"{scheme}://"
+    if not spec.startswith(prefix):
+        raise ValueError(f"bad {scheme} source address {spec!r}")
+    host, _, port = spec[len(prefix) :].rpartition(":")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]  # bracketed IPv6 literal, e.g. tcp://[::1]:9000
+    if not port.isdigit():
+        raise ValueError(
+            f"bad live source address {spec!r}; want {scheme}://host:port"
+        )
+    return host, int(port)
+
+
+def _accept_one(spec: str):
+    """Bind ``listen://[host:]port``, accept one producer, return its
+    binary read handle (the listening socket closes after the accept)."""
+    host, port = parse_endpoint(spec, "listen")
+    server = socket_module.create_server(
+        (host, port), family=socket_module.AF_INET, reuse_port=False
+    )
+    try:
+        conn, _addr = server.accept()
+    finally:
+        server.close()
+    handle = conn.makefile("rb")
+    # As for tcp://: makefile() reference-counts the fd, so dropping the
+    # socket object means closing the file closes the connection.
+    conn.close()
+    return handle
+
+
+def paced_events(
+    events: Iterator["StreamEvent"],
+    pace: float,
+    clock: Callable[[], float] = time_module.monotonic,
+    sleep: Callable[[float], None] = time_module.sleep,
+) -> Iterator["StreamEvent"]:
+    """Meter an event iterator against the wall clock.
+
+    ``pace`` is the replay speed in simulated seconds per wall second:
+    ``1.0`` replays in real time, ``60`` at a minute per second.  Each
+    event is withheld until ``t0 + event_time / pace`` where ``t0`` is
+    the wall time of the first ``next()`` call, so a consumer (the
+    runner's pump, or a service feeder thread) sees events arrive as a
+    live producer would emit them.  Events already past their deadline
+    flow through without sleeping — pacing only ever delays, it never
+    reorders or drops.  ``clock``/``sleep`` exist for deterministic
+    tests.
+    """
+    if pace <= 0:
+        raise ValueError(f"pace must be > 0 (sim seconds per wall second), got {pace}")
+    start: Optional[float] = None
+    for event in events:
+        if start is None:
+            start = clock()
+        deadline = start + event_time(event) / pace
+        delay = deadline - clock()
+        if delay > 0:
+            sleep(delay)
+        yield event
 
 
 def _seekable(handle) -> bool:
@@ -200,11 +291,18 @@ class LiveStream(WorkloadStream):
         name: Optional[str] = None,
         duration: Optional[float] = None,
         compression: Optional[str] = None,
+        pace: Optional[float] = None,
     ) -> None:
         if late not in LATE_POLICIES:
             raise ValueError(f"late policy {late!r} not in {LATE_POLICIES}")
         if reorder_depth < 0:
             raise ValueError(f"reorder_depth must be >= 0, got {reorder_depth}")
+        if pace is not None and pace <= 0:
+            raise ValueError(f"pace must be > 0 or None, got {pace}")
+        #: Wall-clock replay speed in simulated seconds per wall second
+        #: (None = as fast as the transport delivers); see
+        #: :func:`paced_events`.
+        self.pace = pace
         # On a seekable source (a finished regular file) EOF is
         # unambiguous, so a final line without its newline is accepted;
         # on pipes/sockets it means the producer died mid-record.
@@ -353,7 +451,10 @@ class LiveStream(WorkloadStream):
                 "cannot be replayed (serialize it to a file to re-run)"
             )
         self._consumed = True
-        return number_jobs(fill_input_sizes(self._reordered()))
+        events = number_jobs(fill_input_sizes(self._reordered()))
+        if self.pace is not None:
+            events = paced_events(events, self.pace)
+        return events
 
     def close(self) -> None:
         """Close the transport if this stream opened it.
