@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import sys
 from pathlib import Path
 
@@ -126,6 +127,22 @@ def flatten(prefix: str, value) -> dict:
     return flat
 
 
+def row_groups(flat: dict) -> set:
+    """Every bracketed row prefix appearing in a flattened report.
+
+    ``runs[FB/.../fast].hit_ratio`` contributes ``runs[FB/.../fast]``;
+    nested rows contribute every enclosing prefix.  These are the units
+    the row-presence check compares, so a benchmark row that disappears
+    wholesale fails the gate even when all of its individual leaves
+    would have been classified informational.
+    """
+    groups = set()
+    for key in flat:
+        for match in re.finditer(r"\]", key):
+            groups.add(key[: match.end()])
+    return groups
+
+
 class Diff:
     def __init__(self, key, baseline, current, kind, ok):
         self.key = key
@@ -139,6 +156,11 @@ def compare_report(baseline: dict, current: dict, wall_tolerance: float):
     """Yield Diff rows for every comparable metric in the two reports."""
     base_flat = flatten("", baseline)
     cur_flat = flatten("", current)
+    base_rows, cur_rows = row_groups(base_flat), row_groups(cur_flat)
+    for row in sorted(base_rows - cur_rows):
+        yield Diff(row, "present", None, "row-presence", False)
+    for row in sorted(cur_rows - base_rows):
+        yield Diff(row, None, "present", "row-presence", False)
     for key in sorted(set(base_flat) | set(cur_flat)):
         leaf = key.rsplit(".", 1)[-1]
         if leaf in SKIPPED_KEYS:

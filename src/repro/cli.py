@@ -6,7 +6,9 @@ Usage::
     python -m repro scenario list
     python -m repro scenario stats diurnal --param tenants=5
     python -m repro scenario run flashcrowd --downgrade lru --upgrade osa
-    python -m repro scenario run --trace mytrace.jsonl.gz
+    python -m repro scenario run --events mytrace.jsonl.gz
+    python -m repro scenario run fb --trace trace.jsonl --timeseries ts.json
+    python -m repro trace summarize trace.jsonl
     python -m repro scenario run fb --out - | python -m repro live -
     python -m repro experiment fig06 fig07
     python -m repro experiment scenarios --jobs 4
@@ -186,6 +188,49 @@ def _system_config(args: argparse.Namespace, conf: Dict[str, Any]) -> SystemConf
     )
 
 
+def _obs_conf(args: argparse.Namespace) -> Dict[str, Any]:
+    """Configuration keys implied by the observability output flags.
+
+    Tracing and sampling stay off (and the run bit-identical) unless an
+    output file asks for them.
+    """
+    conf: Dict[str, Any] = {}
+    if getattr(args, "trace", None) or getattr(args, "chrome_trace", None):
+        conf["obs.trace"] = True
+    if getattr(args, "timeseries", None):
+        conf["obs.sample_interval"] = args.sample_interval
+    return conf
+
+
+def _export_obs(runner, args: argparse.Namespace) -> None:
+    """Write the trace/timeseries outputs requested on the command line."""
+    tracer = getattr(runner, "tracer", None)
+    if tracer is not None and getattr(args, "trace", None):
+        from repro.obs.export import write_jsonl
+
+        count = write_jsonl(tracer.records, args.trace)
+        print(f"wrote {count} trace records to {args.trace}", file=sys.stderr)
+    if tracer is not None and getattr(args, "chrome_trace", None):
+        from repro.obs.export import write_chrome
+
+        count = write_chrome(tracer.records, args.chrome_trace)
+        print(
+            f"wrote {count} chrome trace events to {args.chrome_trace}",
+            file=sys.stderr,
+        )
+    timeseries = getattr(runner, "timeseries", None)
+    if timeseries is not None and getattr(args, "timeseries", None):
+        import json
+
+        payload = timeseries.to_dict()
+        with open(args.timeseries, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        print(
+            f"wrote {len(payload['t'])} timeseries samples to {args.timeseries}",
+            file=sys.stderr,
+        )
+
+
 def _timed_run(runner, args: argparse.Namespace):
     """Execute ``runner.run()``; returns (result, wall seconds).
 
@@ -219,7 +264,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     profile = scaled_profile(PROFILES[args.workload], args.scale)
     trace = synthesize_trace(profile, seed=args.seed)
-    conf = {}
+    conf = _obs_conf(args)
     if args.outages:
         conf["monitor.health_checks_enabled"] = True
     config = _system_config(args, conf)
@@ -244,6 +289,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             f"{runner.manager.monitor.replicas_repaired if runner.manager else 0})"
         )
     _print_run(result, runner, args, wall)
+    _export_obs(runner, args)
     return 0
 
 
@@ -341,27 +387,30 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def _build_stream(args: argparse.Namespace):
-    """The stream named by ``scenario``/``--trace`` flags (stats & run)."""
+    """The stream named by ``scenario``/``--events`` flags (stats & run)."""
     from repro.workload.scenarios import build_scenario
 
-    if getattr(args, "trace", None):
+    if getattr(args, "events", None):
         from repro.workload.external import ExternalTraceStream
 
         if args.name:
-            print("--trace and a scenario name are mutually exclusive", file=sys.stderr)
+            print(
+                "--events and a scenario name are mutually exclusive",
+                file=sys.stderr,
+            )
             raise SystemExit(2)
         # External traces replay verbatim: generator knobs would be
         # silently ignored, so reject them instead.
         if args.param or args.scale != 1.0:
             print(
-                "--scale/--param do not apply to --trace replays "
+                "--scale/--param do not apply to --events replays "
                 "(external traces replay verbatim)",
                 file=sys.stderr,
             )
             raise SystemExit(2)
-        return ExternalTraceStream(args.trace)
+        return ExternalTraceStream(args.events)
     if not args.name:
-        print("need a scenario name or --trace FILE", file=sys.stderr)
+        print("need a scenario name or --events FILE", file=sys.stderr)
         raise SystemExit(2)
     params = _parse_params(args.param)
     reserved = sorted(set(params) & {"seed", "scale"})
@@ -426,7 +475,7 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 0
-    config = _system_config(args, conf={})
+    config = _system_config(args, conf=_obs_conf(args))
     config.label = stream.name
     # Name the scenario on the config so preset auto-selection applies
     # (external traces carry no scenario name, hence no auto preset).
@@ -438,6 +487,7 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     if preset is not None:
         print(f"preset:           {preset.name}")
     _print_run(result, runner, args, wall)
+    _export_obs(runner, args)
     return 0
 
 
@@ -454,7 +504,7 @@ def cmd_live(args: argparse.Namespace) -> int:
         compression="gzip" if args.gzip else None,
         pace=args.pace,
     )
-    config = _system_config(args, conf={})
+    config = _system_config(args, conf=_obs_conf(args))
     config.label = stream.name
     config.scenario = args.scenario
     runner = WorkloadRunner(stream, config)
@@ -478,6 +528,7 @@ def cmd_live(args: argparse.Namespace) -> int:
     if preset is not None:
         print(f"preset:           {preset.name}")
     _print_run(result, runner, args, wall)
+    _export_obs(runner, args)
     return 0
 
 
@@ -494,7 +545,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import TieringService, result_to_dict
 
-    config = _system_config(args, conf={})
+    config = _system_config(args, conf=_obs_conf(args))
     config.label = "service"
     service = TieringService(
         config,
@@ -505,6 +556,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         reorder_depth=args.reorder_depth,
         late=args.late,
         drain_grace=args.drain_grace,
+        results_log=args.results_log,
     )
     service.install_signal_handlers()
     service.start()
@@ -520,6 +572,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
     result = service.stop()
     if result is not None:
         print(json.dumps(result_to_dict(result), indent=2))
+    _export_obs(service.engine.runner, args)
+    return 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """``repro trace summarize``: per-type counts and byte totals."""
+    from repro.obs.export import read_jsonl
+    from repro.obs.summary import render_summary, summarize
+
+    print(render_summary(summarize(read_jsonl(args.path))))
+    return 0
+
+
+def cmd_trace_explain(args: argparse.Namespace) -> int:
+    """``repro trace explain``: one file's decision history."""
+    from repro.obs.export import read_jsonl
+    from repro.obs.summary import explain, render_explain
+
+    records = read_jsonl(args.path)
+    print(render_explain(args.file, explain(records, args.file)))
     return 0
 
 
@@ -667,6 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="run one workload configuration")
     p_sim.add_argument("--workload", choices=sorted(PROFILES), default="FB")
     _add_system_flags(p_sim)
+    _add_obs_flags(p_sim)
     p_sim.add_argument("--scale", type=float, default=1.0)
     p_sim.add_argument("--seed", type=int, default=42)
     p_sim.add_argument(
@@ -702,6 +775,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_stream_flags(p_scn_run)
     _add_system_flags(p_scn_run)
+    _add_obs_flags(p_scn_run)
     p_scn_run.add_argument(
         "--out",
         default=None,
@@ -765,6 +839,7 @@ def build_parser() -> argparse.ArgumentParser:
         "delivers)",
     )
     _add_system_flags(p_live)
+    _add_obs_flags(p_live)
     p_live.set_defaults(func=cmd_live)
 
     p_serve = sub.add_parser(
@@ -816,7 +891,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds open sessions get to finish after SIGTERM or "
         "POST /shutdown before their transports are force-closed",
     )
+    p_serve.add_argument(
+        "--results-log",
+        default=None,
+        metavar="FILE",
+        help="append one JSONL record per finished/failed tenant; a "
+        "restarted daemon loads the file and reports past tenants "
+        "under GET /tenants ('past')",
+    )
     _add_system_flags(p_serve)
+    _add_obs_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_sweep = sub.add_parser(
@@ -890,6 +974,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep_report.set_defaults(func=cmd_sweep_report)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect a decision trace written with --trace (summarize, explain)",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    p_trace_sum = trace_sub.add_parser(
+        "summarize", help="record counts, byte totals, and time span"
+    )
+    p_trace_sum.add_argument("path", help="trace JSONL file (.gz aware)")
+    p_trace_sum.set_defaults(func=cmd_trace_summarize)
+
+    p_trace_explain = trace_sub.add_parser(
+        "explain",
+        help="reconstruct one file's placement→migration history",
+    )
+    p_trace_explain.add_argument("path", help="trace JSONL file (.gz aware)")
+    p_trace_explain.add_argument("file", help="DFS file path to explain")
+    p_trace_explain.set_defaults(func=cmd_trace_explain)
+
     p_syn = sub.add_parser("synthesize", help="export a synthesized trace")
     p_syn.add_argument("--workload", choices=sorted(PROFILES), default="FB")
     p_syn.add_argument("--scale", type=float, default=1.0)
@@ -927,16 +1031,17 @@ def _add_stream_flags(parser: argparse.ArgumentParser) -> None:
         help="registered scenario name (see: repro scenario list)",
     )
     parser.add_argument(
-        "--trace",
+        "--events",
         default=None,
         metavar="FILE",
-        help="ingest an external CSV/JSONL(.gz) trace instead of a scenario",
+        help="ingest an external CSV/JSONL(.gz) trace instead of a scenario "
+        "(formerly --trace, which now names the decision-trace output)",
     )
     parser.add_argument(
         "--seed",
         type=int,
         default=42,
-        help="scenario seed (unused with --trace: external traces are fixed)",
+        help="scenario seed (unused with --events: external traces are fixed)",
     )
     parser.add_argument(
         "--scale",
@@ -949,6 +1054,43 @@ def _add_stream_flags(parser: argparse.ArgumentParser) -> None:
         action="append",
         metavar="KEY=VALUE",
         help="override a scenario parameter (repeatable)",
+    )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability outputs shared by simulate/scenario run/live/serve.
+
+    All default to off; the run is bit-identical without them (tracing
+    appends records but schedules nothing, sampling only starts when
+    ``--timeseries`` asks for an output).
+    """
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write the decision trace (placements, migrations, policy "
+        "decisions) as JSONL (.gz aware) when the run finishes",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="FILE",
+        help="also export the trace as Chrome trace-event JSON "
+        "(load in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--timeseries",
+        default=None,
+        metavar="FILE",
+        help="sample per-tier occupancy/queue-delay/hit-ratio at a fixed "
+        "simulated-time interval and write the columnar JSON here",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="simulated seconds between timeseries samples (default 300)",
     )
 
 

@@ -32,6 +32,11 @@ from repro.sim.simulator import PeriodicTimer, Simulator
 class ReplicationManager(FileSystemListener):
     """Drives the pluggable downgrade/upgrade policies."""
 
+    #: Optional decision tracer (:class:`repro.obs.trace.Tracer`),
+    #: installed by the runner when ``obs.trace`` is set; ``None`` keeps
+    #: the policy loops free of any tracing work.
+    tracer = None
+
     def __init__(
         self,
         master: Master,
@@ -181,6 +186,16 @@ class ReplicationManager(FileSystemListener):
                     break
                 action = policy.how_to_downgrade(file, tier)
                 scheduled = self.monitor.submit_downgrade(file, tier, action)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "downgrade_decision",
+                        policy=policy.name,
+                        tier=tier.name,
+                        path=file.path,
+                        action=action.value,
+                        bytes=file.size,
+                        scheduled=scheduled,
+                    )
                 if scheduled == 0:
                     # Unmovable right now; exclude for this round so the
                     # policy does not return it again.
@@ -205,6 +220,7 @@ class ReplicationManager(FileSystemListener):
         if not policy.start_upgrade(accessed_file):
             return 0
         scheduled_files = 0
+        trigger_kind = "proactive" if accessed_file is None else "access"
         trigger = accessed_file
         for _ in range(self.max_upgrades_per_run):
             file = policy.select_file_to_upgrade(trigger)
@@ -216,6 +232,17 @@ class ReplicationManager(FileSystemListener):
                 scheduled = self.monitor.submit_upgrade(
                     file, tiers, copy=self.cache_mode
                 )
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "upgrade_decision",
+                        policy=policy.name,
+                        trigger=trigger_kind,
+                        path=file.path,
+                        tiers=[t.name for t in tiers],
+                        bytes=file.size,
+                        cache=self.cache_mode,
+                        scheduled=scheduled,
+                    )
                 policy.on_upgrade_scheduled(file, scheduled)
                 if scheduled > 0:
                     scheduled_files += 1

@@ -48,6 +48,11 @@ def transfer_seconds(
 class ReplicationMonitor:
     """Executes and accounts replica movement."""
 
+    #: Optional decision tracer (:class:`repro.obs.trace.Tracer`),
+    #: installed by the runner when ``obs.trace`` is set; ``None`` keeps
+    #: transfer scheduling free of any tracing work.
+    tracer = None
+
     def __init__(
         self,
         master: Master,
@@ -176,6 +181,15 @@ class ReplicationMonitor:
         if replica.block.replica_count <= 1:
             return 0
         size = replica.size
+        if self.tracer is not None:
+            # Capture identity before deletion invalidates the replica.
+            self.tracer.emit(
+                "eviction",
+                block=replica.block.block_id,
+                tier=tier.name,
+                node=replica.node_id,
+                bytes=size,
+            )
         self.master.delete_replica(replica)
         self.bytes_deleted[tier] += size
         return size
@@ -294,14 +308,37 @@ class ReplicationMonitor:
         self.pending_in[target.tier] += size
         self._in_flight[file.inode_id] = self._in_flight.get(file.inode_id, 0) + 1
         self._in_flight_blocks.add(block.block_id)
+        if self.tracer is not None:
+            self._trace_start("cache", block, file.path, source, target)
 
         def finish() -> None:
-            self._finish_move(ticket, file, source.tier, size, downgrade=False)
+            self._finish_move(
+                ticket, file, source.tier, size, downgrade=False, kind="cache"
+            )
 
         self._run_transfer(block, source, target, finish, f"cache-b{block.block_id}")
         return size
 
     # -- shared transfer machinery ---------------------------------------------------
+    def _trace_start(
+        self,
+        kind: str,
+        block: BlockInfo,
+        path: str,
+        source: ReplicaInfo,
+        target,
+    ) -> None:
+        """Emit a ``migration_start`` record (tracer known non-None)."""
+        self.tracer.emit(
+            "migration_start",
+            kind=kind,
+            block=block.block_id,
+            path=path,
+            bytes=block.size,
+            src={"node": source.node_id, "tier": source.tier.name},
+            dst={"node": target.node_id, "tier": target.tier.name},
+        )
+
     def _schedule_move(
         self,
         file: INodeFile,
@@ -313,15 +350,18 @@ class ReplicationMonitor:
         ticket = self.master.begin_transfer(block, source, target)
         size = block.size
         from_tier = source.tier
+        kind = "downgrade" if downgrade else "upgrade"
         if downgrade:
             self.pending_out[from_tier] += size
         else:
             self.pending_in[target.tier] += size
         self._in_flight[file.inode_id] = self._in_flight.get(file.inode_id, 0) + 1
         self._in_flight_blocks.add(block.block_id)
+        if self.tracer is not None:
+            self._trace_start(kind, block, file.path, source, target)
 
         def finish() -> None:
-            self._finish_move(ticket, file, from_tier, size, downgrade)
+            self._finish_move(ticket, file, from_tier, size, downgrade, kind=kind)
 
         self._run_transfer(block, source, target, finish, f"move-b{block.block_id}")
         return size
@@ -333,6 +373,7 @@ class ReplicationMonitor:
         from_tier: TierSpec,
         size: int,
         downgrade: bool,
+        kind: str = "upgrade",
     ) -> None:
         if downgrade:
             self.pending_out[from_tier] -= size
@@ -348,6 +389,13 @@ class ReplicationMonitor:
         if not self.master.blocks.has_block(ticket.block.block_id):
             self.master.abort_transfer(ticket)
             self.transfers_aborted += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "migration_abort",
+                    kind=kind,
+                    block=ticket.block.block_id,
+                    bytes=size,
+                )
             return
         self.master.commit_transfer(ticket)
         self.transfers_committed += 1
@@ -355,6 +403,15 @@ class ReplicationMonitor:
             self.bytes_downgraded[from_tier] += size
         else:
             self.bytes_upgraded[ticket.target.tier] += size
+        if self.tracer is not None:
+            self.tracer.emit(
+                "migration_commit",
+                kind=kind,
+                block=ticket.block.block_id,
+                path=file.path,
+                bytes=size,
+                tier=ticket.target.tier.name,
+            )
 
     # -- replication health (under/over-replicated blocks) ------------------------------
     def _persistent_count(self, block: BlockInfo) -> int:
@@ -396,16 +453,34 @@ class ReplicationMonitor:
             return
         ticket = self.master.begin_transfer(block, None, target)
         self._in_flight_blocks.add(block.block_id)
+        if self.tracer is not None:
+            self._trace_start("repair", block, file.path, source, target)
 
         def finish() -> None:
             self._in_flight_blocks.discard(block.block_id)
             if not self.master.blocks.has_block(block.block_id):
                 self.master.abort_transfer(ticket)
                 self.transfers_aborted += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "migration_abort",
+                        kind="repair",
+                        block=block.block_id,
+                        bytes=block.size,
+                    )
                 return
             self.master.commit_transfer(ticket)
             self.transfers_committed += 1
             self.replicas_repaired += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "migration_commit",
+                    kind="repair",
+                    block=block.block_id,
+                    path=file.path,
+                    bytes=block.size,
+                    tier=target.tier.name,
+                )
 
         self._run_transfer(block, source, target, finish, f"repair-b{block.block_id}")
 

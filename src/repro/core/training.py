@@ -30,6 +30,11 @@ from repro.sim.simulator import PeriodicTimer, Simulator
 class AccessModelTrainer:
     """Feeds observations into the upgrade and downgrade access models."""
 
+    #: Optional decision tracer (:class:`repro.obs.trace.Tracer`),
+    #: installed by the runner when ``obs.trace`` is set; ``None`` keeps
+    #: the sampling pass free of any tracing work.
+    tracer = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -97,6 +102,10 @@ class AccessModelTrainer:
                 )
                 if point is not None:
                     self.points_generated += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "retrain", sampled=count, points=self.points_generated
+            )
 
     @staticmethod
     def _tier_level_at(

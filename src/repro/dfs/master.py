@@ -89,6 +89,11 @@ class TransferTicket:
 class Master:
     """Coordinates namespace, blocks, placement, and tier transfers."""
 
+    #: Optional decision tracer (:class:`repro.obs.trace.Tracer`),
+    #: installed by the runner when ``obs.trace`` is set; ``None`` keeps
+    #: namespace operations untraced and bit-identical.
+    tracer = None
+
     def __init__(
         self,
         topology: ClusterTopology,
@@ -155,6 +160,11 @@ class Master:
             path, creation_time=self.clock.now(), size=size, replication=replication
         )
         tiers_touched: Set[TierSpec] = set()
+        tracer = self.tracer
+        if tracer is not None:
+            # Placement policies never see paths; the context lets their
+            # per-candidate score records carry the file being placed.
+            tracer.file_context = path
         try:
             for index, block_size in enumerate(
                 split_into_block_sizes(size, self.block_size)
@@ -179,7 +189,18 @@ class Master:
             # Roll back the partial file so namespace and devices agree.
             self.blocks.remove_file_blocks(file)
             self.fs.delete(path)
+            if tracer is not None:
+                tracer.file_context = None
             raise
+        if tracer is not None:
+            tracer.file_context = None
+            tracer.emit(
+                "file_create",
+                path=path,
+                bytes=size,
+                replication=replication,
+                tiers=sorted(t.name for t in tiers_touched),
+            )
         self._files_by_id[file.inode_id] = file
         self._notify("on_file_created", file)
         for tier in sorted(tiers_touched):
@@ -272,6 +293,9 @@ class Master:
         file = self.fs.get_file(path)
         start_index = len(file.block_ids)
         tiers_touched: Set[TierSpec] = set()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.file_context = path
         for offset, block_size in enumerate(
             split_into_block_sizes(additional_bytes, self.block_size)
         ):
@@ -293,6 +317,8 @@ class Master:
                 tiers_touched.add(target.tier)
         file.size += additional_bytes
         file.modification_time = self.clock.now()
+        if tracer is not None:
+            tracer.file_context = None
         self._notify("on_file_modified", file)
         for tier in sorted(tiers_touched):
             self._notify("on_data_added", tier)
@@ -302,6 +328,8 @@ class Master:
     def delete_file(self, path: str) -> None:
         """Remove a file: blocks, replicas, then the namespace entry."""
         file = self.fs.get_file(path)
+        if self.tracer is not None:
+            self.tracer.emit("file_delete", path=path, bytes=file.size)
         self.blocks.remove_file_blocks(file)
         self._files_by_id.pop(file.inode_id, None)
         # Notify while the inode is still linked so ``file.path`` is

@@ -44,6 +44,13 @@ class PlacementTarget:
 class PlacementPolicy:
     """Base class: decides where replicas go."""
 
+    #: Optional decision tracer (:class:`repro.obs.trace.Tracer`),
+    #: installed by the runner when ``obs.trace`` is set.  Policies that
+    #: support per-candidate score auditing consult it in their
+    #: placement loop; ``None`` (the default) keeps the hot path free of
+    #: any tracing work.
+    tracer = None
+
     def __init__(
         self,
         topology: ClusterTopology,
@@ -494,11 +501,13 @@ class OctopusPlacementPolicy(PlacementPolicy):
             # falling back to reusing tiers only when the fresh ones are full.
             fresh_tiers = [t for t in self.hierarchy if t not in used_tiers]
             target = None
+            pool: Sequence[TierSpec] = fresh_tiers
             if fresh_tiers:
                 target = self._best_candidate(
                     size, fresh_tiers, used_nodes, used_racks, used_tiers, prefer
                 )
             if target is None:
+                pool = list(self.hierarchy)
                 target = self._best_candidate(
                     size,
                     list(self.hierarchy),
@@ -509,11 +518,57 @@ class OctopusPlacementPolicy(PlacementPolicy):
                 )
             if target is None:
                 break
+            if self.tracer is not None:
+                self._trace_choice(
+                    size, i, target, pool, used_nodes, used_racks, used_tiers, prefer
+                )
             targets.append(target)
             used_nodes.add(target.node_id)
             used_racks.add(self.topology.node(target.node_id).rack)
             used_tiers.add(target.tier)
         return targets
+
+    def _trace_choice(
+        self,
+        size: int,
+        replica_index: int,
+        chosen: PlacementTarget,
+        pool: Sequence[TierSpec],
+        used_nodes: Set[str],
+        used_racks: Set[str],
+        used_tiers: Set[TierSpec],
+        prefer: Optional[str],
+    ) -> None:
+        """Emit one ``placement`` audit record for a chosen replica target.
+
+        Re-scores every live candidate with :meth:`_score` (the
+        reference arithmetic) so the record shows *why* the winner won.
+        Only called when a tracer is installed, and only from the cold
+        path wrapper in :meth:`place_block` — the inlined
+        :meth:`_best_candidate` hot loop stays untouched.
+        """
+        candidates = []
+        for node in self.topology.nodes:
+            if not node.alive or node.node_id in used_nodes:
+                continue
+            for tier in pool:
+                if not node.has_tier(tier):
+                    continue
+                score = self._score(node, tier, size, used_racks, used_tiers, prefer)
+                if score is None:
+                    continue
+                candidates.append(
+                    {"node": node.node_id, "tier": tier.name, "score": round(score, 6)}
+                )
+        candidates.sort(key=lambda c: (-c["score"], c["node"], c["tier"]))
+        self.tracer.emit(
+            "placement",
+            path=self.tracer.file_context,
+            bytes=size,
+            replica=replica_index,
+            chosen={"node": chosen.node_id, "tier": chosen.tier.name},
+            candidates=candidates[:8],
+        )
 
     def select_transfer_target(
         self,

@@ -488,6 +488,20 @@ class IoModel:
         resource = self._endpoint_resource.get(tier)
         return 0 if resource is None else self.engine.flows_crossing(resource)
 
+    def active_operations(self) -> int:
+        """I/O operations currently in flight, whichever the model.
+
+        Under fair share this is the engine's live flow count; under
+        snapshot it is the number of open device streams (a pipelined
+        write counts once per replica leg it holds open, so the gauge
+        slightly over-counts operations in exchange for O(devices)
+        sampling).  The timeseries recorder samples this as its
+        in-flight-I/O gauge.
+        """
+        if self.engine is not None:
+            return self.engine.active_flows
+        return sum(self._device_streams.values())
+
     def assert_drained(self) -> None:
         """Raise unless every stream count and flow has drained to zero.
 

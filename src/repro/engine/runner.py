@@ -343,6 +343,31 @@ class WorkloadRunner:
                 upgrade=config.upgrade,
                 seed=config.seed,
             )
+        # -- observability (opt-in; absent by default so runs stay
+        #    bit-identical).  ``obs.trace`` installs a Tracer on every
+        #    decision point; ``obs.sample_interval`` > 0 starts the
+        #    simulated-time timeseries sampler.
+        self.tracer = None
+        self.timeseries = None
+        if self.conf.get_bool("obs.trace", False):
+            from repro.obs.trace import Tracer
+
+            tracer = self.tracer = Tracer(self.sim.now)
+            self.scheduler.tracer = tracer
+            self.master.tracer = tracer
+            placement.tracer = tracer
+            if self.manager is not None:
+                self.manager.tracer = tracer
+                self.manager.monitor.tracer = tracer
+                # configure_policies ran above, so the trainer (if any)
+                # already exists.
+                if self.manager.trainer is not None:
+                    self.manager.trainer.tracer = tracer
+        sample = self.conf.get_duration("obs.sample_interval", 0.0)
+        if sample > 0:
+            from repro.obs.timeseries import TimeseriesRecorder
+
+            self.timeseries = TimeseriesRecorder(self, sample)
 
     # -- replay --------------------------------------------------------------
     def _schedule_events(self) -> None:
@@ -497,6 +522,10 @@ class WorkloadRunner:
             self.sim.run(until=min(self.sim.now() + 60.0, deadline))
         if self.manager is not None:
             self.manager.stop()
+        if self.timeseries is not None:
+            # Stop sampling (with one final sample) so the quiescence
+            # checks below still see an empty heap.
+            self.timeseries.stop()
         # Let in-flight transfers conclude so accounting is complete.
         self.sim.run(until=self.sim.now() + 600.0)
         if self.scheduler.idle and self.sim.pending == 0:

@@ -67,6 +67,11 @@ class TaskScheduler:
     #: bit-identical.
     metrics_for_job: Optional[Callable[[TraceJob], Optional[MetricsCollector]]] = None
 
+    #: Optional decision tracer (:class:`repro.obs.trace.Tracer`),
+    #: installed by the runner when ``obs.trace`` is set.  ``None``
+    #: (the default) keeps every path untraced and bit-identical.
+    tracer = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -175,6 +180,14 @@ class TaskScheduler:
             blocks.extend(self.master.blocks.blocks_of(plan.file))
         execution.maps_remaining = len(blocks)
         execution.outputs_remaining = len(job.outputs)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "job_submit",
+                job=job.job_id,
+                inputs=len(job.input_paths),
+                maps=len(blocks),
+                outputs=len(job.outputs),
+            )
         for block in blocks:
             self._pending.append(_MapTask(job=execution, block=block))
         if not blocks:
@@ -247,6 +260,15 @@ class TaskScheduler:
             for sink in self._sinks(job.trace_job):
                 sink.record_task_read(job.bin_name, tier, block.size)
                 sink.record_task_time(job.bin_name, elapsed)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "task_read",
+                    job=job.trace_job.job_id,
+                    tier=tier.name,
+                    node=node_id,
+                    bytes=block.size,
+                    seconds=elapsed,
+                )
             job.maps_remaining -= 1
             if job.maps_remaining == 0:
                 self._maps_done(job)
@@ -369,6 +391,10 @@ class TaskScheduler:
         job.task_seconds += elapsed
         for sink in self._sinks(job.trace_job):
             sink.record_task_time(job.bin_name, elapsed)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "task_write", job=job.trace_job.job_id, seconds=elapsed
+            )
         job.outputs_remaining -= 1
         if job.outputs_remaining == 0 and job.maps_remaining == 0:
             self._finish_job(job)
@@ -382,6 +408,13 @@ class TaskScheduler:
         completion = self.sim.now() - job.submit_time
         for sink in self._sinks(job.trace_job):
             sink.record_job_completion(job.bin_name, completion)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "job_finish",
+                job=job.trace_job.job_id,
+                completion=completion,
+                task_seconds=job.task_seconds,
+            )
         if self.on_job_finished is not None:
             self.on_job_finished(job)
 

@@ -1,0 +1,30 @@
+"""Observability: decision tracing, simulated-time timeseries, exporters.
+
+``repro.obs`` is the zero-overhead-when-off telemetry subsystem.  Every
+instrumented component (scheduler, master, placement, manager, monitor,
+trainer) carries a class-level ``tracer = None`` attribute; the runner
+replaces it with a live :class:`~repro.obs.trace.Tracer` only when the
+``obs.trace`` configuration key is set, so a run without tracing
+executes exactly the pre-instrumentation code path (a single ``is not
+None`` test per hook site, no events scheduled, no RNG consumed) and
+stays bit-identical to the committed benchmark baselines.
+
+The package splits into:
+
+* :mod:`repro.obs.trace` — the :class:`Tracer` event bus and its record
+  schema (simulated-time-stamped structured decision records);
+* :mod:`repro.obs.timeseries` — the :class:`TimeseriesRecorder`
+  sampling per-tier occupancy, queue delay, in-flight I/O, and rolling
+  hit ratio on a simulated-time interval;
+* :mod:`repro.obs.export` — JSONL, Chrome ``chrome://tracing``, and
+  Prometheus text-exposition exporters;
+* :mod:`repro.obs.summary` — trace post-processing for the
+  ``repro trace summarize|explain`` CLI.
+
+See docs/observability.md for the full record schema and cookbook.
+"""
+
+from repro.obs.trace import Tracer
+from repro.obs.timeseries import TimeseriesRecorder
+
+__all__ = ["Tracer", "TimeseriesRecorder"]

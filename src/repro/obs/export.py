@@ -1,0 +1,247 @@
+"""Trace and telemetry exporters: JSONL, Chrome tracing, Prometheus.
+
+Three output formats share this module:
+
+* **JSONL** — one compact, key-sorted JSON object per line (gzip when
+  the path ends in ``.gz``).  Key sorting plus compact separators make
+  the byte stream a pure function of the records, which is what lets
+  the determinism tests compare whole files.
+* **Chrome trace-event JSON** — the ``chrome://tracing`` /
+  `Perfetto <https://ui.perfetto.dev>`_ format: jobs, tasks, and
+  migrations become complete (``"ph": "X"``) events with durations;
+  decisions become instants (``"ph": "i"``).  Timestamps are simulated
+  microseconds.
+* **Prometheus text exposition** — the service control plane's
+  ``GET /metrics?format=prometheus`` body: engine counters plus
+  per-tenant gauges labelled ``{tenant="t1", ...}``.
+
+The JSONL encoder is also reused by the daemon's persistent results log
+(``repro serve --results-log``).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+#: Lane (Chrome ``tid``) per record family, so the trace viewer stacks
+#: jobs, tasks, migrations, and decisions as separate named threads.
+_CHROME_LANES = {
+    "jobs": 1,
+    "tasks": 2,
+    "migrations": 3,
+    "decisions": 4,
+}
+
+
+def trace_line(record: Mapping[str, Any]) -> str:
+    """Canonical single-line JSON encoding of one record.
+
+    Keys are sorted and separators compact so identical records always
+    produce identical bytes (the determinism contract).
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _open_text(path: str, mode: str):
+    """Open ``path`` for text I/O, transparently gzipped for ``.gz``."""
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def write_jsonl(records: Iterable[Mapping[str, Any]], path: str) -> int:
+    """Write ``records`` to ``path`` as JSONL; returns the line count."""
+    count = 0
+    with _open_text(path, "w") as handle:
+        for record in records:
+            handle.write(trace_line(record))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace (or results log) back into a list of dicts."""
+    records: List[Dict[str, Any]] = []
+    with _open_text(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# -- Chrome trace-event JSON ------------------------------------------------
+def _us(seconds: float) -> int:
+    """Simulated seconds to integer microseconds (Chrome's ``ts`` unit)."""
+    return int(round(seconds * 1e6))
+
+
+def to_chrome(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Convert trace records to a Chrome trace-event document.
+
+    Jobs and tasks carry their duration in the finish record, so they
+    map directly to complete events anchored at ``t - duration``.
+    Migrations are paired ``migration_start``/``migration_commit`` by
+    block id (aborts become instants).  Everything else that marks a
+    decision becomes an instant event on the decisions lane.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": lane},
+        }
+        for lane, tid in _CHROME_LANES.items()
+    ]
+    open_migrations: Dict[int, Mapping[str, Any]] = {}
+    for record in records:
+        ev = record["ev"]
+        t = record["t"]
+        if ev == "job_finish":
+            duration = record["completion"]
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": _CHROME_LANES["jobs"],
+                    "name": f"job {record['job']}",
+                    "cat": "job",
+                    "ts": _us(t - duration),
+                    "dur": _us(duration),
+                    "args": {"task_seconds": record["task_seconds"]},
+                }
+            )
+        elif ev == "task_read":
+            duration = record["seconds"]
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": _CHROME_LANES["tasks"],
+                    "name": f"read {record['tier']}",
+                    "cat": "task",
+                    "ts": _us(t - duration),
+                    "dur": _us(duration),
+                    "args": {"job": record["job"], "bytes": record["bytes"]},
+                }
+            )
+        elif ev == "migration_start":
+            open_migrations[record["block"]] = record
+        elif ev == "migration_commit":
+            start = open_migrations.pop(record["block"], None)
+            begin = start["t"] if start is not None else t
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": _CHROME_LANES["migrations"],
+                    "name": f"{record['kind']} b{record['block']}",
+                    "cat": "migration",
+                    "ts": _us(begin),
+                    "dur": _us(max(t - begin, 0.0)),
+                    "args": {
+                        "path": record["path"],
+                        "bytes": record["bytes"],
+                        "tier": record["tier"],
+                    },
+                }
+            )
+        elif ev in (
+            "placement",
+            "upgrade_decision",
+            "downgrade_decision",
+            "eviction",
+            "migration_abort",
+            "retrain",
+            "file_create",
+            "file_delete",
+        ):
+            args = {k: v for k, v in record.items() if k not in ("ev", "t", "seq")}
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": 1,
+                    "tid": _CHROME_LANES["decisions"],
+                    "name": ev,
+                    "cat": "decision",
+                    "ts": _us(t),
+                    "s": "t",
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(records: Iterable[Mapping[str, Any]], path: str) -> int:
+    """Write the Chrome export of ``records``; returns the event count."""
+    document = to_chrome(records)
+    with _open_text(path, "w") as handle:
+        json.dump(document, handle)
+    return len(document["traceEvents"])
+
+
+# -- Prometheus text exposition ---------------------------------------------
+def _prom_label(value: Any) -> str:
+    """Escape one label value per the text-exposition rules."""
+    text = str(value)
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+#: Per-tenant numeric fields exported as ``repro_tenant_<field>``.
+_TENANT_METRICS = (
+    ("jobs_submitted", "counter", "Jobs submitted by this tenant"),
+    ("jobs_finished", "counter", "Jobs of this tenant that completed"),
+    ("events_emitted", "counter", "Stream events emitted for this tenant"),
+    ("hit_ratio", "gauge", "Tenant file-access memory hit ratio"),
+    ("bytes_read", "counter", "Bytes read by this tenant's tasks"),
+)
+
+
+def prometheus_text(
+    engine: Mapping[str, Any],
+    tenants: Iterable[Mapping[str, Any]] = (),
+    status: Optional[str] = None,
+) -> str:
+    """Render engine counters and per-tenant gauges as Prometheus text.
+
+    ``engine`` is a flat mapping of scalar counters (the service's
+    engine section); ``tenants`` are per-tenant dicts carrying at least
+    ``id``/``name``/``state`` plus the :data:`_TENANT_METRICS` fields.
+    """
+    lines: List[str] = []
+    if status is not None:
+        lines.append("# HELP repro_service_up Service status (1 = serving).")
+        lines.append("# TYPE repro_service_up gauge")
+        lines.append(
+            f'repro_service_up{{status="{_prom_label(status)}"}} '
+            f"{1 if status == 'serving' else 0}"
+        )
+    for key in sorted(engine):
+        value = engine[key]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        name = f"repro_engine_{key}"
+        lines.append(f"# HELP {name} Engine counter {key}.")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {value}")
+    tenants = list(tenants)
+    for field, kind, help_text in _TENANT_METRICS:
+        name = f"repro_tenant_{field}"
+        lines.append(f"# HELP {name} {help_text}.")
+        lines.append(f"# TYPE {name} {kind}")
+        for tenant in tenants:
+            labels = (
+                f'tenant="{_prom_label(tenant.get("id"))}",'
+                f'name="{_prom_label(tenant.get("name"))}",'
+                f'state="{_prom_label(tenant.get("state"))}"'
+            )
+            value = tenant.get(field, 0)
+            lines.append(f"{name}{{{labels}}} {value}")
+    return "\n".join(lines) + "\n"

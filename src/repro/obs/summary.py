@@ -1,0 +1,139 @@
+"""Trace post-processing: run summaries and per-file decision history.
+
+Backs the ``repro trace summarize|explain`` CLI:
+
+* :func:`summarize` folds a record list into per-type counts, byte
+  totals, and the simulated time span;
+* :func:`explain` extracts the chronological decision history of one
+  file path — placement, upgrade/downgrade decisions, migrations,
+  deletion — reconstructing *why* the file ended up where it did.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping
+
+#: Record types that carry a ``path`` payload key and therefore join
+#: into a per-file history.
+_PATH_EVENTS = (
+    "file_create",
+    "file_delete",
+    "placement",
+    "upgrade_decision",
+    "downgrade_decision",
+    "migration_start",
+    "migration_commit",
+)
+
+
+def summarize(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a trace into one JSON-safe summary dict."""
+    counts: Dict[str, int] = {}
+    bytes_by: Dict[str, int] = {}
+    first_t: float = 0.0
+    last_t: float = 0.0
+    total = 0
+    files: set = set()
+    for record in records:
+        ev = record["ev"]
+        counts[ev] = counts.get(ev, 0) + 1
+        if "bytes" in record:
+            bytes_by[ev] = bytes_by.get(ev, 0) + int(record["bytes"])
+        t = record["t"]
+        if total == 0:
+            first_t = t
+        last_t = t
+        total += 1
+        path = record.get("path")
+        if path:
+            files.add(path)
+    return {
+        "records": total,
+        "span_seconds": round(last_t - first_t, 6) if total else 0.0,
+        "counts": dict(sorted(counts.items())),
+        "bytes": dict(sorted(bytes_by.items())),
+        "files_touched": len(files),
+    }
+
+
+def render_summary(summary: Mapping[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize`'s output."""
+    lines = [
+        f"records: {summary['records']}  "
+        f"span: {summary['span_seconds']:.0f}s sim  "
+        f"files: {summary['files_touched']}",
+        "",
+        f"{'event':<20} {'count':>8} {'bytes':>16}",
+    ]
+    for ev, count in summary["counts"].items():
+        size = summary["bytes"].get(ev, "")
+        lines.append(f"{ev:<20} {count:>8} {size:>16}")
+    return "\n".join(lines)
+
+
+def explain(
+    records: Iterable[Mapping[str, Any]], path: str
+) -> List[Dict[str, Any]]:
+    """The chronological decision history of one file path.
+
+    Returns the subset of records whose ``path`` field equals ``path``,
+    in emission order — creation/placement first, then every upgrade or
+    downgrade decision and the migrations they caused.
+    """
+    return [
+        dict(record)
+        for record in records
+        if record["ev"] in _PATH_EVENTS and record.get("path") == path
+    ]
+
+
+def _describe(record: Mapping[str, Any]) -> str:
+    """One human-readable line for an explain record."""
+    ev = record["ev"]
+    if ev == "file_create":
+        tiers = ",".join(record["tiers"])
+        return f"created ({record['bytes']} bytes, tiers {tiers})"
+    if ev == "file_delete":
+        return "deleted"
+    if ev == "placement":
+        chosen = record["chosen"]
+        best = record["candidates"][0] if record["candidates"] else None
+        score = f" score={best['score']}" if best else ""
+        return (
+            f"replica {record['replica']} placed on "
+            f"{chosen['node']}/{chosen['tier']}{score} "
+            f"({len(record['candidates'])} candidates)"
+        )
+    if ev == "upgrade_decision":
+        tiers = ",".join(record["tiers"])
+        mode = "cache" if record.get("cache") else "move"
+        return (
+            f"upgrade toward {tiers} by {record['policy']} "
+            f"({record['trigger']}, {mode}, {record['bytes']} bytes scheduled)"
+        )
+    if ev == "downgrade_decision":
+        return (
+            f"downgrade off {record['tier']} by {record['policy']} "
+            f"(action {record['action']}, {record['bytes']} bytes scheduled)"
+        )
+    if ev == "migration_start":
+        src, dst = record["src"], record["dst"]
+        return (
+            f"{record['kind']} b{record['block']} started "
+            f"{src['node']}/{src['tier']} -> {dst['node']}/{dst['tier']}"
+        )
+    if ev == "migration_commit":
+        return (
+            f"{record['kind']} b{record['block']} committed on {record['tier']}"
+        )
+    return ev  # pragma: no cover - _PATH_EVENTS is closed
+
+
+def render_explain(path: str, history: List[Dict[str, Any]]) -> str:
+    """Human-readable rendering of :func:`explain`'s output."""
+    if not history:
+        return f"no trace records for {path!r}"
+    lines = [f"history of {path} ({len(history)} records):"]
+    for record in history:
+        lines.append(f"  t={record['t']:>12.3f}  {_describe(record)}")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Simulated-time sampling of cluster gauges into columnar lists.
+
+:class:`TimeseriesRecorder` rides a
+:class:`~repro.sim.simulator.PeriodicTimer` to sample, every
+``interval`` *simulated* seconds:
+
+* per-tier occupancy (bytes used, against a static capacity column),
+* per-tier cumulative I/O queue delay (both pricing models),
+* in-flight I/O operations (fair-share flows, or snapshot streams),
+* the rolling hit ratio (memory-read fraction *since the last sample*,
+  from deltas of the run's :class:`~repro.engine.metrics.MetricsCollector`
+  counters — ``None`` for windows with no reads),
+* simulator backlog (live pending events).
+
+Samples land in compact parallel lists (one float/int per sample per
+column) rather than per-sample dicts, so hour-long runs at small
+intervals stay cheap to hold and to serialize.
+
+Sampling is read-only: the probe callbacks never mutate engine state or
+consume RNG, so every *workload* metric of a sampled run is identical
+to an unsampled one.  The sampler does schedule simulator events,
+though, so pure simulator-side performance counters
+(``events_processed``, heap peaks) legitimately differ — which is why
+``--trace`` alone (no ``--timeseries``) schedules nothing at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.sim.simulator import PeriodicTimer
+
+
+class TimeseriesRecorder:
+    """Samples one runner's gauges on a fixed simulated-time interval.
+
+    Construction takes a baseline sample immediately and schedules the
+    next one ``interval`` simulated seconds later; the runner calls
+    :meth:`stop` when the workload drains, which cancels the timer and
+    appends one final sample of the end state.
+    """
+
+    def __init__(self, runner, interval: float) -> None:
+        if interval <= 0:
+            raise ValueError(f"sample interval must be positive, got {interval}")
+        self.runner = runner
+        self.interval = float(interval)
+        #: Sample timestamps (simulated seconds).
+        self.t: List[float] = []
+        #: Static per-tier capacity in bytes (not a column).
+        self.tier_capacity: Dict[str, int] = {
+            tier.name: runner.master.tier_capacity(tier)
+            for tier in runner.hierarchy
+        }
+        #: Per-tier occupancy columns (bytes used at each sample).
+        self.tier_used: Dict[str, List[int]] = {
+            tier.name: [] for tier in runner.hierarchy
+        }
+        #: Per-tier cumulative queue-delay columns (seconds).
+        self.queue_delay: Dict[str, List[float]] = {
+            tier.name: [] for tier in runner.hierarchy
+        }
+        #: In-flight I/O operations at each sample.
+        self.inflight: List[int] = []
+        #: Rolling hit ratio per sampling window (None = no reads).
+        self.hit_ratio: List[Optional[float]] = []
+        #: Live simulator events pending at each sample.
+        self.pending: List[int] = []
+        self._last_reads = 0
+        self._last_memory_reads = 0
+        self._stopped = False
+        self._timer = PeriodicTimer(
+            runner.sim, self.interval, self.sample, name="obs-sample"
+        )
+        self.sample()
+
+    # -- probes ---------------------------------------------------------------
+    def sample(self) -> None:
+        """Append one sample of every column at the current sim time."""
+        runner = self.runner
+        self.t.append(runner.sim.now())
+        master = runner.master
+        delays = runner.iomodel.queue_delay_by_tier
+        for tier in runner.hierarchy:
+            self.tier_used[tier.name].append(master.tier_used(tier))
+            self.queue_delay[tier.name].append(round(delays[tier.name], 6))
+        self.inflight.append(runner.iomodel.active_operations())
+        metrics = runner.metrics
+        reads = metrics.task_reads
+        memory_reads = metrics.task_reads_memory
+        window_reads = reads - self._last_reads
+        if window_reads > 0:
+            self.hit_ratio.append(
+                round((memory_reads - self._last_memory_reads) / window_reads, 6)
+            )
+        else:
+            self.hit_ratio.append(None)
+        self._last_reads = reads
+        self._last_memory_reads = memory_reads
+        self.pending.append(runner.sim.pending)
+
+    def stop(self) -> None:
+        """Cancel the sampling timer and record one final sample."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._timer.stop()
+        self.sample()
+
+    # -- views ----------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        """Number of samples taken so far."""
+        return len(self.t)
+
+    def peak_utilization(self) -> Dict[str, float]:
+        """Per-tier maximum observed occupancy as a capacity fraction."""
+        peaks: Dict[str, float] = {}
+        for name, used in self.tier_used.items():
+            capacity = self.tier_capacity[name]
+            peaks[name] = (
+                round(max(used) / capacity, 6) if used and capacity else 0.0
+            )
+        return peaks
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe columnar view (the ``--timeseries FILE`` payload)."""
+        return {
+            "interval": self.interval,
+            "t": list(self.t),
+            "tier_capacity": dict(self.tier_capacity),
+            "tier_used": {name: list(col) for name, col in self.tier_used.items()},
+            "queue_delay": {
+                name: list(col) for name, col in self.queue_delay.items()
+            },
+            "inflight": list(self.inflight),
+            "hit_ratio": list(self.hit_ratio),
+            "pending": list(self.pending),
+        }

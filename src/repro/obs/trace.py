@@ -1,0 +1,126 @@
+"""The decision-trace event bus and its record schema.
+
+A :class:`Tracer` collects structured records for the full tiering
+lifecycle of one run.  Each record is a plain JSON-safe dict with three
+schema-stable envelope keys —
+
+``ev``
+    the record type (one of :data:`EVENT_TYPES`),
+``t``
+    the simulated time the record was emitted (seconds, float),
+``seq``
+    a monotonically increasing integer, unique per tracer, breaking
+    same-timestamp ties —
+
+plus type-specific payload fields (tier and node *names*, file paths,
+byte counts; never live objects).  Because records carry only simulated
+time and a deterministic sequence number, two runs with the same seed
+and configuration produce byte-identical JSONL exports (property-tested
+in tests/test_trace_determinism.py).
+
+Record types and their payload fields:
+
+=====================  =====================================================
+``job_submit``         ``job``, ``inputs``, ``maps``, ``outputs``
+``job_finish``         ``job``, ``completion``, ``task_seconds``
+``task_read``          ``job``, ``tier``, ``node``, ``bytes``, ``seconds``
+``task_write``         ``job``, ``seconds``
+``file_create``        ``path``, ``bytes``, ``replication``, ``tiers``
+``file_delete``        ``path``
+``placement``          ``path``, ``bytes``, ``replica``, ``chosen``,
+                       ``candidates`` (per-candidate scores, best first)
+``upgrade_decision``   ``policy``, ``trigger``, ``path``, ``tiers``,
+                       ``bytes``, ``cache``
+``downgrade_decision`` ``policy``, ``tier``, ``path``, ``action``, ``bytes``
+``migration_start``    ``kind``, ``block``, ``path``, ``bytes``, ``src``,
+                       ``dst``
+``migration_commit``   ``kind``, ``block``, ``path``, ``bytes``, ``tier``
+``migration_abort``    ``kind``, ``block``, ``bytes``
+``eviction``           ``block``, ``tier``, ``node``, ``bytes``
+``retrain``            ``sampled``, ``points``
+=====================  =====================================================
+
+``migration_start.kind`` is one of ``downgrade``/``upgrade``/``cache``/
+``repair``; ``upgrade_decision.trigger`` is ``access`` or ``proactive``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+#: Every record type a :class:`Tracer` may emit (the stable schema
+#: surface; ``tools/check_trace.py`` validates exports against it).
+EVENT_TYPES = frozenset(
+    {
+        "job_submit",
+        "job_finish",
+        "task_read",
+        "task_write",
+        "file_create",
+        "file_delete",
+        "placement",
+        "upgrade_decision",
+        "downgrade_decision",
+        "migration_start",
+        "migration_commit",
+        "migration_abort",
+        "eviction",
+        "retrain",
+    }
+)
+
+#: Payload keys required per record type (envelope keys aside).
+REQUIRED_FIELDS: Dict[str, tuple] = {
+    "job_submit": ("job", "inputs", "maps", "outputs"),
+    "job_finish": ("job", "completion", "task_seconds"),
+    "task_read": ("job", "tier", "node", "bytes", "seconds"),
+    "task_write": ("job", "seconds"),
+    "file_create": ("path", "bytes", "replication", "tiers"),
+    "file_delete": ("path",),
+    "placement": ("path", "bytes", "replica", "chosen", "candidates"),
+    "upgrade_decision": ("policy", "trigger", "path", "tiers", "bytes", "cache"),
+    "downgrade_decision": ("policy", "tier", "path", "action", "bytes"),
+    "migration_start": ("kind", "block", "path", "bytes", "src", "dst"),
+    "migration_commit": ("kind", "block", "path", "bytes", "tier"),
+    "migration_abort": ("kind", "block", "bytes"),
+    "eviction": ("block", "tier", "node", "bytes"),
+    "retrain": ("sampled", "points"),
+}
+
+
+class Tracer:
+    """Collects decision records stamped with simulated time.
+
+    The tracer is deliberately passive: :meth:`emit` appends to an
+    in-memory list and schedules nothing on the simulator, so enabling
+    tracing cannot perturb event order, RNG draws, or any simulated
+    metric — the determinism contract the trace tests pin down.
+
+    ``clock`` is any zero-argument callable returning the current
+    simulated time (the runner wires ``sim.now``).
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self.clock = clock
+        #: All records emitted so far, in emission order.
+        self.records: List[Dict[str, Any]] = []
+        #: File path the Master is currently placing blocks for; set
+        #: around ``place_block`` calls so placement records can carry
+        #: the path the policy itself never sees.
+        self.file_context: Optional[str] = None
+        self._seq = 0
+
+    def emit(self, ev: str, **fields: Any) -> Dict[str, Any]:
+        """Append one record of type ``ev`` and return it.
+
+        Payload values must already be JSON-safe (names, paths,
+        numbers); callers convert tiers and nodes to their names.
+        """
+        record: Dict[str, Any] = {"ev": ev, "t": self.clock(), "seq": self._seq}
+        self._seq += 1
+        record.update(fields)
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -9,7 +9,10 @@ submissions with JSON.  Endpoints (full operator reference in
 ``GET /healthz``                      liveness + tenant counts
 ``GET /metrics``                      engine/run counters (pump lead, queue
                                       delay by tier, heap peak, events/sec)
+``GET /metrics?format=prometheus``    the same counters in Prometheus text
+                                      exposition, with per-tenant labels
 ``GET /tenants``                      tenant list with lifecycle states
+                                      (plus ``past`` from ``--results-log``)
 ``GET /tenants/<id>/metrics``         per-tenant RunResult projection
 ``POST /tenants``                     admit a tenant: a JSON scenario spec
                                       (``{"scenario": ..., "params": ...,
@@ -29,6 +32,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.service.engine import json_safe
 from repro.service.mux import ServiceClosed
@@ -63,20 +67,37 @@ class ControlHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         return self.rfile.read(length) if length else b""
 
+    def _send_text(self, code: int, text: str) -> None:
+        payload = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
     # -- routes --------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         """Dispatch GET: healthz, metrics, tenant listing/projections."""
         engine = self.service.engine
-        path = self.path.rstrip("/") or "/"
+        parts = urlsplit(self.path)
+        query = parse_qs(parts.query)
+        path = parts.path.rstrip("/") or "/"
         if path == "/healthz":
             body = engine.healthz()
             body["data_port"] = self.service.data_port
             self._send_json(200 if body["ok"] else 503, body)
         elif path == "/metrics":
-            self._send_json(200, engine.metrics())
+            if query.get("format", [""])[0] == "prometheus":
+                self._send_text(200, engine.prometheus())
+            else:
+                self._send_json(200, engine.metrics())
         elif path == "/tenants":
             self._send_json(
-                200, {"tenants": [t.as_dict() for t in engine.registry.list()]}
+                200,
+                {
+                    "tenants": [t.as_dict() for t in engine.registry.list()],
+                    "past": engine.past_tenants,
+                },
             )
         elif path.startswith("/tenants/") and path.endswith("/metrics"):
             tenant_id = path[len("/tenants/") : -len("/metrics")]

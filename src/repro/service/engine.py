@@ -106,6 +106,7 @@ class ServiceEngine:
         self,
         config: Optional[SystemConfig] = None,
         drain_limit: float = 4 * 3600.0,
+        results_log: Optional[str] = None,
     ) -> None:
         if config is None:
             config = SystemConfig(label="service")
@@ -119,6 +120,17 @@ class ServiceEngine:
         # to the tagged tenant's collector.
         self.mux.clock = self.runner.sim.now
         self.runner.scheduler.metrics_for_job = tenant_collector_for_job
+        #: Tenant records from previous daemon runs (``--results-log``):
+        #: loaded once at startup, served under ``GET /tenants``'s
+        #: ``"past"`` key.  Empty without a log.
+        self.past_tenants: list = []
+        self.results_log = None
+        if results_log is not None:
+            from repro.service.results import ResultsLog
+
+            self.results_log = ResultsLog(results_log)
+            self.past_tenants = self.results_log.load()
+            self.mux.on_tenant_done = self.results_log.record_tenant
         self.result: Optional[RunResult] = None
         self.error: Optional[BaseException] = None
         self.started_wall: Optional[float] = None
@@ -154,6 +166,16 @@ class ServiceEngine:
     def _run(self) -> None:
         try:
             self.result = self.runner.run(self.drain_limit)
+            if self.results_log is not None:
+                # The replay has fully drained, so every tenant's
+                # collector is final — re-log with complete metrics
+                # (load() collapses the stream-end/final pair).
+                for tenant in self.registry.list():
+                    if tenant.state in ("finished", "failed", "closed"):
+                        try:
+                            self.results_log.record_tenant(tenant, final=True)
+                        except Exception:
+                            pass
         except BaseException as exc:  # surface, never swallow, engine death
             self.error = exc
 
@@ -358,25 +380,46 @@ class ServiceEngine:
                 time.sleep(0.01)
         return self.runner.snapshot()
 
+    def engine_stats(self) -> Dict[str, Any]:
+        """The ``engine`` section of ``GET /metrics``: the simulator's
+        core counters (:meth:`~repro.sim.simulator.Simulator.stats`)
+        plus the service-level throughput gauge."""
+        stats = self.runner.sim.stats()
+        # The control plane has always called this gauge
+        # ``pending_events`` (docs/service.md); keep that name stable.
+        stats["pending_events"] = stats.pop("pending")
+        wall = time.time() - self.started_wall if self.started_wall else 0.0
+        stats["events_per_wall_second"] = (
+            stats["events_processed"] / wall if wall > 0 else 0.0
+        )
+        return stats
+
     def metrics(self) -> Dict[str, Any]:
         """The ``GET /metrics`` body: service, engine, and run counters."""
-        sim = self.runner.sim
         wall = time.time() - self.started_wall if self.started_wall else 0.0
-        processed = sim.events_processed
         return json_safe(
             {
                 "status": self.status,
                 "uptime_wall_seconds": wall,
-                "sim_now": sim.now(),
+                "sim_now": self.runner.sim.now(),
                 "tenants": self.registry.counts(),
-                "engine": {
-                    "events_processed": processed,
-                    "pending_events": sim.pending,
-                    "heap_peak": sim.max_heap_size,
-                    "events_per_wall_second": processed / wall if wall > 0 else 0.0,
-                },
+                "engine": self.engine_stats(),
                 "run": result_to_dict(self.snapshot()),
             }
+        )
+
+    def prometheus(self) -> str:
+        """The ``GET /metrics?format=prometheus`` body (text exposition)."""
+        from repro.obs.export import prometheus_text
+
+        tenants = []
+        for tenant in self.registry.list():
+            row = tenant.as_dict()
+            row["hit_ratio"] = tenant.collector.hit_ratio()
+            row["bytes_read"] = tenant.collector.bytes_read
+            tenants.append(row)
+        return prometheus_text(
+            self.engine_stats(), tenants=tenants, status=self.status
         )
 
     def healthz(self) -> Dict[str, Any]:

@@ -87,6 +87,10 @@ class TenantMux(WorkloadStream):
         #: session drains after admissions close (the runner rewrites
         #: the duration to that time; see RunResult.duration).
         self.duration = float("inf")
+        #: Optional callback fired (outside the lock) with each tenant
+        #: that reaches a terminal state — finished, failed, or closed.
+        #: The service engine wires the results log here.
+        self.on_tenant_done: Optional[Callable[[Tenant], None]] = None
         self.registry = registry
         #: Shared-cluster clock (wired to ``sim.now`` by the engine);
         #: read at admission to fix each tenant's offset.
@@ -148,12 +152,16 @@ class TenantMux(WorkloadStream):
 
     def end(self, session: _Session) -> None:
         """Producer finished cleanly (end sentinel or EOF)."""
+        done = None
         with self._cond:
             if session.open:
                 session.open = False
                 if session.tenant.state == "streaming":
                     session.tenant.state = "finished"
+                    done = session.tenant
             self._cond.notify_all()
+        if done is not None:
+            self._notify_done(done)
 
     def fail(self, session: _Session, exc: BaseException) -> None:
         """Producer died (transport/decode error): stop this tenant only.
@@ -161,16 +169,34 @@ class TenantMux(WorkloadStream):
         The shared cluster keeps running — one tenant's corrupt stream
         must not take down everyone else's.
         """
+        done = None
         with self._cond:
             if session.open:
                 session.open = False
                 session.tenant.state = "failed"
                 session.tenant.error = str(exc)
+                done = session.tenant
             elif session.tenant.error is None:
                 # Force-closed transports surface as read errors on the
                 # feeder; keep the drain state but record the cause.
                 session.tenant.error = str(exc)
             self._cond.notify_all()
+        if done is not None:
+            self._notify_done(done)
+
+    def _notify_done(self, tenant: Tenant) -> None:
+        """Fire ``on_tenant_done`` outside the condition lock.
+
+        A logging failure must never poison the merge or a producer
+        thread, so exceptions are swallowed here.
+        """
+        callback = self.on_tenant_done
+        if callback is None:
+            return
+        try:
+            callback(tenant)
+        except Exception:
+            pass
 
     # -- lifecycle -----------------------------------------------------------
     def close_admissions(self) -> None:
@@ -188,6 +214,7 @@ class TenantMux(WorkloadStream):
         session's ``closer`` so blocked feeder reads unblock.
         """
         closers = []
+        done = []
         with self._cond:
             self._admissions_closed = True
             for session in self._sessions:
@@ -195,6 +222,7 @@ class TenantMux(WorkloadStream):
                     session.open = False
                     if session.tenant.state in ("pending", "streaming"):
                         session.tenant.state = "closed"
+                        done.append(session.tenant)
                     if session.closer is not None:
                         closers.append(session.closer)
             self._cond.notify_all()
@@ -203,6 +231,8 @@ class TenantMux(WorkloadStream):
                 closer()
             except OSError:
                 pass
+        for tenant in done:
+            self._notify_done(tenant)
 
     # -- consumer side (the runner's pump) -----------------------------------
     def events(self) -> Iterator[StreamEvent]:

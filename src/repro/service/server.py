@@ -49,6 +49,7 @@ class TieringService:
         late: str = "clamp",
         drain_grace: float = 30.0,
         drain_limit: float = 4 * 3600.0,
+        results_log: Optional[str] = None,
     ) -> None:
         self.host = host
         #: Replay pacing applied to every admitted tenant (simulated
@@ -57,7 +58,9 @@ class TieringService:
         self.reorder_depth = reorder_depth
         self.late = late
         self.drain_grace = drain_grace
-        self.engine = ServiceEngine(config, drain_limit=drain_limit)
+        self.engine = ServiceEngine(
+            config, drain_limit=drain_limit, results_log=results_log
+        )
         self._listener = socket_module.create_server(
             (host, port), family=socket_module.AF_INET, backlog=16
         )

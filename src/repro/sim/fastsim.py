@@ -116,6 +116,13 @@ class FastSimulator(Simulator):
         """Total slots ever allocated (diagnostics / tests)."""
         return len(self._slab_callback)
 
+    def stats(self) -> dict:
+        """Core counters plus slab-allocator gauges (occupancy, growth)."""
+        stats = super().stats()
+        stats["slab_capacity"] = len(self._slab_callback)
+        stats["slab_free"] = len(self._free)
+        return stats
+
     # -- scheduling ---------------------------------------------------------
     def at(
         self,

@@ -126,6 +126,24 @@ class Simulator(Clock):
         """Raw heap length, tombstones included (diagnostics only)."""
         return len(self._heap)
 
+    def stats(self) -> dict:
+        """Point-in-time engine introspection (JSON-safe scalars).
+
+        The shared core-counter view consumed by the service control
+        plane and the telemetry exporters; engine subclasses extend it
+        with representation-specific gauges (see
+        :meth:`repro.sim.fastsim.FastSimulator.stats`).
+        """
+        return {
+            "now": self._now,
+            "events_processed": self._events_processed,
+            "events_cancelled": self.events_cancelled,
+            "pending": self.pending,
+            "heap_size": len(self._heap),
+            "heap_peak": self.max_heap_size,
+            "heap_compactions": self.heap_compactions,
+        }
+
     # -- scheduling --------------------------------------------------------
     def at(
         self,

@@ -199,6 +199,16 @@ def run_cell(cell: Mapping[str, Any]) -> Dict[str, Any]:
         "events_per_second": round(events / wall, 1) if wall > 0 else 0.0,
         "rss_mb": round(current_rss_mb(), 1),
     }
+    timeseries = runner.timeseries
+    if timeseries is not None:
+        # Sampled cells only: absent keys keep unsampled sweeps on the
+        # exact row schema the committed benchmark baselines gate on.
+        row["ts_samples"] = timeseries.samples
+        row["ts_peak_inflight"] = (
+            max(timeseries.inflight) if timeseries.inflight else 0
+        )
+        for tier_name, peak in sorted(timeseries.peak_utilization().items()):
+            row[f"ts_peak_util_{tier_name}"] = peak
     io_stats = result.io_stats
     if io_stats.get("model") == "fairshare":
         row["flow_recomputes"] = io_stats["recomputes"]

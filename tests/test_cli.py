@@ -169,20 +169,20 @@ class TestScenarioCommands:
             )
             == 0
         )
-        code = main(["scenario", "run", "--trace", trace_path, "--workers", "4"])
+        code = main(["scenario", "run", "--events", trace_path, "--workers", "4"])
         assert code == 0
         out = capsys.readouterr().out
         assert "scenario:         FB" in out
 
-    def test_scenario_name_and_trace_conflict(self, tmp_path):
+    def test_scenario_name_and_events_conflict(self, tmp_path):
         with pytest.raises(SystemExit):
-            main(["scenario", "run", "fb", "--trace", "x.jsonl"])
+            main(["scenario", "run", "fb", "--events", "x.jsonl"])
 
-    def test_trace_rejects_generator_knobs(self, capsys):
+    def test_events_rejects_generator_knobs(self, capsys):
         """--scale/--param would be silently ignored on replays: error."""
         for extra in (["--scale", "0.1"], ["--param", "k=1"]):
             with pytest.raises(SystemExit):
-                main(["scenario", "stats", "--trace", "x.jsonl"] + extra)
+                main(["scenario", "stats", "--events", "x.jsonl"] + extra)
 
     def test_reserved_param_redirected(self, capsys):
         with pytest.raises(SystemExit):
@@ -247,6 +247,52 @@ class TestSimulateExtensions:
         assert code == 0
         out = capsys.readouterr().out
         assert "outages:" in out
+
+
+class TestObservabilityFlags:
+    def _simulate(self, *extra):
+        return main(
+            [
+                "simulate",
+                "--workload",
+                "FB",
+                "--scale",
+                "0.03",
+                "--downgrade",
+                "lru",
+                "--upgrade",
+                "osa",
+                *extra,
+            ]
+        )
+
+    def test_trace_and_exports_written(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        chrome = str(tmp_path / "run_chrome.json")
+        ts = str(tmp_path / "run_ts.json")
+        code = self._simulate(
+            "--trace", trace, "--chrome-trace", chrome, "--timeseries", ts
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "trace records" in err and "timeseries samples" in err
+        records = [json.loads(line) for line in open(trace)]
+        assert records and all("ev" in r and "seq" in r for r in records)
+        assert json.load(open(chrome))["traceEvents"]
+        assert len(json.load(open(ts))["t"]) >= 2
+
+        assert main(["trace", "summarize", trace]) == 0
+        out = capsys.readouterr().out
+        assert "job_finish" in out
+
+        path = next(r["path"] for r in records if r["ev"] == "file_create")
+        assert main(["trace", "explain", trace, path]) == 0
+        out = capsys.readouterr().out
+        assert "placed on" in out
+
+    def test_off_by_default(self, capsys):
+        assert self._simulate() == 0
+        assert "trace records" not in capsys.readouterr().err
 
 
 class TestLiveCommands:

@@ -1,0 +1,269 @@
+"""Unit tests for the ``repro.obs`` telemetry layer and results log.
+
+Covers the pieces end-to-end runs exercise only incidentally: the
+tracer envelope, the timeseries sampler's column discipline, each
+exporter's format contract (JSONL canonical bytes, Chrome trace-event
+structure, Prometheus text exposition), the summarize/explain
+post-processors, the schema validator, and the daemon's results log.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine.runner import SystemConfig, WorkloadRunner
+from repro.obs.export import (
+    prometheus_text,
+    read_jsonl,
+    to_chrome,
+    trace_line,
+    write_chrome,
+    write_jsonl,
+)
+from repro.obs.summary import explain, render_explain, render_summary, summarize
+from repro.obs.timeseries import TimeseriesRecorder
+from repro.obs.trace import EVENT_TYPES, REQUIRED_FIELDS, Tracer
+from repro.service.results import ResultsLog
+from repro.service.tenants import Tenant
+from repro.workload.scenarios import build_scenario
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_tool(name):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "tools" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One small traced + sampled run shared by the export tests."""
+    stream = build_scenario("fb", seed=7, scale=0.05)
+    config = SystemConfig(
+        label="obs-unit",
+        downgrade="lru",
+        upgrade="osa",
+        seed=7,
+        conf={"obs.trace": True, "obs.sample_interval": 600.0},
+    )
+    runner = WorkloadRunner(stream, config)
+    result = runner.run()
+    return runner, result
+
+
+class TestTracer:
+    def test_envelope_and_sequence(self):
+        clock = iter([1.0, 2.5, 2.5])
+        tracer = Tracer(lambda: next(clock))
+        tracer.emit("file_delete", path="/a")
+        tracer.emit("file_delete", path="/b", bytes=10)
+        record = tracer.emit("retrain", sampled=3, points=9)
+        assert [r["seq"] for r in tracer.records] == [0, 1, 2]
+        assert [r["t"] for r in tracer.records] == [1.0, 2.5, 2.5]
+        assert record == {"ev": "retrain", "t": 2.5, "seq": 2, "sampled": 3, "points": 9}
+        assert len(tracer) == 3
+
+    def test_schema_tables_agree(self):
+        assert set(REQUIRED_FIELDS) == EVENT_TYPES
+
+
+class TestTimeseries:
+    def test_rejects_nonpositive_interval(self, traced_run):
+        runner, _ = traced_run
+        with pytest.raises(ValueError):
+            TimeseriesRecorder(runner, 0.0)
+
+    def test_columns_stay_parallel(self, traced_run):
+        runner, _ = traced_run
+        ts = runner.timeseries
+        n = ts.samples
+        assert n >= 2
+        assert len(ts.t) == n
+        assert ts.t == sorted(ts.t)
+        for name in ts.tier_capacity:
+            assert len(ts.tier_used[name]) == n
+            assert len(ts.queue_delay[name]) == n
+        assert len(ts.inflight) == n == len(ts.hit_ratio) == len(ts.pending)
+
+    def test_peak_utilization_bounded(self, traced_run):
+        runner, _ = traced_run
+        peaks = runner.timeseries.peak_utilization()
+        assert set(peaks) == set(runner.timeseries.tier_capacity)
+        assert all(0.0 <= v <= 1.0 for v in peaks.values())
+
+    def test_to_dict_round_trips_through_json(self, traced_run):
+        runner, _ = traced_run
+        payload = json.loads(json.dumps(runner.timeseries.to_dict()))
+        assert payload["interval"] == 600.0
+        assert len(payload["t"]) == runner.timeseries.samples
+
+    def test_stop_is_idempotent(self, traced_run):
+        runner, _ = traced_run
+        before = runner.timeseries.samples
+        runner.timeseries.stop()
+        assert runner.timeseries.samples == before
+
+
+class TestJsonlExport:
+    def test_trace_line_is_canonical(self):
+        assert trace_line({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    @pytest.mark.parametrize("name", ["trace.jsonl", "trace.jsonl.gz"])
+    def test_write_read_round_trip(self, traced_run, tmp_path, name):
+        runner, _ = traced_run
+        path = str(tmp_path / name)
+        count = write_jsonl(runner.tracer.records, path)
+        assert count == len(runner.tracer.records)
+        assert read_jsonl(path) == runner.tracer.records
+
+
+class TestChromeExport:
+    def test_structure(self, traced_run, tmp_path):
+        runner, _ = traced_run
+        doc = to_chrome(runner.tracer.records)
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert "M" in phases and "X" in phases and "i" in phases
+        for event in events:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+                assert event["ts"] >= 0
+        path = str(tmp_path / "chrome.json")
+        assert write_chrome(runner.tracer.records, path) == len(events)
+        assert json.load(open(path)) == doc
+
+    def test_migration_pairing(self):
+        records = [
+            {"ev": "migration_start", "t": 1.0, "seq": 0, "kind": "downgrade",
+             "block": 5, "path": "/f", "bytes": 10,
+             "src": {"node": "n0", "tier": "MEMORY"},
+             "dst": {"node": "n0", "tier": "SSD"}},
+            {"ev": "migration_commit", "t": 3.0, "seq": 1, "kind": "downgrade",
+             "block": 5, "path": "/f", "bytes": 10, "tier": "SSD"},
+        ]
+        spans = [e for e in to_chrome(records)["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 1
+        assert spans[0]["ts"] == 1_000_000 and spans[0]["dur"] == 2_000_000
+
+
+class TestPrometheus:
+    def test_engine_and_tenant_sections(self):
+        tenants = [
+            {"id": "t1", "name": 'fb "prod"', "state": "finished",
+             "jobs_submitted": 3, "jobs_finished": 3, "events_emitted": 9,
+             "hit_ratio": 0.5, "bytes_read": 1024}
+        ]
+        text = prometheus_text(
+            {"events_processed": 42, "label": "skipped"},
+            tenants=tenants,
+            status="serving",
+        )
+        assert text.endswith("\n")
+        assert 'repro_service_up{status="serving"} 1' in text
+        assert "repro_engine_events_processed 42" in text
+        assert "label" not in text
+        assert 'name="fb \\"prod\\""' in text
+        assert 'repro_tenant_hit_ratio{tenant="t1",' in text
+
+    def test_service_engine_renders(self):
+        from repro.service.engine import ServiceEngine
+
+        engine = ServiceEngine()
+        text = engine.prometheus()
+        assert "repro_engine_pending_events" in text
+        assert 'repro_service_up{status="starting"} 0' in text
+
+
+class TestSummary:
+    def test_summarize_counts_and_span(self, traced_run):
+        runner, result = traced_run
+        summary = summarize(runner.tracer.records)
+        assert summary["records"] == len(runner.tracer.records)
+        assert summary["counts"]["job_finish"] == result.jobs_finished
+        assert summary["span_seconds"] >= 0
+        assert "job_finish" in render_summary(summary)
+
+    def test_explain_reconstructs_placement(self, traced_run):
+        runner, _ = traced_run
+        created = next(
+            r for r in runner.tracer.records if r["ev"] == "file_create"
+        )
+        history = explain(runner.tracer.records, created["path"])
+        assert [r["ev"] for r in history].count("file_create") == 1
+        assert any(r["ev"] == "placement" for r in history)
+        rendered = render_explain(created["path"], history)
+        assert "placed on" in rendered and created["path"] in rendered
+
+    def test_explain_unknown_path(self):
+        assert explain([], "/nope") == []
+        assert "no trace records" in render_explain("/nope", [])
+
+
+class TestCheckTraceTool:
+    def test_valid_trace_passes(self, traced_run, tmp_path):
+        runner, _ = traced_run
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(runner.tracer.records, path)
+        tool = _load_tool("check_trace")
+        assert tool.check_file(path) == []
+        assert tool.main([path]) == 0
+
+    def test_violations_are_caught(self, tmp_path):
+        tool = _load_tool("check_trace")
+        bad = [
+            {"ev": "nope", "t": 1.0, "seq": 0},
+            {"ev": "file_delete", "t": -1.0, "seq": 0},
+            {"ev": "file_delete", "t": 1.0, "seq": 7, "path": "/a"},
+        ]
+        errors = tool.validate_records(bad)
+        assert any("unknown event type" in e for e in errors)
+        assert any("bad timestamp" in e for e in errors)
+        assert any("seq" in e for e in errors)
+        assert any("missing fields" in e for e in errors)
+        path = str(tmp_path / "bad.jsonl")
+        write_jsonl(bad, path)
+        assert tool.main([path]) == 1
+
+
+class TestResultsLog:
+    def _tenant(self, tenant_id="t1", admitted=100.0):
+        tenant = Tenant(tenant_id=tenant_id, name="fb", source="scenario:fb")
+        tenant.state = "finished"
+        tenant.admitted_wall = admitted
+        return tenant
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ResultsLog(str(tmp_path / "none.jsonl")).load() == []
+
+    def test_stream_end_then_final_collapse(self, tmp_path):
+        log = ResultsLog(str(tmp_path / "r.jsonl"))
+        tenant = self._tenant()
+        log.record_tenant(tenant)
+        tenant.collector.jobs_completed = 4
+        log.record_tenant(tenant, final=True)
+        loaded = log.load()
+        assert len(loaded) == 1
+        assert loaded[0]["final"] is True
+        assert loaded[0]["tenant"]["jobs_finished"] == 4
+
+    def test_restarted_daemon_ids_do_not_merge(self, tmp_path):
+        log = ResultsLog(str(tmp_path / "r.jsonl"))
+        log.record_tenant(self._tenant(admitted=100.0), final=True)
+        log.record_tenant(self._tenant(admitted=200.0), final=True)
+        assert len(log.load()) == 2
+
+    def test_truncated_line_is_skipped(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        log = ResultsLog(str(path))
+        log.record_tenant(self._tenant())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"wall": 1, "tena')
+        assert len(log.load()) == 1

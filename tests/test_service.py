@@ -448,6 +448,33 @@ class TestServiceEngine:
         assert served.duration == offline.duration
         assert served.jobs_finished == offline.jobs_finished
 
+    def test_results_log_survives_restart(self, tmp_path):
+        log_path = str(tmp_path / "results.jsonl")
+        text = scenario_jsonl(scale=0.02, seed=7)
+        engine = ServiceEngine(SystemConfig(label="rlog"), results_log=log_path)
+        assert engine.past_tenants == []
+        engine.start()
+        tenant = engine.attach_jsonl(text)
+        deadline = time.time() + 60.0
+        while tenant.state != "finished" and time.time() < deadline:
+            time.sleep(0.05)
+        engine.begin_drain(grace=5.0)
+        engine.join(timeout=120.0)
+
+        # The final (post-drain) record carries complete metrics and
+        # collapses with the stream-end record on load.
+        restarted = ServiceEngine(
+            SystemConfig(label="rlog2"), results_log=log_path
+        )
+        assert len(restarted.past_tenants) == 1
+        record = restarted.past_tenants[0]
+        assert record["final"] is True
+        assert record["tenant"]["id"] == tenant.tenant_id
+        assert record["tenant"]["jobs_finished"] == (
+            tenant.collector.jobs_completed
+        )
+        assert record["metrics"]["bytes_read"] == tenant.collector.bytes_read
+
     def test_drain_completes_in_flight_jobs(self):
         # A session force-closed by drain must not strand its jobs: the
         # engine finishes everything already admitted.
@@ -554,6 +581,19 @@ class TestDaemon:
             metrics["engine"]
         )
         assert "queue_delay_by_tier" in metrics["run"]
+
+    def test_prometheus_endpoint(self, service):
+        url = (
+            f"http://127.0.0.1:{service.control_port}"
+            "/metrics?format=prometheus"
+        )
+        with urllib.request.urlopen(url) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode()
+        assert 'repro_service_up{status="serving"} 1' in text
+        assert "repro_engine_events_processed" in text
+        assert "repro_engine_pending_events" in text
 
     def test_post_tenants_inline_and_scenario(self, service):
         status, body = self.control(

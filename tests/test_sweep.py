@@ -171,6 +171,30 @@ class TestWorker:
         config = make_cell(workload="mlscan", scale=0.05, seed=1).config
         assert fingerprint(run_cell(config)) == fingerprint(run_cell(config))
 
+    def test_sampled_cell_gains_ts_columns(self):
+        plain = run_cell(make_cell(workload="mlscan", scale=0.05, seed=1).config)
+        assert not any(k.startswith("ts_") for k in plain)
+        sampled = run_cell(
+            make_cell(
+                workload="mlscan",
+                scale=0.05,
+                seed=1,
+                conf={"obs.sample_interval": 600.0},
+            ).config
+        )
+        assert sampled["ts_samples"] >= 2
+        assert sampled["ts_peak_inflight"] >= 0
+        assert any(k.startswith("ts_peak_util_") for k in sampled)
+        # Sampling must not move any simulated workload metric.
+        exempt = {
+            "events_processed", "events_cancelled", "max_heap_size",
+            "live_pending_at_end", "runtime_seconds", "events_per_second",
+            "rss_mb", "heap_compactions",
+        }
+        for key, value in plain.items():
+            if key not in exempt:
+                assert sampled[key] == value, key
+
     def test_profile_cell_runs_classic_trace(self):
         row = run_cell(
             make_cell(

@@ -1,0 +1,89 @@
+"""CI schema validator for ``--trace`` JSONL decision traces.
+
+Checks every record of one or more trace files against the stable
+schema contract in :mod:`repro.obs.trace`:
+
+* each line is a JSON object carrying the envelope (``ev`` in
+  :data:`~repro.obs.trace.EVENT_TYPES`, numeric ``t``, integer ``seq``),
+* each record carries at least its type's
+  :data:`~repro.obs.trace.REQUIRED_FIELDS` (extra payload fields are
+  allowed — the schema is append-only),
+* ``seq`` counts up from 0 without gaps and ``t`` never decreases
+  (records are emitted in simulated-time order).
+
+Exit status 0 when every file validates, 1 otherwise.  Usage::
+
+    PYTHONPATH=src python tools/check_trace.py trace.jsonl [more...]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.export import read_jsonl  # noqa: E402
+from repro.obs.trace import EVENT_TYPES, REQUIRED_FIELDS  # noqa: E402
+
+
+def validate_records(records) -> list:
+    """Every schema violation in ``records``, as human-readable strings."""
+    errors = []
+    last_t = float("-inf")
+    for i, record in enumerate(records):
+        where = f"record {i}"
+        if not isinstance(record, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        ev = record.get("ev")
+        if ev not in EVENT_TYPES:
+            errors.append(f"{where}: unknown event type {ev!r}")
+            continue
+        t = record.get("t")
+        if not isinstance(t, (int, float)) or isinstance(t, bool) or t < 0:
+            errors.append(f"{where} ({ev}): bad timestamp {t!r}")
+        elif t < last_t:
+            errors.append(f"{where} ({ev}): time went backwards ({t} < {last_t})")
+        else:
+            last_t = t
+        seq = record.get("seq")
+        if seq != i:
+            errors.append(f"{where} ({ev}): seq {seq!r}, expected {i}")
+        missing = [f for f in REQUIRED_FIELDS[ev] if f not in record]
+        if missing:
+            errors.append(f"{where} ({ev}): missing fields {missing}")
+    return errors
+
+
+def check_file(path: str) -> list:
+    """Validate one trace file; the list of violations (empty = valid)."""
+    try:
+        records = read_jsonl(path)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    return validate_records(records)
+
+
+def main(argv=None) -> int:
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID ({len(errors)} violation(s))")
+            for error in errors[:20]:
+                print(f"  {error}")
+        else:
+            count = len(read_jsonl(path))
+            print(f"{path}: ok ({count} records)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

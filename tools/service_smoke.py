@@ -12,8 +12,11 @@ over its real ports:
 4. assert per-tenant metrics appear under ``/tenants/<id>/metrics`` and
    the engine counters under ``/metrics`` (and that no bare ``Infinity``
    ever leaks into a JSON body);
-5. stop gracefully with SIGTERM and check the drain completed every
-   admitted job.
+5. scrape ``GET /metrics?format=prometheus`` and check the text
+   exposition carries engine counters and per-tenant labelled series;
+6. stop gracefully with SIGTERM, check the drain completed every
+   admitted job, and check the ``--results-log`` holds a final record
+   per tenant.
 
 Usage::
 
@@ -23,10 +26,12 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 import re
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 import urllib.request
 
@@ -51,6 +56,9 @@ def control(port: int, path: str, payload=None):
 
 
 def main() -> int:
+    results_log = os.path.join(
+        tempfile.mkdtemp(prefix="repro-smoke-"), "results.jsonl"
+    )
     proc = subprocess.Popen(
         [
             sys.executable,
@@ -61,6 +69,8 @@ def main() -> int:
             "10",
             "--workers",
             "4",
+            "--results-log",
+            results_log,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -136,6 +146,18 @@ def main() -> int:
             )
         assert all(jobs > 0 for jobs in per_tenant.values()), per_tenant
 
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics?format=prometheus", timeout=10
+        ) as response:
+            content_type = response.headers.get("Content-Type", "")
+            prometheus = response.read().decode()
+        assert content_type.startswith("text/plain"), content_type
+        assert "repro_engine_events_processed" in prometheus, prometheus[:400]
+        for tenant in (tenant1, tenant2):
+            needle = f'repro_tenant_jobs_finished{{tenant="{tenant["id"]}"'
+            assert needle in prometheus, f"missing {needle}"
+        print(f"prometheus: {len(prometheus.splitlines())} lines")
+
         proc.send_signal(signal.SIGTERM)
         output, _ = proc.communicate(timeout=300)
         assert proc.returncode == 0, output
@@ -150,6 +172,16 @@ def main() -> int:
             f"drained: {summary['jobs_finished']} jobs, "
             f"duration {summary['duration']:.0f}s sim"
         )
+
+        with open(results_log, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        finals = {
+            r["tenant"]["id"]: r for r in records if r.get("final")
+        }
+        assert set(finals) == set(per_tenant), (set(finals), set(per_tenant))
+        for tenant_id, record in finals.items():
+            assert record["tenant"]["jobs_finished"] > 0, record
+        print(f"results log: {len(records)} records, {len(finals)} final")
         print("service smoke: OK")
         return 0
     finally:
