@@ -8,6 +8,8 @@ Usage::
     python -m repro scenario run flashcrowd --downgrade lru --upgrade osa
     python -m repro scenario run --events mytrace.jsonl.gz
     python -m repro scenario run fb --trace trace.jsonl --timeseries ts.json
+    python -m repro scenario run compose --spec composition.json
+    python -m repro fuzz --budget 50 --freeze-dir tests/regression_scenarios
     python -m repro trace summarize trace.jsonl
     python -m repro scenario run fb --out - | python -m repro live -
     python -m repro experiment fig06 fig07
@@ -25,8 +27,11 @@ harness emits; ``scenario`` drives the streaming workload subsystem
 stream arriving over a pipe, FIFO, or socket through the full system
 online (:mod:`repro.workload.live`); ``sweep`` fans experiment matrices
 across worker processes with a resumable results store
-(:mod:`repro.sweep`); ``list`` enumerates every pluggable dimension
-from one registry helper (:mod:`repro.common.catalog`).
+(:mod:`repro.sweep`); ``fuzz`` adversarially searches composed-scenario
+space for policy pathologies and freezes found cases as regression
+scenarios (:mod:`repro.workload.fuzz`); ``list`` enumerates every
+pluggable dimension from one registry helper
+(:mod:`repro.common.catalog`).
 """
 
 from __future__ import annotations
@@ -373,6 +378,7 @@ def _print_backpressure(result) -> None:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
+    """``repro list [KIND]``: every registered pluggable, by dimension."""
     names = catalog()
     kinds = [args.kind] if args.kind else sorted(names)
     for kind in kinds:
@@ -387,9 +393,37 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def _build_stream(args: argparse.Namespace):
-    """The stream named by ``scenario``/``--events`` flags (stats & run)."""
+    """The stream named by ``scenario``/``--events``/``--spec`` flags."""
     from repro.workload.scenarios import build_scenario
 
+    if getattr(args, "spec", None) or args.name == "compose":
+        from repro.workload.compose import build_compose
+
+        if not getattr(args, "spec", None):
+            print(
+                "the 'compose' pseudo-scenario needs --spec "
+                "(inline JSON or a spec file)",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        if args.name not in (None, "compose") or getattr(args, "events", None):
+            print(
+                "--spec composes registered scenarios; it is mutually "
+                "exclusive with --events and scenario names other than "
+                "'compose'",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        # A composition spec carries its own per-leaf seeds/scales/params;
+        # the outer generator knobs would be silently ignored, so reject.
+        if args.param or args.scale != 1.0:
+            print(
+                "--scale/--param do not apply to --spec compositions "
+                "(set seed/scale/params per leaf inside the spec)",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return build_compose(args.spec)
     if getattr(args, "events", None):
         from repro.workload.external import ExternalTraceStream
 
@@ -425,6 +459,7 @@ def _build_stream(args: argparse.Namespace):
 
 
 def cmd_scenario_list(_args: argparse.Namespace) -> int:
+    """``repro scenario list``: registered scenarios with descriptions."""
     from repro.workload.scenarios import SCENARIOS, scenario_names
 
     for name in scenario_names():
@@ -437,6 +472,7 @@ def cmd_scenario_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_scenario_stats(args: argparse.Namespace) -> int:
+    """``repro scenario stats``: one bounded pass of summary statistics."""
     stream = _build_stream(args)
     wall_start = time.perf_counter()
     stats = stream.stats(max_events=args.max_events)
@@ -458,6 +494,7 @@ def cmd_scenario_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_scenario_run(args: argparse.Namespace) -> int:
+    """``repro scenario run``: drive a workload stream through the system."""
     from repro.engine.runner import WorkloadRunner
 
     stream = _build_stream(args)
@@ -595,6 +632,93 @@ def cmd_trace_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """``repro fuzz``: adversarial search for policy pathologies.
+
+    Searches composed-scenario parameter space (one bounded
+    ``hypothesis`` search per scoring dimension) for workloads that
+    cross a pathology threshold.  ``--freeze-dir`` writes each found
+    case as a frozen regression scenario; ``--check`` turns the run
+    into a CI gate that fails when a found pathology's dimension is not
+    pinned by the frozen corpus.
+    """
+    from repro.workload.fuzz import (
+        DEFAULT_THRESHOLDS,
+        DIMENSION_NAMES,
+        FuzzSystem,
+        compose_name,
+        find_pathology,
+        freeze_case,
+        unfrozen,
+    )
+
+    thresholds = dict(DEFAULT_THRESHOLDS)
+    for pair in args.threshold or ():
+        if "=" not in pair:
+            print(f"--threshold expects DIM=VALUE, got {pair!r}", file=sys.stderr)
+            return 2
+        dim, value = pair.split("=", 1)
+        if dim not in DIMENSION_NAMES:
+            print(
+                f"unknown dimension {dim!r}; expected one of "
+                f"{list(DIMENSION_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
+        thresholds[dim] = float(value)
+    system = FuzzSystem(
+        workers=args.workers,
+        memory_mb=args.memory_mb,
+        downgrade=args.downgrade,
+        upgrade=args.upgrade,
+        io_model=args.io_model,
+    )
+    dimensions = args.dimension or list(DIMENSION_NAMES)
+    found = []
+    for dimension in dimensions:
+        pathology = find_pathology(
+            dimension,
+            seed=args.seed,
+            budget=args.budget,
+            threshold=thresholds[dimension],
+            system=system,
+        )
+        if pathology is None:
+            print(
+                f"{dimension}: no case crossed {thresholds[dimension]:g} "
+                f"in {args.budget} examples (seed {args.seed})"
+            )
+            continue
+        found.append(pathology)
+        print(
+            f"{dimension}: {compose_name(pathology.spec)} scores "
+            f"{pathology.score:g} >= {pathology.threshold:g} "
+            f"({pathology.metric})"
+        )
+        if args.freeze_dir:
+            path = freeze_case(pathology, args.freeze_dir)
+            print(f"  frozen: {path}")
+    if args.check:
+        holes = unfrozen(found, args.check)
+        if holes:
+            for pathology in holes:
+                print(
+                    f"UNFROZEN pathology dimension {pathology.dimension!r}: "
+                    f"{compose_name(pathology.spec)} scores "
+                    f"{pathology.score:g} but no frozen case under "
+                    f"{args.check} pins that dimension — freeze it with "
+                    f"`repro fuzz --dimension {pathology.dimension} "
+                    f"--freeze-dir {args.check}`",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"check: every found pathology dimension is pinned under "
+            f"{args.check}"
+        )
+    return 0
+
+
 def cmd_synthesize(args: argparse.Namespace) -> int:
     from repro.workload.serialize import save_events, save_trace
 
@@ -704,6 +828,7 @@ def cmd_sweep_report(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser (every subcommand wired)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="Octopus++ reproduction toolkit"
     )
@@ -994,6 +1119,74 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace_explain.add_argument("file", help="DFS file path to explain")
     p_trace_explain.set_defaults(func=cmd_trace_explain)
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="adversarial search for policy pathologies over composed "
+        "scenarios (see docs/scenarios.md)",
+    )
+    p_fuzz.add_argument(
+        "--dimension",
+        action="append",
+        choices=("churn", "starvation", "regret"),
+        help="scoring dimension(s) to search (repeatable; default: all)",
+    )
+    p_fuzz.add_argument(
+        "--budget",
+        "--max-examples",
+        dest="budget",
+        type=int,
+        default=50,
+        help="hypothesis examples per dimension (default 50; each example "
+        "is one or more sub-second simulation runs)",
+    )
+    p_fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="search seed (fixed seed + fixed budget = deterministic "
+        "search for a given hypothesis version)",
+    )
+    p_fuzz.add_argument(
+        "--threshold",
+        action="append",
+        metavar="DIM=VALUE",
+        help="override a dimension's pathology threshold (repeatable)",
+    )
+    p_fuzz.add_argument(
+        "--freeze-dir",
+        default=None,
+        metavar="DIR",
+        help="write each found case as a frozen regression scenario "
+        "(tests/regression_scenarios for the tier-1 corpus)",
+    )
+    p_fuzz.add_argument(
+        "--check",
+        default=None,
+        metavar="DIR",
+        help="CI gate: exit 1 if a found pathology's dimension is not "
+        "pinned by any frozen case under DIR",
+    )
+    p_fuzz.add_argument(
+        "--workers", type=int, default=3, help="cluster size candidates run on"
+    )
+    p_fuzz.add_argument(
+        "--memory-mb",
+        type=int,
+        default=512,
+        help="top-tier capacity per node in MB (deliberately small: "
+        "pathologies need tier pressure to manifest)",
+    )
+    p_fuzz.add_argument("--downgrade", default="lru")
+    p_fuzz.add_argument("--upgrade", default="osa")
+    p_fuzz.add_argument(
+        "--io-model",
+        choices=IO_MODEL_NAMES,
+        default="snapshot",
+        help="I/O pricing model candidates run under (frozen cases pin "
+        "observed scores under both models regardless)",
+    )
+    p_fuzz.set_defaults(func=cmd_fuzz)
+
     p_syn = sub.add_parser("synthesize", help="export a synthesized trace")
     p_syn.add_argument("--workload", choices=sorted(PROFILES), default="FB")
     p_syn.add_argument("--scale", type=float, default=1.0)
@@ -1054,6 +1247,14 @@ def _add_stream_flags(parser: argparse.ArgumentParser) -> None:
         action="append",
         metavar="KEY=VALUE",
         help="override a scenario parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="SPEC",
+        help="composition spec: inline JSON, a spec file, or a frozen "
+        "regression case (use with the pseudo-scenario 'compose'; "
+        "see docs/scenarios.md, 'Composition algebra')",
     )
 
 
@@ -1164,6 +1365,7 @@ def _add_system_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def main(argv=None) -> int:
+    """CLI entry point: parse, dispatch, and map errors to exit codes."""
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

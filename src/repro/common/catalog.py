@@ -24,12 +24,16 @@ def catalog() -> Dict[str, List[str]]:
     from repro.engine.iomodel import IO_MODEL_NAMES
     from repro.engine.runner import PLACEMENT_NAMES
     from repro.sweep.spec import builtin_specs
+    from repro.workload.compose import COMPOSE_OPS
+    from repro.workload.fuzz import DIMENSION_NAMES
     from repro.workload.live import LIVE_TRANSPORTS
     from repro.workload.profiles import PROFILES
     from repro.workload.scenarios import scenario_names
 
     return {
         "tiers": sorted(hierarchy_names()),
+        "compose-ops": list(COMPOSE_OPS),
+        "fuzz-dimensions": list(DIMENSION_NAMES),
         "live-transports": sorted(LIVE_TRANSPORTS),
         "io-models": sorted(IO_MODEL_NAMES),
         "placements": sorted(PLACEMENT_NAMES),

@@ -150,3 +150,38 @@ register_preset(
         "trainer.interval": 5 * MINUTES,
     },
 )
+
+register_preset(
+    "static",
+    "Stationary skewed mix: the hot set never moves, so pin it high with "
+    "generous headroom and retrain rarely (nothing drifts).",
+    **{
+        "downgrade.start_threshold": 0.90,
+        "downgrade.stop_threshold": 0.80,
+        "trainer.interval": 15 * MINUTES,
+    },
+)
+
+register_preset(
+    "dynamic",
+    "Drifting hot region: the locality moves every phase, so forget fast "
+    "and retrain on a cadence shorter than the drift.",
+    **{
+        "downgrade.start_threshold": 0.80,
+        "downgrade.stop_threshold": 0.70,
+        "trainer.interval": 2 * MINUTES,
+        "lrfu.half_life": 30 * MINUTES,
+    },
+)
+
+register_preset(
+    "phaseshift",
+    "Hard periodic working-set swaps: history across a boundary is "
+    "anti-signal — keep the shortest memory and free space eagerly.",
+    **{
+        "downgrade.start_threshold": 0.85,
+        "downgrade.stop_threshold": 0.70,
+        "trainer.interval": 2 * MINUTES,
+        "lrfu.half_life": 15 * MINUTES,
+    },
+)

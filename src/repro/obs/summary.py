@@ -6,7 +6,12 @@ Backs the ``repro trace summarize|explain`` CLI:
   totals, and the simulated time span;
 * :func:`explain` extracts the chronological decision history of one
   file path — placement, upgrade/downgrade decisions, migrations,
-  deletion — reconstructing *why* the file ended up where it did.
+  deletion — reconstructing *why* the file ended up where it did;
+* :func:`thrash_stats` folds migration commits into per-file churn
+  statistics (how concentrated migration traffic is, and how many
+  files round-tripped between tiers) — the evidence the adversarial
+  scenario fuzzer (:mod:`repro.workload.fuzz`) attaches to a frozen
+  churn pathology.
 """
 
 from __future__ import annotations
@@ -85,6 +90,52 @@ def explain(
         for record in records
         if record["ev"] in _PATH_EVENTS and record.get("path") == path
     ]
+
+
+def thrash_stats(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Per-file migration-churn statistics from ``migration_commit``s.
+
+    Counts committed up/down migrations per file path (``cache`` counts
+    as an upgrade; ``repair`` traffic is excluded — it is fault
+    recovery, not policy churn) and reports how concentrated the
+    migration traffic is:
+
+    ``files_migrated`` / ``migrations``
+        Distinct paths with at least one committed migration, and the
+        total commit count.
+    ``max_migrations_per_file`` / ``mean_migrations_per_file``
+        Concentration: a high max over a low mean means a few files are
+        ping-ponging between tiers.
+    ``round_trip_files``
+        Files with both an upgrade and a downgrade commit — each one
+        paid transfer cost in both directions (the thrash signature).
+    ``top_paths``
+        The five most-migrated paths, worst first.
+    """
+    up: Dict[str, int] = {}
+    down: Dict[str, int] = {}
+    for record in records:
+        if record["ev"] != "migration_commit":
+            continue
+        kind = record.get("kind")
+        path = record.get("path")
+        if not path or kind == "repair":
+            continue
+        side = down if kind == "downgrade" else up
+        side[path] = side.get(path, 0) + 1
+    totals = {p: up.get(p, 0) + down.get(p, 0) for p in set(up) | set(down)}
+    migrations = sum(totals.values())
+    worst = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+    return {
+        "files_migrated": len(totals),
+        "migrations": migrations,
+        "max_migrations_per_file": max(totals.values()) if totals else 0,
+        "mean_migrations_per_file": (
+            round(migrations / len(totals), 3) if totals else 0.0
+        ),
+        "round_trip_files": sum(1 for p in totals if p in up and p in down),
+        "top_paths": [{"path": p, "migrations": n} for p, n in worst],
+    }
 
 
 def _describe(record: Mapping[str, Any]) -> str:

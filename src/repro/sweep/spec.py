@@ -93,16 +93,36 @@ def make_cell(
     ``kind`` selects the workload source: ``"scenario"`` builds a
     registered stream (``workload`` is the scenario name, ``params`` its
     parameter overrides); ``"profile"`` synthesizes a classic trace
-    (``workload`` is a profile name like ``"FB"``).  ``seed`` seeds the
-    workload; ``system_seed`` (default: SystemConfig's own default)
-    seeds the system side (scheduler tie-breaks, policy RNG).
+    (``workload`` is a profile name like ``"FB"``); ``"compose"`` builds
+    a composed stream (``params["spec"]`` is the composition spec, which
+    is canonicalized here so equal workloads always land in the same
+    cell — the per-leaf seeds/scales live inside the spec, and the
+    cell-level ``seed``/``scale`` are pinned to their defaults).
+    ``seed`` seeds the workload; ``system_seed`` (default:
+    SystemConfig's own default) seeds the system side (scheduler
+    tie-breaks, policy RNG).
     """
-    if kind not in ("scenario", "profile"):
+    if kind not in ("scenario", "profile", "compose"):
         raise ValueError(f"unknown cell kind {kind!r}")
+    cell_params = dict(params or {})
+    if kind == "compose":
+        from repro.workload.compose import canonical_spec
+
+        if set(cell_params) != {"spec"}:
+            raise ValueError(
+                "compose cells take params={'spec': <composition spec>}, "
+                f"got keys {sorted(cell_params)}"
+            )
+        cell_params["spec"] = canonical_spec(cell_params["spec"])
+        if seed != 42 or scale != 1.0:
+            raise ValueError(
+                "compose cells pin seed/scale to their defaults; set "
+                "per-leaf seeds/scales inside the composition spec"
+            )
     config = {
         "kind": kind,
         "workload": workload,
-        "params": dict(params or {}),
+        "params": cell_params,
         "scale": scale,
         "seed": seed,
         "system_seed": system_seed,
@@ -155,6 +175,11 @@ class SweepSpec:
     scenarios: Tuple[str, ...] = ()
     #: Workload profile names (``FB``/``CMU``) replayed as classic traces.
     workloads: Tuple[str, ...] = ()
+    #: Composition specs (see :mod:`repro.workload.compose`) run as
+    #: composite cells.  Crossed with policies/tiers/io-models/engines
+    #: but not seeds/scales — a composition carries its own per-leaf
+    #: seeds and scales, so the cell-level ones stay at their defaults.
+    composites: Tuple[Mapping[str, Any], ...] = ()
     #: Scenario parameter grid: key -> list of values (cross product).
     #: Keys a given scenario does not define are pruned for it.
     params: Mapping[str, Sequence[Any]] = field(default_factory=dict)
@@ -176,9 +201,10 @@ class SweepSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a sweep needs a name (it keys the results store)")
-        if not self.scenarios and not self.workloads:
+        if not self.scenarios and not self.workloads and not self.composites:
             raise ValueError(
-                f"sweep {self.name!r} lists no scenarios and no workloads"
+                f"sweep {self.name!r} lists no scenarios, no workloads, "
+                "and no composites"
             )
 
     @property
@@ -188,10 +214,13 @@ class SweepSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready canonical form (round-trips via :meth:`from_dict`)."""
+        from repro.workload.compose import canonical_spec
+
         return {
             "name": self.name,
             "scenarios": list(self.scenarios),
             "workloads": list(self.workloads),
+            "composites": [canonical_spec(c) for c in self.composites],
             "params": {k: list(v) for k, v in sorted(self.params.items())},
             "policies": [
                 p if isinstance(p, str) else dict(p) for p in self.policies
@@ -214,6 +243,7 @@ class SweepSpec:
             "name",
             "scenarios",
             "workloads",
+            "composites",
             "params",
             "policies",
             "tiers",
@@ -242,6 +272,8 @@ class SweepSpec:
         for key in ("workers", "placement", "preset"):
             if key in data:
                 kwargs[key] = data[key]
+        if "composites" in data:
+            kwargs["composites"] = tuple(dict(c) for c in data["composites"])
         if "params" in data:
             kwargs["params"] = {k: list(v) for k, v in data["params"].items()}
         if "conf" in data:
@@ -313,6 +345,33 @@ class SweepSpec:
                     continue
                 seen.add(cell.cell_id)
                 cells.append(cell)
+        if self.composites:
+            from repro.workload.compose import canonical_spec, compose_name
+
+            for composite in self.composites:
+                spec = canonical_spec(composite)
+                for policy, tiers, io_model, engine in itertools.product(
+                    self.policies, self.tiers, self.io_models, self.engines
+                ):
+                    downgrade, upgrade = parse_policy(policy)
+                    cell = make_cell(
+                        kind="compose",
+                        workload=compose_name(spec),
+                        params={"spec": spec},
+                        placement=self.placement,
+                        downgrade=downgrade,
+                        upgrade=upgrade,
+                        workers=self.workers,
+                        tiers=tiers,
+                        io_model=io_model,
+                        engine=engine,
+                        preset=self.preset,
+                        conf=self.conf,
+                    )
+                    if cell.cell_id in seen:
+                        continue
+                    seen.add(cell.cell_id)
+                    cells.append(cell)
         return cells
 
 

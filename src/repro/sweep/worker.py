@@ -87,7 +87,7 @@ def cell_id_of(cell: Mapping[str, Any]) -> str:
 
 
 def _build_workload(cell: Mapping[str, Any]):
-    """The cell's workload: a scenario stream or a synthesized trace."""
+    """The cell's workload: scenario stream, composition, or trace."""
     if cell["kind"] == "scenario":
         from repro.workload.scenarios import build_scenario
 
@@ -97,6 +97,12 @@ def _build_workload(cell: Mapping[str, Any]):
             scale=cell["scale"],
             **cell["params"],
         )
+    if cell["kind"] == "compose":
+        from repro.workload.compose import build_compose
+
+        # Per-leaf seeds/scales live inside the (canonical) spec; the
+        # cell-level seed/scale are pinned by make_cell.
+        return build_compose(cell["params"]["spec"], name=cell["workload"])
     from repro.workload.profiles import PROFILES, scaled_profile
     from repro.workload.synthesis import synthesize_trace
 

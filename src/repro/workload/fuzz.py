@@ -1,0 +1,555 @@
+"""Adversarial scenario fuzzing: search composed workloads for pathologies.
+
+The tiering machinery's failure modes — downgrade thrash, per-tenant
+starvation, preset mis-selection — rarely show up on the handful of
+hand-written scenarios; they live in corners of composed-workload
+parameter space nobody thought to write down.  This module drives
+`hypothesis <https://hypothesis.readthedocs.io>`_ over the composition
+algebra (:mod:`repro.workload.compose`) to *search* for them, scoring
+each candidate composition from one (or a few) end-to-end simulation
+runs under a deliberately memory-pressured system:
+
+``churn``
+    Migration churn per byte served: ``(bytes upgraded + bytes
+    downgraded) / bytes read``.  High churn means the policies spend
+    tier bandwidth shuffling data instead of serving it — the downgrade
+    thrash signature.  When tracing is enabled the frozen case also
+    carries :func:`repro.obs.summary.thrash_stats` evidence (which
+    files ping-ponged).
+``starvation``
+    Per-tenant byte-hit-ratio spread on multi-tenant compositions: the
+    best-served tenant's ratio minus the worst-served one's, measured
+    through the scheduler's per-job metrics fanout keyed by the
+    composition's tenant prefixes.  A large spread means shared tiers
+    serve one tenant at another's expense.
+``regret``
+    Preset mis-selection: the hit ratio under the best candidate preset
+    minus the hit ratio under the preset named after the composition's
+    *first* leaf scenario (how the auto-selector would label the mix).
+    Composition breaks name-keyed preset selection by construction;
+    regret quantifies how much that costs.
+
+Found cases are **frozen** as minimal replayable JSON specs (the
+composition, the system, the metric, its threshold, and the observed
+scores under both I/O models) under ``tests/regression_scenarios/``,
+where a parametrized tier-1 test replays every one bit-deterministically
+— the fuzzer turns search luck into a permanent regression corpus.
+``repro fuzz`` is the CLI: ``--freeze-dir`` writes found cases,
+``--check DIR`` gates CI (every pathology dimension a bounded search
+can still hit must already be pinned by a frozen case).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.common.units import GB, MB
+from repro.workload.compose import (
+    build_compose,
+    canonical_spec,
+    compose_name,
+    spec_hash,
+    tenant_prefixes,
+)
+
+#: The scoring dimensions, in search order.
+DIMENSION_NAMES = ("churn", "starvation", "regret")
+
+#: Default score thresholds: a composition scoring at or above the
+#: threshold on its dimension counts as a pathology.  Calibrated
+#: against the sampled score distribution of each search space under
+#: the default :class:`FuzzSystem`: typical compositions score ~0.2–0.35
+#: churn, ~0.02–0.1 starvation, and ~0 regret; the thresholds sit in
+#: the extreme tail (top few percent), so crossing one is a genuine
+#: outlier, not the median workload.
+DEFAULT_THRESHOLDS: Mapping[str, float] = {
+    "churn": 0.55,
+    "starvation": 0.2,
+    "regret": 0.05,
+}
+
+#: Scenarios the fuzzer composes, with the parameter ranges it may
+#: explore for each (bounded so candidate runs stay sub-second).
+#: Ranges are (low, high) over integers unless marked float.
+FUZZ_SPACE: Mapping[str, Mapping[str, Tuple[float, float, bool]]] = {
+    "flashcrowd": {
+        "crowd_boost": (4, 16, False),
+        "hot_files": (2, 12, False),
+        "crowd_minutes": (10, 40, False),
+        "skew": (0.3, 1.1, True),
+    },
+    "mlscan": {
+        "shards": (16, 96, False),
+        "shard_mb": (64, 512, False),
+        "epochs": (4, 12, False),
+    },
+    "oscillating": {
+        "hot_files": (8, 48, False),
+        "phase_minutes": (10, 60, False),
+        "hot_prob": (0.6, 0.97, True),
+    },
+    "static": {
+        "hot_files": (8, 64, False),
+        "scan_files": (64, 320, False),
+        "hot_ratio": (0.3, 0.95, True),
+    },
+    "dynamic": {
+        "hot_files": (8, 48, False),
+        "phases": (4, 16, False),
+        "hot_prob": (0.5, 0.95, True),
+    },
+    "phaseshift": {
+        "sets": (2, 4, False),
+        "set_files": (16, 64, False),
+        "period_minutes": (8, 45, False),
+        "focus": (0.8, 0.99, True),
+    },
+}
+
+#: Leaf scale used by every fuzz candidate: long enough for the tiering
+#: machinery to act, short enough that a candidate run stays sub-second.
+FUZZ_SCALE = 0.1
+
+
+@dataclass(frozen=True)
+class FuzzSystem:
+    """The deliberately memory-pressured system candidates run under.
+
+    The working sets of the fuzz scenarios exceed ``memory_mb`` by
+    design — pathologies like churn and starvation only manifest when
+    tiers are contended.  All fields land in the frozen case, so a
+    replay reconstructs the identical system.
+    """
+
+    workers: int = 3
+    memory_mb: int = 512
+    downgrade: str = "lru"
+    upgrade: str = "osa"
+    io_model: str = "snapshot"
+    tiers: str = "default3"
+    preset: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready canonical form (round-trips via :meth:`from_dict`)."""
+        return {
+            "workers": self.workers,
+            "memory_mb": self.memory_mb,
+            "downgrade": self.downgrade,
+            "upgrade": self.upgrade,
+            "io_model": self.io_model,
+            "tiers": self.tiers,
+            "preset": self.preset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FuzzSystem":
+        """Rebuild the system of a frozen case."""
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class Pathology:
+    """One found case: a composition that crosses a pathology threshold."""
+
+    dimension: str
+    metric: str
+    score: float
+    threshold: float
+    spec: Mapping[str, Any]
+    system: FuzzSystem
+    #: Dimension-specific evidence (per-tenant ratios, thrash stats,
+    #: per-preset hit ratios) — context for whoever triages the case.
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def case_id(self) -> str:
+        """Stable identity: dimension plus the spec's content hash."""
+        return f"{self.dimension}_{spec_hash(self.spec)}"
+
+
+#: Human-readable metric name per dimension (recorded in frozen cases).
+_METRICS = {
+    "churn": "migration_bytes_per_byte_read",
+    "starvation": "tenant_byte_hit_ratio_spread",
+    "regret": "preset_oracle_hit_ratio_regret",
+}
+
+
+def _make_config(system: FuzzSystem, conf: Optional[Dict[str, Any]] = None):
+    """Map a :class:`FuzzSystem` onto a runnable SystemConfig."""
+    from repro.engine.runner import SystemConfig
+
+    return SystemConfig(
+        label="fuzz",
+        downgrade=system.downgrade,
+        upgrade=system.upgrade,
+        workers=system.workers,
+        tiers=system.tiers,
+        io_model=system.io_model,
+        memory_per_node=system.memory_mb * MB,
+        preset=system.preset,
+        conf=dict(conf or {}),
+    )
+
+
+def _run(
+    spec: Mapping[str, Any],
+    system: FuzzSystem,
+    tenants: Optional[List[str]] = None,
+    preset: Optional[str] = None,
+    trace: bool = False,
+):
+    """One scored simulation of a composed spec.
+
+    Returns ``(result, per-tenant metrics dict, tracer)``.  ``tenants``
+    installs per-job metric collectors keyed by path prefix (the
+    scheduler's fanout hook — pure projection, bit-identical run);
+    ``preset`` overrides the system's preset for regret probes.
+    """
+    from repro.engine.metrics import MetricsCollector
+    from repro.engine.runner import WorkloadRunner
+
+    stream = build_compose(spec)
+    fuzz_system = (
+        system if preset is None else FuzzSystem(**{**system.to_dict(), "preset": preset})
+    )
+    config = _make_config(fuzz_system, conf={"obs.trace": True} if trace else None)
+    runner = WorkloadRunner(stream, config)
+    collectors: Dict[str, MetricsCollector] = {}
+    if tenants:
+        prefixes = sorted(tenants, key=len, reverse=True)
+
+        def for_job(job):
+            for prefix in prefixes:
+                if job.input_paths and job.input_paths[0].startswith(prefix + "/"):
+                    if prefix not in collectors:
+                        collectors[prefix] = MetricsCollector(
+                            hierarchy=runner.hierarchy
+                        )
+                    return collectors[prefix]
+            return None
+
+        runner.scheduler.metrics_for_job = for_job
+    result = runner.run()
+    return result, collectors, getattr(runner, "tracer", None)
+
+
+def _migrated_bytes(result) -> int:
+    """Total committed migration traffic, both directions, all tiers."""
+    return sum(result.bytes_upgraded_by_tier.values()) + sum(
+        result.bytes_downgraded_by_tier.values()
+    )
+
+
+def score_churn(
+    spec: Mapping[str, Any], system: FuzzSystem, trace: bool = False
+) -> Tuple[float, Dict[str, Any]]:
+    """Migration churn per byte served (the downgrade-thrash score)."""
+    result, _, tracer = _run(spec, system, trace=trace)
+    bytes_read = result.metrics.bytes_read
+    migrated = _migrated_bytes(result)
+    score = migrated / max(bytes_read, 1)
+    details: Dict[str, Any] = {
+        "bytes_read_gb": round(bytes_read / GB, 3),
+        "bytes_migrated_gb": round(migrated / GB, 3),
+        "hit_ratio": round(result.metrics.hit_ratio(), 6),
+    }
+    if tracer is not None:
+        from repro.obs.summary import thrash_stats
+
+        details["thrash"] = thrash_stats(tracer.records)
+    return score, details
+
+
+def score_starvation(
+    spec: Mapping[str, Any], system: FuzzSystem
+) -> Tuple[float, Dict[str, Any]]:
+    """Per-tenant byte-hit-ratio spread (best-served minus worst-served).
+
+    Zero for compositions with fewer than two active tenants — the
+    dimension only means something when tenants share the tiers.
+    """
+    tenants = tenant_prefixes(canonical_spec(spec))
+    if len(tenants) < 2:
+        return 0.0, {"tenants": {}}
+    _, collectors, _ = _run(spec, system, tenants=tenants)
+    ratios = {
+        prefix: round(collector.byte_hit_ratio(), 6)
+        for prefix, collector in sorted(collectors.items())
+        if collector.bytes_read > 0
+    }
+    if len(ratios) < 2:
+        return 0.0, {"tenants": ratios}
+    score = max(ratios.values()) - min(ratios.values())
+    return score, {"tenants": ratios}
+
+
+def score_regret(
+    spec: Mapping[str, Any], system: FuzzSystem
+) -> Tuple[float, Dict[str, Any]]:
+    """Preset-vs-oracle regret for a composed workload.
+
+    The naive selector labels a composition by its first leaf scenario
+    (the only name available to name-keyed preset selection); the
+    oracle picks the best of every candidate preset plus no preset.
+    Regret is the oracle's hit ratio minus the naive choice's.
+    """
+    from repro.core.presets import PRESETS
+
+    leaves = _leaf_names(canonical_spec(spec))
+    naive = next((name for name in leaves if name in PRESETS), None)
+    candidates = [None] + sorted(set(PRESETS) & set(leaves))
+    hit_by_preset: Dict[str, float] = {}
+    for preset in candidates:
+        result, _, _ = _run(spec, system, preset=preset)
+        hit_by_preset[preset or "none"] = round(result.metrics.hit_ratio(), 6)
+    naive_hit = hit_by_preset[naive or "none"]
+    oracle_preset, oracle_hit = max(
+        hit_by_preset.items(), key=lambda kv: (kv[1], kv[0])
+    )
+    return oracle_hit - naive_hit, {
+        "naive_preset": naive or "none",
+        "oracle_preset": oracle_preset,
+        "hit_by_preset": hit_by_preset,
+    }
+
+
+def _leaf_names(spec: Mapping[str, Any]) -> List[str]:
+    """Leaf scenario names in composition order (first = dominant)."""
+    op = spec["op"]
+    if op == "scenario":
+        return [spec["name"]]
+    if op in ("overlay", "concat"):
+        names: List[str] = []
+        for source in spec["sources"]:
+            names.extend(_leaf_names(source))
+        return names
+    return _leaf_names(spec["source"])
+
+
+#: Scorer registry: dimension -> callable(spec, system) -> (score, details).
+SCORERS: Mapping[
+    str, Callable[[Mapping[str, Any], FuzzSystem], Tuple[float, Dict[str, Any]]]
+] = {
+    "churn": score_churn,
+    "starvation": score_starvation,
+    "regret": score_regret,
+}
+
+
+# -- hypothesis search --------------------------------------------------------
+def _leaf_strategy(names: Optional[List[str]] = None):
+    """Strategy over scenario leaves: name, seed, bounded parameters."""
+    from hypothesis import strategies as st
+
+    pool = sorted(names or FUZZ_SPACE)
+
+    @st.composite
+    def leaf(draw):
+        name = draw(st.sampled_from(pool))
+        seed = draw(st.integers(min_value=0, max_value=7))
+        params: Dict[str, float] = {}
+        for key, (low, high, is_float) in sorted(FUZZ_SPACE[name].items()):
+            if draw(st.booleans()):
+                continue  # keep the registered default for this knob
+            if is_float:
+                value = draw(
+                    st.floats(
+                        min_value=low,
+                        max_value=high,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    )
+                )
+                params[key] = round(float(value), 4)
+            else:
+                params[key] = float(draw(st.integers(int(low), int(high))))
+        return canonical_spec(
+            {
+                "op": "scenario",
+                "name": name,
+                "seed": seed,
+                "scale": FUZZ_SCALE,
+                "params": params,
+            }
+        )
+
+    return leaf()
+
+
+def spec_strategy(dimension: str):
+    """The composed-spec search space for one scoring dimension.
+
+    ``churn``/``regret`` explore single leaves, two-source overlays, and
+    time-compressed variants; ``starvation`` explores two- and
+    three-tenant overlays (the dimension needs tenants to starve);
+    ``regret`` additionally restricts leaves to preset-registered
+    scenarios (a composition of preset-less leaves has no candidate
+    presets, so its regret is trivially zero).
+    """
+    from hypothesis import strategies as st
+
+    pool = None
+    if dimension == "regret":
+        from repro.core.presets import PRESETS
+
+        pool = sorted(set(FUZZ_SPACE) & set(PRESETS))
+    leaf = _leaf_strategy(pool)
+
+    def overlay_of(n: int):
+        return st.lists(leaf, min_size=n, max_size=n).map(
+            lambda sources: canonical_spec(
+                {"op": "overlay", "sources": sources}
+            )
+        )
+
+    if dimension == "starvation":
+        return st.one_of(overlay_of(2), overlay_of(3))
+    base = st.one_of(leaf, overlay_of(2))
+    compressed = st.tuples(
+        base, st.sampled_from([0.25, 0.5, 2.0])
+    ).map(
+        lambda pair: canonical_spec(
+            {"op": "timescale", "source": pair[0], "factor": pair[1]}
+        )
+    )
+    return st.one_of(base, compressed)
+
+
+def find_pathology(
+    dimension: str,
+    seed: int = 0,
+    budget: int = 50,
+    threshold: Optional[float] = None,
+    system: Optional[FuzzSystem] = None,
+) -> Optional[Pathology]:
+    """Search one dimension; the minimal found case, or None.
+
+    Runs ``hypothesis.find`` over :func:`spec_strategy` with a fixed
+    ``random.Random(seed)`` and at most ``budget`` examples, so the
+    search is deterministic for a given hypothesis version.  A found
+    example is hypothesis-shrunk toward minimality before scoring is
+    repeated for the frozen record.
+    """
+    from hypothesis import settings as hyp_settings
+    from hypothesis.errors import NoSuchExample
+
+    from hypothesis import find
+
+    if dimension not in SCORERS:
+        raise ValueError(
+            f"unknown fuzz dimension {dimension!r}; "
+            f"expected one of {list(DIMENSION_NAMES)}"
+        )
+    system = system or FuzzSystem()
+    bar = DEFAULT_THRESHOLDS[dimension] if threshold is None else threshold
+    scorer = SCORERS[dimension]
+
+    def crosses(spec: Mapping[str, Any]) -> bool:
+        score, _ = scorer(spec, system)
+        return score >= bar
+
+    try:
+        spec = find(
+            spec_strategy(dimension),
+            crosses,
+            settings=hyp_settings(
+                max_examples=budget, deadline=None, database=None
+            ),
+            random=random.Random(seed),
+        )
+    except NoSuchExample:
+        return None
+    score, details = scorer(spec, system)
+    return Pathology(
+        dimension=dimension,
+        metric=_METRICS[dimension],
+        score=round(score, 6),
+        threshold=bar,
+        spec=canonical_spec(spec),
+        system=system,
+        details=details,
+    )
+
+
+# -- freezing and replay ------------------------------------------------------
+def score_case(case: Mapping[str, Any], io_model: str) -> Tuple[float, Dict[str, Any]]:
+    """Re-score a frozen case's spec under one I/O model.
+
+    The single entry point the regression replay test uses: rebuilds
+    the recorded system with ``io_model`` substituted and runs the
+    recorded scorer on the recorded spec.
+    """
+    system = FuzzSystem.from_dict({**case["system"], "io_model": io_model})
+    scorer = SCORERS[case["pathology"]]
+    return scorer(case["spec"], system)
+
+
+def freeze_case(pathology: Pathology, out_dir: str) -> str:
+    """Write a found case as a frozen regression scenario; the path.
+
+    The frozen JSON pins the composition spec, the pressured system,
+    the threshold the case crosses, and the observed score under *both*
+    I/O models (rounded to 6 decimals) — the replay test asserts exact
+    equality, so any behaviour drift on these workloads is caught.
+    """
+    case: Dict[str, Any] = {
+        "comment": (
+            f"{pathology.dimension} pathology found by repro fuzz: "
+            f"{compose_name(pathology.spec)} drives "
+            f"{pathology.metric} to {pathology.score:g} "
+            f"(threshold {pathology.threshold:g}) under a "
+            f"{pathology.system.memory_mb} MB/node "
+            f"{pathology.system.downgrade}:{pathology.system.upgrade} system"
+        ),
+        "pathology": pathology.dimension,
+        "metric": pathology.metric,
+        "threshold": pathology.threshold,
+        "system": pathology.system.to_dict(),
+        "spec": canonical_spec(pathology.spec),
+        "details": dict(pathology.details),
+        "observed": {},
+    }
+    for io_model in ("snapshot", "fairshare"):
+        score, _ = score_case(case, io_model)
+        case["observed"][io_model] = round(score, 6)
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{pathology.case_id}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(case, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_cases(directory: str) -> List[Dict[str, Any]]:
+    """Every frozen case under ``directory``, sorted by file name."""
+    cases = []
+    if not os.path.isdir(directory):
+        return cases
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(directory, name), "r", encoding="utf-8") as handle:
+            case = json.load(handle)
+        case["_file"] = name
+        cases.append(case)
+    return cases
+
+
+def unfrozen(
+    found: List[Pathology], directory: str
+) -> List[Pathology]:
+    """Found cases whose pathology dimension no frozen case pins yet.
+
+    The CI gate: a bounded fixed-seed search may shrink to a different
+    minimal spec across hypothesis versions, so coverage is judged by
+    *dimension* — a hit on a dimension with no frozen case means the
+    corpus has a hole (e.g. a new scoring dimension landed without
+    freezing its cases).
+    """
+    frozen_dimensions = {case["pathology"] for case in load_cases(directory)}
+    return [p for p in found if p.dimension not in frozen_dimensions]

@@ -29,6 +29,15 @@ access pattern that stresses tiering differently:
     Dataset lifecycle create→hot→cool→delete: new datasets arrive on a
     cadence, burn bright, cool off, and retire.  Exercises deletions and
     bounded-memory streaming (sources enter and leave the merge).
+``static`` / ``dynamic`` / ``phaseshift``
+    The capsa trace-generator family: a stationary hot/scan mixture
+    with a sequential scan cursor (``static``); shuffled disjoint
+    hot-region jumps with an interleaved cold-pool scan cursor
+    (``dynamic``); and abrupt A/B working-set flips where the history a
+    policy learns in one phase is poison in the next (``phaseshift``).
+
+Scenarios compose: :mod:`repro.workload.compose` closes the registry
+under overlay/concat/timescale/tenant_tag/take/until combinators.
 
 Every builder takes ``(seed, scale, **params)`` and returns a
 :class:`WorkloadStream`.  ``scale`` stretches the *length* of the
@@ -598,3 +607,181 @@ def _pipeline(
         return clip(merge_timed_sources(sources()), duration)
 
     return GeneratedStream("pipeline", duration, factory)
+
+
+# -- capsa generator family ---------------------------------------------------
+@register_scenario(
+    "static",
+    "Capsa-family static mix: a fixed Zipf-weighted hot set absorbs "
+    "hot_ratio of the reads while the rest advance a sequential scan "
+    "cursor over the cold segment (round-robin full sweeps) — a "
+    "stationary pattern where the right tier split never changes.",
+    hours=4,
+    jobs_per_minute=2.5,
+    hot_files=32,
+    scan_files=160,
+    hot_ratio=0.75,
+    hot_skew=0.8,
+    file_mb_low=16,
+    file_mb_high=512,
+)
+def _static(
+    seed: int,
+    scale: float,
+    hours: float,
+    jobs_per_minute: float,
+    hot_files: float,
+    scan_files: float,
+    hot_ratio: float,
+    hot_skew: float,
+    file_mb_low: float,
+    file_mb_high: float,
+) -> WorkloadStream:
+    duration = hours * HOURS * scale
+    n_hot = max(1, int(hot_files))
+    n_scan = max(1, int(scan_files))
+
+    def factory() -> Iterator[StreamEvent]:
+        rng = make_rng([seed, 0])
+        pool = _FilePool(
+            "/data/static",
+            _file_sizes(rng, n_hot + n_scan, file_mb_low, file_mb_high),
+        )
+        jobs = _JobFactory(rng, "/out/static")
+        hot_popularity = zipf_probabilities(n_hot, hot_skew)
+        cursor = 0
+        for t in _poisson_times(rng, jobs_per_minute / MINUTES, duration):
+            if rng.random() < hot_ratio:
+                k = min(int(rng.integers(1, 3)), n_hot)
+                picks = rng.choice(n_hot, size=k, replace=False, p=hot_popularity)
+            else:
+                # Sequential scan: the cursor walks the cold segment
+                # round-robin, the classic cache-pollution pattern.
+                picks = [n_hot + cursor % n_scan]
+                cursor += 1
+            creations, paths, size = pool.read(picks, t)
+            yield from creations
+            yield jobs.job(t, paths, size)
+
+    return GeneratedStream("static", duration, factory)
+
+
+@register_scenario(
+    "dynamic",
+    "Capsa-family dynamic mix: the hot set jumps between shuffled "
+    "disjoint pool regions every phase while a sequential scan cursor "
+    "interleaves cold-pool sweeps — locality is real but keeps moving, "
+    "so placements trained on the last phase mispredict the next.",
+    hours=4,
+    jobs_per_minute=2.5,
+    phases=8,
+    hot_files=24,
+    pool_files=240,
+    hot_prob=0.8,
+    hot_skew=0.6,
+    file_mb_low=16,
+    file_mb_high=512,
+)
+def _dynamic(
+    seed: int,
+    scale: float,
+    hours: float,
+    jobs_per_minute: float,
+    phases: float,
+    hot_files: float,
+    pool_files: float,
+    hot_prob: float,
+    hot_skew: float,
+    file_mb_low: float,
+    file_mb_high: float,
+) -> WorkloadStream:
+    duration = hours * HOURS * scale
+    n_pool = max(2, int(pool_files))
+    n_hot = max(1, min(int(hot_files), n_pool - 1))
+    n_phases = max(1, int(phases))
+    phase_span = duration / n_phases
+
+    def factory() -> Iterator[StreamEvent]:
+        rng = make_rng([seed, 0])
+        pool = _FilePool(
+            "/data/dynamic",
+            _file_sizes(rng, n_pool, file_mb_low, file_mb_high),
+        )
+        jobs = _JobFactory(rng, "/out/dynamic")
+        hot_popularity = zipf_probabilities(n_hot, hot_skew)
+        # Hot regions are disjoint slices of the pool, visited in a
+        # seeded shuffled order: successive phases share no hot files
+        # (unlike ``oscillating``'s deterministic sliding window).
+        n_regions = max(1, n_pool // n_hot)
+        region_order = rng.permutation(n_regions)
+        cursor = 0
+        for t in _poisson_times(rng, jobs_per_minute / MINUTES, duration):
+            phase = min(int(t // phase_span), n_phases - 1)
+            region = int(region_order[phase % n_regions])
+            if rng.random() < hot_prob:
+                k = min(int(rng.integers(1, 3)), n_hot)
+                offsets = rng.choice(n_hot, size=k, replace=False, p=hot_popularity)
+                picks = [(region * n_hot + int(o)) % n_pool for o in offsets]
+            else:
+                picks = [cursor % n_pool]
+                cursor += 1
+            creations, paths, size = pool.read(picks, t)
+            yield from creations
+            yield jobs.job(t, paths, size)
+
+    return GeneratedStream("dynamic", duration, factory)
+
+
+@register_scenario(
+    "phaseshift",
+    "Capsa-family phase shift: `sets` disjoint working sets take turns "
+    "being essentially the whole load, flipping abruptly every "
+    "period_minutes — the adversarial A/B oscillation that punishes "
+    "history-driven policies hardest right after each flip.",
+    hours=4,
+    jobs_per_minute=2.5,
+    sets=2,
+    set_files=40,
+    period_minutes=25,
+    focus=0.95,
+    file_mb_low=16,
+    file_mb_high=512,
+)
+def _phaseshift(
+    seed: int,
+    scale: float,
+    hours: float,
+    jobs_per_minute: float,
+    sets: float,
+    set_files: float,
+    period_minutes: float,
+    focus: float,
+    file_mb_low: float,
+    file_mb_high: float,
+) -> WorkloadStream:
+    duration = hours * HOURS * scale
+    n_sets = max(1, int(sets))
+    n_set = max(1, int(set_files))
+    n_pool = n_sets * n_set
+
+    def factory() -> Iterator[StreamEvent]:
+        rng = make_rng([seed, 0])
+        pool = _FilePool(
+            "/data/phaseshift",
+            _file_sizes(rng, n_pool, file_mb_low, file_mb_high),
+        )
+        jobs = _JobFactory(rng, "/out/phaseshift")
+        period = period_minutes * MINUTES
+        for t in _poisson_times(rng, jobs_per_minute / MINUTES, duration):
+            active = int(t // period) % n_sets
+            k = int(rng.integers(1, 3))
+            if rng.random() < focus:
+                offsets = rng.choice(n_set, size=min(k, n_set), replace=False)
+                picks = [active * n_set + int(o) for o in offsets]
+            else:
+                picks = rng.choice(n_pool, size=min(k, n_pool), replace=False)
+            creations, paths, size = pool.read(picks, t)
+            yield from creations
+            yield jobs.job(t, paths, size)
+
+    return GeneratedStream("phaseshift", duration, factory)

@@ -1,0 +1,101 @@
+"""Replay gate for the frozen regression corpus (tests/regression_scenarios).
+
+Every ``*.json`` under ``tests/regression_scenarios/`` is a pathology
+case found by ``repro fuzz`` and frozen as a minimal replayable spec:
+the composition, the memory-pressured system it ran under, the metric
+threshold it crossed, and the observed score under both I/O models.
+This module auto-collects the corpus and replays each case end to end:
+
+* the observed score must reproduce **exactly** (to the frozen 6-decimal
+  rounding) under both ``snapshot`` and ``fairshare`` — any behaviour
+  drift on these adversarial workloads fails loudly;
+* the score must still cross the case's recorded threshold (the
+  pathology stays a pathology — if a policy change genuinely fixes it,
+  re-freeze the case with the improved observed scores);
+* the frozen spec must be canonical (hash-stable for sweep cells), its
+  workload must rebuild bit-deterministically, and the file must carry
+  a human-readable comment naming the pathology and threshold.
+
+Dropping a new case into the directory adds it to the gate with no code
+changes (see docs/scenarios.md for the freeze workflow).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.workload.compose import build_compose, canonical_spec, spec_hash
+from repro.workload.fuzz import DIMENSION_NAMES, load_cases, score_case
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "regression_scenarios")
+CASES = load_cases(CORPUS_DIR)
+CASE_IDS = [case["_file"] for case in CASES]
+IO_MODELS = ("snapshot", "fairshare")
+
+
+def test_corpus_ships_at_least_three_distinct_dimensions():
+    assert len(CASES) >= 3
+    dimensions = {case["pathology"] for case in CASES}
+    assert dimensions == set(DIMENSION_NAMES), (
+        "the shipped corpus must pin every scoring dimension"
+    )
+
+
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_case_is_well_formed(case):
+    assert case["pathology"] in DIMENSION_NAMES
+    assert set(case["observed"]) == set(IO_MODELS)
+    # The comment names the pathology and the threshold it pins.
+    assert case["pathology"] in case["comment"]
+    assert f"threshold {case['threshold']:g}" in case["comment"]
+    # The spec is stored canonically, so its hash matches the file name.
+    assert case["spec"] == canonical_spec(case["spec"])
+    expected = f"{case['pathology']}_{spec_hash(case['spec'])}.json"
+    assert case["_file"] == expected
+
+
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_case_workload_rebuilds_deterministically(case):
+    stream = build_compose(case["spec"])
+    first = [repr(event) for event in stream.events()]
+    assert first, "a frozen case must describe a non-empty workload"
+    assert first == [repr(event) for event in build_compose(case["spec"]).events()]
+
+
+@pytest.mark.parametrize("io_model", IO_MODELS)
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_case_replays_bit_deterministically(case, io_model):
+    score, _ = score_case(case, io_model)
+    assert round(score, 6) == case["observed"][io_model], (
+        f"{case['_file']} drifted under {io_model}: the frozen workload "
+        f"no longer reproduces its pinned {case['metric']} score"
+    )
+    assert score >= case["threshold"], (
+        f"{case['_file']} no longer crosses its pathology threshold — "
+        "if a policy change fixed it, re-freeze the case"
+    )
+
+
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_case_replays_from_file_via_cli_spec_path(case, tmp_path):
+    # The acceptance path: `repro scenario run compose --spec FILE` must
+    # accept the frozen file itself (parse_spec unwraps the "spec" key).
+    from repro.workload.compose import parse_spec
+
+    path = os.path.join(CORPUS_DIR, case["_file"])
+    assert parse_spec(path) == case["spec"]
+
+
+def test_corpus_files_are_pretty_printed_json():
+    for case in CASES:
+        path = os.path.join(CORPUS_DIR, case["_file"])
+        text = open(path, encoding="utf-8").read()
+        data = json.loads(text)
+        data.pop("_file", None)
+        expected = json.dumps(
+            {k: v for k, v in case.items() if k != "_file"},
+            indent=2,
+            sort_keys=True,
+        ) + "\n"
+        assert text == expected

@@ -385,3 +385,72 @@ class TestRunSweepAndReport:
         assert "mlscan" in text
         assert "**failed**" in text
         assert "injected failure" in text
+
+
+class TestComposites:
+    """Composite (composed-workload) sweep cells and their canonical hashing."""
+
+    SPEC = {
+        "op": "overlay",
+        "sources": [
+            {"op": "scenario", "name": "mlscan", "seed": 1, "scale": 0.05},
+            {"op": "scenario", "name": "static", "seed": 2, "scale": 0.05},
+        ],
+    }
+
+    def test_equal_specs_hash_to_the_same_cell(self):
+        # Field order, filled-in defaults, identity timescale, and
+        # int/float parameter spellings must all canonicalize away.
+        verbose = {
+            "isolate": True,
+            "sources": [
+                {"params": {}, "scale": 0.05, "seed": 1, "name": "mlscan",
+                 "op": "scenario"},
+                {"op": "timescale", "factor": 1.0,
+                 "source": {"op": "scenario", "name": "static", "seed": 2,
+                            "scale": 0.05}},
+            ],
+            "op": "overlay",
+        }
+        a = make_cell(kind="compose", workload="mix",
+                      params={"spec": self.SPEC})
+        b = make_cell(kind="compose", workload="mix",
+                      params={"spec": verbose})
+        assert a.cell_id == b.cell_id
+
+    def test_compose_cells_pin_cell_level_seed_and_scale(self):
+        with pytest.raises(ValueError, match="pin seed/scale"):
+            make_cell(kind="compose", workload="mix",
+                      params={"spec": self.SPEC}, seed=7)
+        with pytest.raises(ValueError, match="spec"):
+            make_cell(kind="compose", workload="mix", params={})
+
+    def test_spec_with_composites_expands_and_round_trips(self):
+        spec = SweepSpec(
+            name="mix",
+            composites=(self.SPEC,),
+            io_models=("snapshot", "fairshare"),
+        )
+        cells = spec.expand()
+        assert len(cells) == 2  # composites cross io_models, not seeds
+        assert all(c.config["kind"] == "compose" for c in cells)
+        assert all(
+            c.config["workload"] == "overlay(mlscan,static)" for c in cells
+        )
+        again = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert [c.cell_id for c in again.expand()] == [
+            c.cell_id for c in cells
+        ]
+
+    def test_run_cell_executes_a_compose_cell(self):
+        cell = make_cell(
+            kind="compose",
+            workload="overlay(mlscan,static)",
+            params={"spec": self.SPEC},
+            downgrade="lru",
+            upgrade="osa",
+        )
+        row = run_cell(cell.config)
+        assert row["workload"] == "overlay(mlscan,static)"
+        assert row["jobs_finished"] > 0
+        assert fingerprint(row) == fingerprint(run_cell(cell.config))
